@@ -1,0 +1,27 @@
+//! # subdex-baselines
+//!
+//! The two state-of-the-art next-action recommenders the paper compares
+//! against (Section 5.1, Table 4), re-implemented over the same store:
+//!
+//! * [`sdd`] — **Smart Drill-Down** (Joglekar et al. \[35\]): greedily
+//!   grows a list of "interesting" rules over the joined
+//!   reviewer ⋈ rating ⋈ item view, scoring a rule by its *marginal*
+//!   coverage times its specificity; each rule becomes a drill-down
+//!   operation.
+//! * [`qagview`](crate::qagview()) — **QAGView** (Wen et al. \[58\]): a diverse `k`-cluster
+//!   summary of the rating group — greedy weighted set cover under the
+//!   constraint that clusters differ in at least `D` attribute–value
+//!   pairs; each cluster becomes a selection operation.
+//!
+//! Both systems, by construction, only emit operations that *refine* the
+//! current selection. That is the paper's Table 4 punchline: identifying
+//! a second irregular group requires a roll-up, which neither baseline can
+//! express, so SubDEx's recommendations win.
+
+pub mod patterns;
+pub mod qagview;
+pub mod sdd;
+
+#[doc(inline)]
+pub use qagview::qagview;
+pub use sdd::smart_drill_down;

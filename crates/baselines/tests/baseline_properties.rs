@@ -1,0 +1,126 @@
+//! Property-based tests for the baseline recommenders.
+
+use proptest::prelude::*;
+use subdex_baselines::patterns::{mine_patterns, MiningConfig};
+use subdex_baselines::qagview::{qagview, QagConfig};
+use subdex_baselines::sdd::{smart_drill_down, SddConfig};
+use subdex_store::{
+    Cell, Entity, EntityTableBuilder, RatingTableBuilder, Schema, SelectionQuery, SubjectiveDb,
+    Value,
+};
+
+#[derive(Debug, Clone)]
+struct Spec {
+    reviewers: Vec<(u8, u8)>,
+    items: Vec<u8>,
+    ratings: Vec<(u8, u8)>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (4usize..12, 3usize..8).prop_flat_map(|(n_rev, n_item)| {
+        (
+            prop::collection::vec((0u8..3, 0u8..3), n_rev),
+            prop::collection::vec(0u8..3, n_item),
+            prop::collection::vec((0..n_rev as u8, 0..n_item as u8), 20..80),
+        )
+            .prop_map(|(reviewers, items, ratings)| Spec {
+                reviewers,
+                items,
+                ratings,
+            })
+    })
+}
+
+fn build(s: &Spec) -> SubjectiveDb {
+    let mut us = Schema::new();
+    us.add("ua", false);
+    us.add("ub", false);
+    let mut ub = EntityTableBuilder::new(us);
+    for &(a, b) in &s.reviewers {
+        ub.push_row(vec![
+            Cell::One(Value::int(i64::from(a))),
+            Cell::One(Value::int(i64::from(b))),
+        ]);
+    }
+    let mut is = Schema::new();
+    is.add("ia", false);
+    let mut ib = EntityTableBuilder::new(is);
+    for &a in &s.items {
+        ib.push_row(vec![Cell::One(Value::int(i64::from(a)))]);
+    }
+    let mut rb = RatingTableBuilder::new(vec!["overall".into()], 5);
+    for &(r, i) in &s.ratings {
+        rb.push(u32::from(r), u32::from(i), &[3]);
+    }
+    SubjectiveDb::new(ub.build(), ib.build(), rb.build(s.reviewers.len(), s.items.len()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mined_pattern_coverage_is_exact(s in spec()) {
+        let db = build(&s);
+        let q = SelectionQuery::all();
+        let group = db.rating_group(&q, 0);
+        let cfg = MiningConfig { min_coverage: 1, pair_seeds: 8 };
+        for (pat, cover) in mine_patterns(&db, &group, &q, &cfg) {
+            let manual = group
+                .records()
+                .iter()
+                .filter(|&&rec| pat.matches(&db, rec))
+                .count();
+            prop_assert_eq!(cover.len(), manual, "pattern coverage must be exact");
+        }
+    }
+
+    #[test]
+    fn sdd_ops_are_valid_distinct_drilldowns(s in spec(), k in 1usize..5) {
+        let db = build(&s);
+        let q = SelectionQuery::all();
+        let ops = smart_drill_down(&db, &q, k, &SddConfig::default());
+        prop_assert!(ops.len() <= k);
+        let distinct: std::collections::HashSet<_> = ops.iter().collect();
+        prop_assert_eq!(distinct.len(), ops.len());
+        for op in &ops {
+            prop_assert!(!op.is_empty(), "strict refinement of the empty query");
+            // Every op selects a non-empty rating group.
+            prop_assert!(!db.rating_group(op, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn qagview_clusters_respect_distance(s in spec(), d in 1usize..4) {
+        let db = build(&s);
+        let q = SelectionQuery::all();
+        let cfg = QagConfig {
+            min_distance: d,
+            ..QagConfig::default()
+        };
+        let ops = qagview(&db, &q, 4, &cfg);
+        for i in 0..ops.len() {
+            for j in (i + 1)..ops.len() {
+                prop_assert!(ops[i].diff_size(&ops[j]) >= d);
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_never_roll_up(s in spec()) {
+        let db = build(&s);
+        // Start from a non-empty query: pick the first reviewer's ua value.
+        let v = i64::from(s.reviewers[0].0);
+        let Some(p) = db.pred(Entity::Reviewer, "ua", &Value::int(v)) else {
+            return Ok(());
+        };
+        let q = SelectionQuery::from_preds(vec![p]);
+        for op in smart_drill_down(&db, &q, 3, &SddConfig::default()) {
+            prop_assert!(op.contains(&p), "SDD keeps base predicates");
+            prop_assert!(op.len() > q.len());
+        }
+        for op in qagview(&db, &q, 3, &QagConfig::default()) {
+            prop_assert!(op.contains(&p), "QAGView keeps base predicates");
+            prop_assert!(op.len() > q.len());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion benches behind Figure 10: one exploration step as a function
+//! of data properties (database size, #attributes, #attribute-values),
+//! for the full SubDEx configuration and the Naive baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use subdex_bench::harness::{scenario1_workload, Scale};
+use subdex_core::{EngineConfig, SdeEngine};
+use subdex_data::transform::{drop_attributes, restrict_values, sample_reviewers};
+use subdex_store::{SelectionQuery, SubjectiveDb};
+
+fn step_once(db: &Arc<SubjectiveDb>, cfg: &EngineConfig) -> usize {
+    let mut engine = SdeEngine::new(db.clone(), *cfg);
+    let res = engine.step(&SelectionQuery::all());
+    res.maps.len() + res.recommendations.len()
+}
+
+fn bench_db_size(c: &mut Criterion) {
+    let w = scenario1_workload("yelp", Scale::Study, 44);
+    let mut group = c.benchmark_group("fig10a_db_size");
+    group.sample_size(10);
+    for frac in [0.25, 0.5, 1.0] {
+        let db = Arc::new(sample_reviewers(&w.db, frac, 1));
+        for (name, cfg) in [
+            ("subdex", EngineConfig::subdex()),
+            ("naive", EngineConfig::naive()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{:.0}%", frac * 100.0)),
+                &db,
+                |b, db| b.iter(|| black_box(step_once(db, &cfg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_attribute_count(c: &mut Criterion) {
+    let w = scenario1_workload("yelp", Scale::Study, 44);
+    let mut group = c.benchmark_group("fig10b_attributes");
+    group.sample_size(10);
+    for keep in [6usize, 12, 24] {
+        let db = Arc::new(drop_attributes(&w.db, keep, 1));
+        let cfg = EngineConfig::subdex();
+        group.bench_with_input(BenchmarkId::new("subdex", keep), &db, |b, db| {
+            b.iter(|| black_box(step_once(db, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_count(c: &mut Criterion) {
+    let w = scenario1_workload("yelp", Scale::Study, 44);
+    let mut group = c.benchmark_group("fig10c_values");
+    group.sample_size(10);
+    for cap in [4usize, 8, 13] {
+        let db = Arc::new(restrict_values(&w.db, cap, 1));
+        let cfg = EngineConfig::subdex();
+        group.bench_with_input(BenchmarkId::new("subdex", cap), &db, |b, db| {
+            b.iter(|| black_box(step_once(db, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_db_size, bench_attribute_count, bench_value_count);
+criterion_main!(benches);

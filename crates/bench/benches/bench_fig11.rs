@@ -1,0 +1,74 @@
+//! Criterion benches behind Figure 11: one exploration step as a function
+//! of system parameters (k, o, l), SubDEx vs the No-Parallelism and Naive
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use subdex_bench::harness::{scenario1_workload, Scale};
+use subdex_core::{EngineConfig, SdeEngine};
+use subdex_store::{SelectionQuery, SubjectiveDb};
+
+fn step_once(db: &Arc<SubjectiveDb>, cfg: &EngineConfig) -> usize {
+    let mut engine = SdeEngine::new(db.clone(), *cfg);
+    let res = engine.step(&SelectionQuery::all());
+    res.maps.len() + res.recommendations.len()
+}
+
+fn bench_k(c: &mut Criterion) {
+    let w = scenario1_workload("yelp", Scale::Study, 44);
+    let db = w.db.clone();
+    let mut group = c.benchmark_group("fig11a_k");
+    group.sample_size(10);
+    for k in [1usize, 3, 5] {
+        let cfg = EngineConfig {
+            k,
+            ..EngineConfig::subdex()
+        };
+        group.bench_with_input(BenchmarkId::new("subdex", k), &db, |b, db| {
+            b.iter(|| black_box(step_once(db, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_o(c: &mut Criterion) {
+    let w = scenario1_workload("yelp", Scale::Study, 44);
+    let db = w.db.clone();
+    let mut group = c.benchmark_group("fig11b_o");
+    group.sample_size(10);
+    for o in [1usize, 3, 5] {
+        for (name, base) in [
+            ("subdex", EngineConfig::subdex()),
+            ("no_parallelism", EngineConfig::no_parallelism()),
+        ] {
+            let cfg = EngineConfig { o, ..base };
+            group.bench_with_input(BenchmarkId::new(name, o), &db, |b, db| {
+                b.iter(|| black_box(step_once(db, &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_l(c: &mut Criterion) {
+    let w = scenario1_workload("yelp", Scale::Study, 44);
+    let db = w.db.clone();
+    let mut group = c.benchmark_group("fig11c_l");
+    group.sample_size(10);
+    for l in [1usize, 3, 5] {
+        for (name, base) in [
+            ("subdex", EngineConfig::subdex()),
+            ("no_pruning", EngineConfig::no_pruning()),
+        ] {
+            let cfg = base.with_l(l);
+            group.bench_with_input(BenchmarkId::new(name, l), &db, |b, db| {
+                b.iter(|| black_box(step_once(db, &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k, bench_o, bench_l);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Micro-benchmarks of the engine's hot paths: rating-group
+//! materialization, the shared GroupBy scan, the exact EMD map distance,
+//! GMM selection, and CI/MAB pruning arithmetic. These are the quantities
+//! the design decisions in DESIGN.md (dictionary codes, CSR, SoA scores,
+//! phase sharing) are meant to keep cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subdex_bench::harness::{yelp_at, Scale};
+use subdex_core::accumulator::FamilyAccumulator;
+use subdex_core::mapdist::map_distance;
+use subdex_core::selector::{select_diverse, SelectionStrategy};
+use subdex_stats::emd::emd_transport;
+use subdex_stats::HoeffdingSerfling;
+use subdex_store::{Entity, SelectionQuery};
+
+fn bench_rating_group(c: &mut Criterion) {
+    let ds = yelp_at(Scale::Study);
+    let db = ds.db;
+    let q_all = SelectionQuery::all();
+    let young = db
+        .pred(Entity::Reviewer, "age_group", &subdex_store::Value::str("young"))
+        .unwrap();
+    let q_young = SelectionQuery::from_preds(vec![young]);
+    let mut group = c.benchmark_group("rating_group");
+    group.bench_function("all_records", |b| {
+        b.iter(|| black_box(db.rating_group(&q_all, 1).len()))
+    });
+    group.bench_function("reviewer_filtered", |b| {
+        b.iter(|| black_box(db.rating_group(&q_young, 1).len()))
+    });
+    group.finish();
+}
+
+fn bench_family_scan(c: &mut Criterion) {
+    let ds = yelp_at(Scale::Study);
+    let db = ds.db;
+    let group = db.rating_group(&SelectionQuery::all(), 1);
+    let attr = db.items().schema().attr_by_name("cuisine").unwrap();
+    let dims: Vec<_> = db.ratings().dims().collect();
+    c.bench_function("family_scan_all_dims", |b| {
+        b.iter(|| {
+            let mut fam = FamilyAccumulator::new(&db, Entity::Item, attr, dims.clone());
+            fam.update(&db, group.records());
+            black_box(fam.records_processed())
+        })
+    });
+}
+
+fn bench_emd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd");
+    for n in [4usize, 16, 48] {
+        let supplies: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let demands: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 3) % 7) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("transport", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(emd_transport(&supplies, &demands, |i, j| {
+                    (i as f64 - j as f64).abs() / n as f64
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let ds = yelp_at(Scale::Smoke);
+    let db = std::sync::Arc::new(ds.db);
+    // Build a realistic pool via one no-pruning generator run.
+    let q = SelectionQuery::all();
+    let group = db.rating_group(&q, 2);
+    let seen = subdex_core::SeenContext::new(db.ratings().dim_count());
+    let mut norms = subdex_core::generator::CriterionNormalizers::new(Default::default());
+    let cfg = subdex_core::generator::GeneratorConfig {
+        pruning: subdex_core::PruningStrategy::None,
+        parallel: false,
+        ..Default::default()
+    };
+    let pool = subdex_core::generator::generate(&db, &group, &q, &seen, &mut norms, &cfg).pool;
+    c.bench_function("gmm_select_3_of_pool", |b| {
+        b.iter(|| {
+            black_box(select_diverse(
+                pool.clone(),
+                3,
+                SelectionStrategy::Hybrid { l: 3 },
+            ))
+        })
+    });
+    c.bench_function("map_distance_pair", |b| {
+        if pool.len() >= 2 {
+            b.iter(|| black_box(map_distance(&pool[0].map, &pool[1].map)))
+        }
+    });
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let hs = HoeffdingSerfling::new(200_500, 0.05);
+    c.bench_function("hoeffding_serfling_interval", |b| {
+        b.iter(|| black_box(hs.interval(0.42, 20_050)))
+    });
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    use subdex_core::pruning::{ci_survivors, utility_envelope, SarState};
+    use subdex_stats::ConfidenceInterval;
+    // A realistic candidate field: 96 envelopes (24 attrs × 4 dims).
+    let envelopes: Vec<ConfidenceInterval> = (0..96)
+        .map(|i| {
+            let mid = 0.3 + (i as f64 % 17.0) / 34.0;
+            ConfidenceInterval::new((mid - 0.08).max(0.0), (mid + 0.08).min(1.0))
+        })
+        .collect();
+    c.bench_function("ci_prune_96_candidates", |b| {
+        b.iter(|| black_box(ci_survivors(&envelopes, 9)))
+    });
+    let criteria = [
+        ConfidenceInterval::new(0.2, 0.5),
+        ConfidenceInterval::new(0.4, 0.8),
+        ConfidenceInterval::new(0.1, 0.3),
+        ConfidenceInterval::new(0.35, 0.6),
+    ];
+    c.bench_function("utility_envelope_4_criteria", |b| {
+        b.iter(|| black_box(utility_envelope(&criteria, 0.75)))
+    });
+    let means: Vec<(usize, f64)> = (0..96).map(|i| (i, (i as f64 % 13.0) / 13.0)).collect();
+    c.bench_function("sar_decide_96_arms", |b| {
+        b.iter(|| {
+            let mut sar = SarState::new(9);
+            black_box(sar.decide(&means))
+        })
+    });
+}
+
+fn bench_normalizers(c: &mut Criterion) {
+    use subdex_stats::normalize::{Normalizer, ScoreNormalizer};
+    use subdex_stats::normalize::NormalizerKind;
+    for (name, kind) in [
+        ("zlogistic", NormalizerKind::ZLogistic),
+        ("minmax", NormalizerKind::MinMax),
+    ] {
+        let mut n: ScoreNormalizer = kind.build_enum();
+        for i in 0..1000 {
+            n.observe((i as f64).sin().abs());
+        }
+        c.bench_function(&format!("normalize_{name}"), |b| {
+            b.iter(|| black_box(n.normalize(0.42)))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_rating_group,
+    bench_family_scan,
+    bench_emd,
+    bench_gmm,
+    bench_bounds,
+    bench_pruning,
+    bench_normalizers
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Bench-harness crate: see `src/bin/experiments.rs` and `benches/`.
+//!
+//! The library target exists so Criterion benches and the experiment
+//! binary can share helpers.
+
+pub mod harness;

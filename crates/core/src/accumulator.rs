@@ -1,0 +1,357 @@
+//! Shared GroupBy accumulators — the *sharing-based optimization* of
+//! Section 4.2.1.
+//!
+//! All candidate rating maps with the same grouping attribute differ only in
+//! which rating dimension they aggregate, so they are computed as *one*
+//! query with multiple aggregates ("Combining Multiple Aggregates" in
+//! SeeDB's terms): a [`FamilyAccumulator`] scans each phase fraction once,
+//! resolving the grouping value per record a single time and updating one
+//! count matrix per still-active dimension. Pruned dimensions are removed
+//! from the family; an empty family stops scanning entirely.
+
+use crate::interest;
+use crate::ratingmap::{MapKey, RatingMap, Subgroup};
+use subdex_stats::RatingDistribution;
+use subdex_store::{AttrId, DimId, Entity, RecordId, SubjectiveDb};
+
+/// Raw (unnormalized) criterion values of one candidate at some point of
+/// the phased scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawScores {
+    /// Compaction gain.
+    pub conciseness: f64,
+    /// Inverse mean subgroup SD.
+    pub agreement: f64,
+    /// Max subgroup-vs-group TVD.
+    pub self_peculiarity: f64,
+    /// Max map-vs-seen TVD.
+    pub global_peculiarity: f64,
+}
+
+/// Count-matrix accumulator for one grouping attribute and all of its
+/// still-active rating dimensions.
+#[derive(Debug, Clone)]
+pub struct FamilyAccumulator {
+    /// Entity side of the grouping attribute.
+    pub entity: Entity,
+    /// The grouping attribute.
+    pub attr: AttrId,
+    /// Still-active dimensions (candidates not yet pruned/accepted).
+    dims: Vec<DimId>,
+    /// `counts[dim_pos][value.index() * scale + (score − 1)]`.
+    counts: Vec<Vec<u64>>,
+    value_count: usize,
+    scale: usize,
+    records_processed: u64,
+}
+
+impl FamilyAccumulator {
+    /// Creates an accumulator for `(entity, attr)` over `dims`.
+    pub fn new(db: &SubjectiveDb, entity: Entity, attr: AttrId, dims: Vec<DimId>) -> Self {
+        let value_count = db.table(entity).dictionary(attr).len();
+        let scale = db.ratings().scale() as usize;
+        let counts = vec![vec![0u64; value_count * scale]; dims.len()];
+        Self {
+            entity,
+            attr,
+            dims,
+            counts,
+            value_count,
+            scale,
+            records_processed: 0,
+        }
+    }
+
+    /// The active dimensions.
+    pub fn dims(&self) -> &[DimId] {
+        &self.dims
+    }
+
+    /// Whether every dimension was pruned away.
+    pub fn is_exhausted(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Records scanned so far (phase fractions are cumulative).
+    pub fn records_processed(&self) -> u64 {
+        self.records_processed
+    }
+
+    /// Map key for one active dimension position.
+    pub fn key_at(&self, dim_pos: usize) -> MapKey {
+        MapKey::new(self.entity, self.attr, self.dims[dim_pos])
+    }
+
+    /// Drops a dimension from the family (its candidate was pruned or
+    /// accepted-and-frozen). No-op if absent.
+    pub fn remove_dim(&mut self, dim: DimId) {
+        if let Some(pos) = self.dims.iter().position(|&d| d == dim) {
+            self.dims.remove(pos);
+            self.counts.remove(pos);
+        }
+    }
+
+    /// Scans one phase fraction, updating every active dimension — the
+    /// shared multi-aggregate GroupBy.
+    pub fn update(&mut self, db: &SubjectiveDb, phase: &[RecordId]) {
+        if self.dims.is_empty() || phase.is_empty() {
+            return;
+        }
+        let ratings = db.ratings();
+        let table = db.table(self.entity);
+        let column = table.column(self.attr);
+        let scale = self.scale;
+        // Borrow all score columns once.
+        let score_cols: Vec<&[u8]> = self.dims.iter().map(|&d| ratings.score_column(d)).collect();
+        for &rec in phase {
+            let row = match self.entity {
+                Entity::Reviewer => ratings.reviewer_of(rec),
+                Entity::Item => ratings.item_of(rec),
+            };
+            let values = column.values(row);
+            for (dim_pos, col) in score_cols.iter().enumerate() {
+                let score = col[rec as usize] as usize;
+                let counts = &mut self.counts[dim_pos];
+                for &v in values {
+                    counts[v.index() * scale + (score - 1)] += 1;
+                }
+            }
+        }
+        self.records_processed += phase.len() as u64;
+    }
+
+    /// The per-subgroup distributions (non-empty only) and the overall
+    /// distribution for one active dimension.
+    pub fn distributions(
+        &self,
+        dim_pos: usize,
+    ) -> (Vec<(subdex_store::ValueId, RatingDistribution)>, RatingDistribution) {
+        let counts = &self.counts[dim_pos];
+        let mut subs = Vec::new();
+        let mut overall = RatingDistribution::new(self.scale);
+        for v in 0..self.value_count {
+            let slice = &counts[v * self.scale..(v + 1) * self.scale];
+            if slice.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let dist = RatingDistribution::from_counts(slice.to_vec());
+            overall.merge(&dist);
+            subs.push((subdex_store::ValueId(v as u32), dist));
+        }
+        (subs, overall)
+    }
+
+    /// Raw criterion scores for one active dimension, given the
+    /// distributions of previously displayed maps (for global peculiarity).
+    pub fn raw_scores(&self, dim_pos: usize, seen: &[RatingDistribution]) -> RawScores {
+        self.raw_scores_with(dim_pos, seen, interest::PeculiarityMeasure::TotalVariation)
+    }
+
+    /// [`Self::raw_scores`] with a configurable peculiarity distance.
+    pub fn raw_scores_with(
+        &self,
+        dim_pos: usize,
+        seen: &[RatingDistribution],
+        measure: interest::PeculiarityMeasure,
+    ) -> RawScores {
+        let (subs, overall) = self.distributions(dim_pos);
+        let dists: Vec<RatingDistribution> = subs.iter().map(|(_, d)| d.clone()).collect();
+        RawScores {
+            conciseness: interest::conciseness_raw(self.records_processed, dists.len()),
+            agreement: interest::agreement_raw(&dists),
+            self_peculiarity: interest::self_peculiarity_with(&dists, &overall, measure),
+            global_peculiarity: interest::global_peculiarity_with(&overall, seen, measure),
+        }
+    }
+
+    /// Materializes the rating map of one active dimension from the counts
+    /// accumulated so far.
+    pub fn to_rating_map(&self, dim_pos: usize) -> RatingMap {
+        let (subs, _) = self.distributions(dim_pos);
+        let subgroups = subs
+            .into_iter()
+            .map(|(value, distribution)| Subgroup {
+                value,
+                distribution,
+                avg_score: None,
+            })
+            .collect();
+        RatingMap::from_subgroups(self.key_at(dim_pos), subgroups, self.scale)
+    }
+}
+
+/// Enumerates the candidate map keys for a query: every (entity, attribute)
+/// not pinned to a single value by the query, crossed with every rating
+/// dimension. Attributes the query constrains are excluded — grouping by a
+/// pinned attribute yields a single subgroup, which carries no information
+/// yet would dominate conciseness.
+pub fn candidate_keys(
+    db: &SubjectiveDb,
+    query: &subdex_store::SelectionQuery,
+) -> Vec<(Entity, AttrId, Vec<DimId>)> {
+    let dims: Vec<DimId> = db.ratings().dims().collect();
+    let mut out = Vec::new();
+    for entity in [Entity::Reviewer, Entity::Item] {
+        let table = db.table(entity);
+        for attr in table.schema().attr_ids() {
+            if query.constrains(entity, attr) {
+                continue;
+            }
+            if table.dictionary(attr).len() < 2 {
+                continue; // a single-valued attribute cannot partition
+            }
+            out.push((entity, attr, dims.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subdex_store::{Cell, SelectionQuery, Value};
+
+    // A tiny deterministic database: 4 reviewers × gender, 4 items × city,
+    // 8 rating records on 2 dimensions.
+    mod fixture {
+        use super::*;
+        pub fn build() -> SubjectiveDb {
+            let mut us = subdex_store::Schema::new();
+            us.add("gender", false);
+            let mut ub = subdex_store::table::EntityTableBuilder::new(us);
+            ub.push_row(vec![Cell::from("F")]);
+            ub.push_row(vec![Cell::from("M")]);
+            ub.push_row(vec![Cell::from("F")]);
+            ub.push_row(vec![Cell::from("M")]);
+
+            let mut is = subdex_store::Schema::new();
+            is.add("city", false);
+            is.add("tags", true);
+            let mut ib = subdex_store::table::EntityTableBuilder::new(is);
+            ib.push_row(vec![Cell::from("NYC"), Cell::Many(vec![Value::str("a"), Value::str("b")])]);
+            ib.push_row(vec![Cell::from("NYC"), Cell::Many(vec![Value::str("a")])]);
+            ib.push_row(vec![Cell::from("SF"), Cell::Many(vec![Value::str("b")])]);
+            ib.push_row(vec![Cell::from("SF"), Cell::Many(vec![])]);
+
+            let mut rb = subdex_store::ratings::RatingTableBuilder::new(
+                vec!["overall".to_owned(), "food".to_owned()],
+                5,
+            );
+            // reviewer, item, [overall, food]
+            rb.push(0, 0, &[5, 4]);
+            rb.push(0, 2, &[1, 2]);
+            rb.push(1, 1, &[4, 4]);
+            rb.push(1, 3, &[2, 1]);
+            rb.push(2, 0, &[5, 5]);
+            rb.push(2, 3, &[3, 3]);
+            rb.push(3, 2, &[1, 1]);
+            rb.push(3, 1, &[4, 5]);
+            SubjectiveDb::new(ub.build(), ib.build(), rb.build(4, 4))
+        }
+    }
+
+    #[test]
+    fn update_accumulates_counts() {
+        let db = fixture::build();
+        let city = db.items().schema().attr_by_name("city").unwrap();
+        let mut fam = FamilyAccumulator::new(&db, Entity::Item, city, vec![DimId(0), DimId(1)]);
+        let recs: Vec<u32> = (0..8).collect();
+        fam.update(&db, &recs);
+        assert_eq!(fam.records_processed(), 8);
+        let (subs, overall) = fam.distributions(0);
+        assert_eq!(subs.len(), 2, "NYC and SF");
+        assert_eq!(overall.total(), 8);
+        // NYC (value 0): records 0,2,4,7 → overall scores 5,4,5,4.
+        let nyc = &subs.iter().find(|(v, _)| v.0 == 0).unwrap().1;
+        assert_eq!(nyc.counts(), &[0, 0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn incremental_phases_match_single_scan() {
+        let db = fixture::build();
+        let city = db.items().schema().attr_by_name("city").unwrap();
+        let recs: Vec<u32> = (0..8).collect();
+
+        let mut whole = FamilyAccumulator::new(&db, Entity::Item, city, vec![DimId(0)]);
+        whole.update(&db, &recs);
+
+        let mut phased = FamilyAccumulator::new(&db, Entity::Item, city, vec![DimId(0)]);
+        phased.update(&db, &recs[..3]);
+        phased.update(&db, &recs[3..5]);
+        phased.update(&db, &recs[5..]);
+
+        assert_eq!(whole.distributions(0), phased.distributions(0));
+        assert_eq!(whole.records_processed(), phased.records_processed());
+    }
+
+    #[test]
+    fn multi_valued_grouping_counts_per_value() {
+        let db = fixture::build();
+        let tags = db.items().schema().attr_by_name("tags").unwrap();
+        let mut fam = FamilyAccumulator::new(&db, Entity::Item, tags, vec![DimId(0)]);
+        fam.update(&db, &(0..8).collect::<Vec<_>>());
+        let (subs, overall) = fam.distributions(0);
+        // Item 0 carries {a, b}: its records count under both tags.
+        assert_eq!(subs.len(), 2);
+        // Records on items with ≥1 tag: items 0 (recs 0,4), 1 (recs 2,7),
+        // 2 (recs 1,6). Item 0 double-counts → overall total = 6 + 2 = 8.
+        assert_eq!(overall.total(), 8);
+    }
+
+    #[test]
+    fn remove_dim_stops_tracking() {
+        let db = fixture::build();
+        let city = db.items().schema().attr_by_name("city").unwrap();
+        let mut fam = FamilyAccumulator::new(&db, Entity::Item, city, vec![DimId(0), DimId(1)]);
+        fam.remove_dim(DimId(0));
+        assert_eq!(fam.dims(), &[DimId(1)]);
+        assert!(!fam.is_exhausted());
+        fam.remove_dim(DimId(1));
+        assert!(fam.is_exhausted());
+        fam.remove_dim(DimId(1)); // idempotent
+        fam.update(&db, &[0, 1]); // no-op, must not panic
+        assert_eq!(fam.records_processed(), 0);
+    }
+
+    #[test]
+    fn raw_scores_are_finite() {
+        let db = fixture::build();
+        let gender = db.reviewers().schema().attr_by_name("gender").unwrap();
+        let mut fam = FamilyAccumulator::new(&db, Entity::Reviewer, gender, vec![DimId(1)]);
+        fam.update(&db, &(0..8).collect::<Vec<_>>());
+        let raw = fam.raw_scores(0, &[]);
+        assert!(raw.conciseness > 0.0 && raw.conciseness.is_finite());
+        assert!(raw.agreement > 0.0 && raw.agreement <= 1.0);
+        assert!((0.0..=1.0).contains(&raw.self_peculiarity));
+        assert_eq!(raw.global_peculiarity, 0.0, "nothing seen yet");
+    }
+
+    #[test]
+    fn to_rating_map_matches_distributions() {
+        let db = fixture::build();
+        let city = db.items().schema().attr_by_name("city").unwrap();
+        let mut fam = FamilyAccumulator::new(&db, Entity::Item, city, vec![DimId(0)]);
+        fam.update(&db, &(0..8).collect::<Vec<_>>());
+        let map = fam.to_rating_map(0);
+        assert_eq!(map.key, MapKey::new(Entity::Item, city, DimId(0)));
+        assert_eq!(map.subgroup_count(), 2);
+        assert!(map.top_subgroup().unwrap().avg_score.unwrap() >= map.bottom_subgroup().unwrap().avg_score.unwrap());
+    }
+
+    #[test]
+    fn candidate_keys_exclude_constrained_and_unary() {
+        let db = fixture::build();
+        let q = SelectionQuery::all();
+        let keys = candidate_keys(&db, &q);
+        // gender, city, tags — all binary+ → 3 families.
+        assert_eq!(keys.len(), 3);
+        assert!(keys.iter().all(|(_, _, dims)| dims.len() == 2));
+
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let q2 = SelectionQuery::from_preds(vec![nyc]);
+        let keys2 = candidate_keys(&db, &q2);
+        assert_eq!(keys2.len(), 2, "city family excluded when pinned");
+        assert!(keys2.iter().all(|(e, a, _)| !(*e == Entity::Item
+            && *a == db.items().schema().attr_by_name("city").unwrap())));
+    }
+}

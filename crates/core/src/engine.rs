@@ -1,0 +1,442 @@
+//! The SDE engine (Section 4, Figure 4).
+//!
+//! [`SdeEngine`] wires the pieces of the architecture together. Per step it
+//! materializes the rating group for the current selection, asks the
+//! RM-Set generator for the diverse top-`k` rating maps, asks the
+//! Recommendation Builder for the top-`o` next-step operations, and updates
+//! the seen-context (dimension counts + global-peculiarity references).
+//!
+//! [`EngineConfig`] exposes every knob of the evaluation, with named
+//! constructors for the scalability baselines of Section 5.1
+//! (No-Pruning, CI Pruning, MAB Pruning, No-Parallelism, Naive).
+
+use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
+use crate::pruning::PruningStrategy;
+use crate::ratingmap::ScoredRatingMap;
+use crate::recommend::{self, Recommendation, RecommendConfig};
+use crate::selector::{select_diverse, SelectionStrategy};
+use crate::utility::UtilityCombiner;
+use std::sync::Arc;
+use std::time::Duration;
+use subdex_stats::normalize::NormalizerKind;
+use subdex_store::{SelectionQuery, SubjectiveDb};
+
+/// Full engine configuration (defaults follow Table 3 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Rating maps displayed per step (`k`, default 3).
+    pub k: usize,
+    /// Next-step recommendations per step (`o`, default 3).
+    pub o: usize,
+    /// Pruning-diversity factor (`l`, default 3).
+    pub l: usize,
+    /// Final-selection strategy. [`EngineConfig::selection`] defaults to
+    /// `Hybrid { l }`; override for the Table 5 utility-only /
+    /// diversity-only variants.
+    pub selection: SelectionStrategy,
+    /// Phase count `n` (default 10, as in SeeDB).
+    pub phases: usize,
+    /// Hoeffding–Serfling error probability.
+    pub delta: f64,
+    /// Which pruning optimizations run.
+    pub pruning: PruningStrategy,
+    /// Whether family scans and candidate evaluation run on worker threads.
+    pub parallel: bool,
+    /// Worker threads (`0` = all cores).
+    pub threads: usize,
+    /// Criterion normalization family.
+    pub normalizer: NormalizerKind,
+    /// Criterion → utility aggregation (Max is the paper's; the rest are
+    /// ablations).
+    pub combiner: UtilityCombiner,
+    /// Whether to compute next-step recommendations at all (User-Driven
+    /// exploration does not need them).
+    pub recommendations: bool,
+    /// Apply dimension weighting (Equation 1); the Figure 9 ablation
+    /// turns this off.
+    pub dimension_weighting: bool,
+    /// Distance backing the peculiarity criteria (TVD by default).
+    pub peculiarity: crate::interest::PeculiarityMeasure,
+    /// Cap on evaluated candidate operations per step.
+    pub max_candidates: usize,
+    /// Base RNG seed (phase shuffles are derived deterministically).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            o: 3,
+            l: 3,
+            selection: SelectionStrategy::Hybrid { l: 3 },
+            phases: 10,
+            delta: 0.05,
+            pruning: PruningStrategy::Both,
+            parallel: true,
+            threads: 0,
+            normalizer: NormalizerKind::ZLogistic,
+            combiner: UtilityCombiner::Max,
+            recommendations: true,
+            dimension_weighting: true,
+            peculiarity: crate::interest::PeculiarityMeasure::TotalVariation,
+            max_candidates: 48,
+            seed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The full SubDEx configuration (both prunings + parallelism).
+    pub fn subdex() -> Self {
+        Self::default()
+    }
+
+    /// Baseline (I): no pruning, parallelism kept.
+    pub fn no_pruning() -> Self {
+        Self {
+            pruning: PruningStrategy::None,
+            ..Self::default()
+        }
+    }
+
+    /// Baseline (II): confidence-interval pruning only.
+    pub fn ci_pruning() -> Self {
+        Self {
+            pruning: PruningStrategy::ConfidenceInterval,
+            ..Self::default()
+        }
+    }
+
+    /// Baseline (III): multi-armed-bandit pruning only.
+    pub fn mab_pruning() -> Self {
+        Self {
+            pruning: PruningStrategy::Mab,
+            ..Self::default()
+        }
+    }
+
+    /// Baseline (IV): sequential recommendation builder and scans.
+    pub fn no_parallelism() -> Self {
+        Self {
+            parallel: false,
+            ..Self::default()
+        }
+    }
+
+    /// Baseline (V): no pruning *and* no parallelism.
+    pub fn naive() -> Self {
+        Self {
+            pruning: PruningStrategy::None,
+            parallel: false,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the pruning-diversity factor and keeps the selection strategy
+    /// consistent (`l == 1` ⇒ utility-only).
+    pub fn with_l(mut self, l: usize) -> Self {
+        self.l = l.max(1);
+        self.selection = if self.l == 1 {
+            SelectionStrategy::UtilityOnly
+        } else {
+            SelectionStrategy::Hybrid { l: self.l }
+        };
+        self
+    }
+
+    fn generator_config(&self) -> GeneratorConfig {
+        let k_prime = match self.selection {
+            SelectionStrategy::UtilityOnly => self.k,
+            SelectionStrategy::Hybrid { l } => self.k * l.max(1),
+            // Diversity-only needs every candidate: disable the top-k′
+            // focus by making it unbounded.
+            SelectionStrategy::DiversityOnly => usize::MAX / 2,
+        };
+        GeneratorConfig {
+            k_prime,
+            phases: self.phases,
+            delta: self.delta,
+            pruning: match self.selection {
+                SelectionStrategy::DiversityOnly => PruningStrategy::None,
+                _ => self.pruning,
+            },
+            parallel: self.parallel,
+            threads: self.threads,
+            combiner: self.combiner,
+            use_dw: self.dimension_weighting,
+            peculiarity: self.peculiarity,
+        }
+    }
+
+    fn recommend_config(&self) -> RecommendConfig {
+        RecommendConfig {
+            o: self.o,
+            k: self.k,
+            selection: self.selection,
+            max_candidates: self.max_candidates,
+            change_fanout: 2,
+            parallel: self.parallel,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Everything one exploration step produced.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Step index within the session (0-based).
+    pub step: usize,
+    /// The executed selection.
+    pub query: SelectionQuery,
+    /// Size of the selected rating group.
+    pub group_size: usize,
+    /// The displayed `k` diverse rating maps, by descending DW utility.
+    pub maps: Vec<ScoredRatingMap>,
+    /// The top-`o` next-step recommendations (empty when disabled).
+    pub recommendations: Vec<Recommendation>,
+    /// Wall-clock time between operation pick and display — the quantity
+    /// Figures 10–11 report.
+    pub elapsed: Duration,
+    /// Candidates considered / pruned by CI / pruned by MAB.
+    pub generator_stats: (usize, usize, usize),
+}
+
+/// The SubDEx engine: owns the seen-context and normalizer state of one
+/// exploration.
+pub struct SdeEngine {
+    db: Arc<SubjectiveDb>,
+    config: EngineConfig,
+    seen: SeenContext,
+    normalizers: CriterionNormalizers,
+    step_counter: usize,
+}
+
+impl SdeEngine {
+    /// Creates an engine over a shared database.
+    pub fn new(db: Arc<SubjectiveDb>, config: EngineConfig) -> Self {
+        let dim_count = db.ratings().dim_count();
+        Self {
+            db,
+            seen: SeenContext::new(dim_count),
+            normalizers: CriterionNormalizers::new(config.normalizer),
+            config,
+            step_counter: 0,
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Arc<SubjectiveDb> {
+        &self.db
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current seen-context (dimension weights + references).
+    pub fn seen(&self) -> &SeenContext {
+        &self.seen
+    }
+
+    /// Steps executed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.step_counter
+    }
+
+    /// Executes one exploration operation: selects the rating group,
+    /// generates and selects the `k` diverse rating maps, registers them as
+    /// seen, and (unless disabled) computes the top-`o` recommendations.
+    pub fn step(&mut self, query: &SelectionQuery) -> StepResult {
+        let start = std::time::Instant::now();
+        let step = self.step_counter;
+        self.step_counter += 1;
+
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(step as u64);
+        let group = self.db.rating_group(query, seed);
+        let gen_cfg = self.config.generator_config();
+        let out = generator::generate(
+            &self.db,
+            &group,
+            query,
+            &self.seen,
+            &mut self.normalizers,
+            &gen_cfg,
+        );
+        let (total, ci, mab) = (out.candidates_total, out.pruned_ci, out.pruned_mab);
+        let pool_size = self.config.selection.pool_size(self.config.k, out.pool.len());
+        let pool: Vec<ScoredRatingMap> = out
+            .pool
+            .into_iter()
+            .take(pool_size.max(self.config.k))
+            .collect();
+        let maps = select_diverse(pool.clone(), self.config.k, self.config.selection);
+
+        for m in &maps {
+            self.seen.record_displayed(&m.map);
+        }
+
+        let recommendations = if self.config.recommendations {
+            // Candidate operations are anchored on the *pool* (the top
+            // k·l maps by DW utility), not only the k displayed ones: the
+            // pool is exactly where high-peculiarity pockets that narrowly
+            // missed display live, and the paper's candidate space ("q may
+            // add a new attribute-value pair") is not limited to displayed
+            // maps either.
+            recommend::recommend(
+                &self.db,
+                query,
+                &pool,
+                &self.seen,
+                &self.normalizers,
+                &gen_cfg,
+                &self.config.recommend_config(),
+                seed,
+            )
+        } else {
+            Vec::new()
+        };
+
+        StepResult {
+            step,
+            query: query.clone(),
+            group_size: group.len(),
+            maps,
+            recommendations,
+            elapsed: start.elapsed(),
+            generator_stats: (total, ci, mab),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subdex_store::{Cell, Entity, EntityTableBuilder, RatingTableBuilder, Schema, Value};
+
+    fn db() -> Arc<SubjectiveDb> {
+        let mut us = Schema::new();
+        us.add("gender", false);
+        us.add("age", false);
+        let mut ub = EntityTableBuilder::new(us);
+        for i in 0..10 {
+            ub.push_row(vec![
+                Cell::from(if i % 2 == 0 { "F" } else { "M" }),
+                Cell::from(["young", "old"][i % 2]),
+            ]);
+        }
+        let mut is = Schema::new();
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        for i in 0..4 {
+            ib.push_row(vec![Cell::from(if i < 2 { "NYC" } else { "SF" })]);
+        }
+        let mut rb = RatingTableBuilder::new(vec!["overall".into(), "food".into()], 5);
+        for r in 0..10u32 {
+            for i in 0..4u32 {
+                rb.push(r, i, &[1 + ((r + i) % 5) as u8, 1 + ((r * 3 + i) % 5) as u8]);
+            }
+        }
+        Arc::new(SubjectiveDb::new(ub.build(), ib.build(), rb.build(10, 4)))
+    }
+
+    #[test]
+    fn step_produces_k_maps_and_o_recommendations() {
+        let mut engine = SdeEngine::new(db(), EngineConfig::default());
+        let res = engine.step(&SelectionQuery::all());
+        assert_eq!(res.step, 0);
+        assert_eq!(res.group_size, 40);
+        assert_eq!(res.maps.len(), 3);
+        assert!(!res.recommendations.is_empty() && res.recommendations.len() <= 3);
+        assert_eq!(engine.steps_taken(), 1);
+        assert_eq!(engine.seen().total_displayed(), 3);
+    }
+
+    #[test]
+    fn recommendations_can_be_disabled() {
+        let cfg = EngineConfig {
+            recommendations: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = SdeEngine::new(db(), cfg);
+        let res = engine.step(&SelectionQuery::all());
+        assert!(res.recommendations.is_empty());
+        assert_eq!(res.maps.len(), 3);
+    }
+
+    #[test]
+    fn steps_are_deterministic_across_engines() {
+        let run = || {
+            let cfg = EngineConfig {
+                parallel: false,
+                ..EngineConfig::default()
+            };
+            let mut engine = SdeEngine::new(db(), cfg);
+            let r1 = engine.step(&SelectionQuery::all());
+            let keys: Vec<_> = r1.maps.iter().map(|m| m.map.key).collect();
+            let recs: Vec<_> = r1.recommendations.iter().map(|r| r.query.clone()).collect();
+            (keys, recs)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn baseline_constructors() {
+        assert_eq!(EngineConfig::no_pruning().pruning, PruningStrategy::None);
+        assert!(EngineConfig::no_pruning().parallel);
+        assert_eq!(EngineConfig::naive().pruning, PruningStrategy::None);
+        assert!(!EngineConfig::naive().parallel);
+        assert!(!EngineConfig::no_parallelism().parallel);
+        assert_eq!(
+            EngineConfig::no_parallelism().pruning,
+            PruningStrategy::Both
+        );
+        assert_eq!(
+            EngineConfig::ci_pruning().pruning,
+            PruningStrategy::ConfidenceInterval
+        );
+        assert_eq!(EngineConfig::mab_pruning().pruning, PruningStrategy::Mab);
+    }
+
+    #[test]
+    fn with_l_adjusts_selection() {
+        let c1 = EngineConfig::default().with_l(1);
+        assert_eq!(c1.selection, SelectionStrategy::UtilityOnly);
+        let c4 = EngineConfig::default().with_l(4);
+        assert_eq!(c4.selection, SelectionStrategy::Hybrid { l: 4 });
+    }
+
+    #[test]
+    fn drill_down_step_narrows_group() {
+        let db = db();
+        let mut engine = SdeEngine::new(db.clone(), EngineConfig::default());
+        let all = engine.step(&SelectionQuery::all());
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let narrowed = engine.step(&SelectionQuery::from_preds(vec![nyc]));
+        assert!(narrowed.group_size < all.group_size);
+        assert!(narrowed.maps.iter().all(|m| {
+            // The pinned attribute never appears as a grouping attribute.
+            !(m.map.key.entity == Entity::Item
+                && m.map.key.attr == db.items().schema().attr_by_name("city").unwrap())
+        }));
+    }
+
+    #[test]
+    fn dimension_balance_emerges_over_steps() {
+        // With DW weighting, both dimensions should be displayed over a
+        // few steps rather than one dominating.
+        let mut engine = SdeEngine::new(db(), EngineConfig::default());
+        for _ in 0..4 {
+            engine.step(&SelectionQuery::all());
+        }
+        let w = engine.seen().weights();
+        let d0 = w.seen_for(subdex_store::DimId(0));
+        let d1 = w.seen_for(subdex_store::DimId(1));
+        assert!(d0 > 0 && d1 > 0, "both dims shown: {d0} vs {d1}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Natural-language narration of exploration steps.
+//!
+//! The paper's UI (Figure 5) presents rating maps as annotated histograms;
+//! a library has no screen, so this module is the textual equivalent: it
+//! turns maps and steps into the sentences an analyst would say out loud
+//! ("young female adults gave the lowest ambiance ratings", "programmers
+//! among them provided the lowest overall ratings" — the phrasing of the
+//! paper's running example).
+
+use crate::engine::StepResult;
+use crate::interest::Criterion;
+use crate::ratingmap::{RatingMap, ScoredRatingMap};
+use subdex_store::SubjectiveDb;
+
+/// One-sentence headline for a rating map: its most extreme subgroup and
+/// direction.
+pub fn headline(db: &SubjectiveDb, map: &RatingMap) -> String {
+    let table = db.table(map.key.entity);
+    let attr = &table.schema().attr(map.key.attr).name;
+    let dim = db.ratings().dim_name(map.key.dim);
+    let entity = map.key.entity;
+    match (map.top_subgroup(), map.bottom_subgroup()) {
+        (Some(top), Some(bottom)) if map.subgroup_count() >= 2 => {
+            let dict = table.dictionary(map.key.attr);
+            let spread = top.avg_score.unwrap_or(0.0) - bottom.avg_score.unwrap_or(0.0);
+            if spread < 0.3 {
+                format!(
+                    "{dim} ratings show no significant difference across {entity} {attr} groups"
+                )
+            } else {
+                format!(
+                    "{entity}s with {attr} = {} received the highest {dim} ratings ({:.1}), \
+                     while {attr} = {} received the lowest ({:.1})",
+                    dict.value(top.value),
+                    top.avg_score.unwrap_or(f64::NAN),
+                    dict.value(bottom.value),
+                    bottom.avg_score.unwrap_or(f64::NAN),
+                )
+            }
+        }
+        (Some(only), _) => {
+            let dict = table.dictionary(map.key.attr);
+            format!(
+                "all records share {entity} {attr} = {} (avg {dim} {:.1})",
+                dict.value(only.value),
+                only.avg_score.unwrap_or(f64::NAN)
+            )
+        }
+        _ => format!("no records to aggregate by {entity} {attr}"),
+    }
+}
+
+/// Names the criterion that made a scored map interesting (the arg-max of
+/// its normalized criteria) with a reading of what that criterion means.
+pub fn why_interesting(sm: &ScoredRatingMap) -> String {
+    let scores = sm.criteria;
+    let (best, _) = crate::interest::ALL_CRITERIA
+        .into_iter()
+        .map(|c| (c, scores.get(c)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("four criteria");
+    let reason = match best {
+        Criterion::Conciseness => "it summarizes many records in few subgroups",
+        Criterion::Agreement => "reviewers within each subgroup strongly agree",
+        Criterion::SelfPeculiarity => "one subgroup deviates sharply from the rest",
+        Criterion::GlobalPeculiarity => "it shows a facet unlike anything displayed before",
+    };
+    format!("selected for {best}: {reason}")
+}
+
+/// Multi-line narration of a full step: the query, the group, one line per
+/// displayed map, and the recommendations.
+pub fn narrate_step(db: &SubjectiveDb, step: &StepResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Step {}: exploring {} ({} rating records).",
+        step.step + 1,
+        db.describe_query(&step.query),
+        step.group_size
+    );
+    for sm in &step.maps {
+        let _ = writeln!(out, "  • {} — {}.", headline(db, &sm.map), why_interesting(sm));
+    }
+    if step.recommendations.is_empty() {
+        let _ = writeln!(out, "  (no next-step recommendations)");
+    } else {
+        let _ = writeln!(out, "  Suggested next steps:");
+        for (i, rec) in step.recommendations.iter().enumerate() {
+            let verb = if rec.query.len() > step.query.len() {
+                "drill into"
+            } else if rec.query.len() < step.query.len() {
+                "roll up to"
+            } else {
+                "switch to"
+            };
+            let _ = writeln!(
+                out,
+                "    {}. {verb} {} ({} records)",
+                i + 1,
+                db.describe_query(&rec.query),
+                rec.group_size
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, SdeEngine};
+    use crate::ratingmap::{MapKey, Subgroup};
+    use crate::utility::CriterionScores;
+    use std::sync::Arc;
+    use subdex_stats::RatingDistribution;
+    use subdex_store::{
+        Cell, DimId, Entity, EntityTableBuilder, RatingTableBuilder, Schema,
+        SelectionQuery, SubjectiveDb, ValueId,
+    };
+
+    fn db() -> SubjectiveDb {
+        let mut us = Schema::new();
+        us.add("age", false);
+        let mut ub = EntityTableBuilder::new(us);
+        ub.push_row(vec![Cell::from("young")]);
+        ub.push_row(vec![Cell::from("old")]);
+        let mut is = Schema::new();
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        ib.push_row(vec![Cell::from("NYC")]);
+        ib.push_row(vec![Cell::from("SF")]);
+        let mut rb = RatingTableBuilder::new(vec!["overall".into()], 5);
+        for _ in 0..6 {
+            rb.push(0, 0, &[5]);
+            rb.push(1, 1, &[1]);
+        }
+        SubjectiveDb::new(ub.build(), ib.build(), rb.build(2, 2))
+    }
+
+    fn map_of(db: &SubjectiveDb) -> RatingMap {
+        let city = db.items().schema().attr_by_name("city").unwrap();
+        RatingMap::from_subgroups(
+            MapKey::new(Entity::Item, city, DimId(0)),
+            vec![
+                Subgroup {
+                    value: ValueId(0),
+                    distribution: RatingDistribution::from_counts(vec![0, 0, 0, 0, 6]),
+                    avg_score: None,
+                },
+                Subgroup {
+                    value: ValueId(1),
+                    distribution: RatingDistribution::from_counts(vec![6, 0, 0, 0, 0]),
+                    avg_score: None,
+                },
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn headline_names_extremes() {
+        let db = db();
+        let h = headline(&db, &map_of(&db));
+        assert!(h.contains("NYC"), "{h}");
+        assert!(h.contains("SF"), "{h}");
+        assert!(h.contains("highest"), "{h}");
+        assert!(h.contains("overall"), "{h}");
+    }
+
+    #[test]
+    fn headline_flat_map_reports_no_difference() {
+        let db = db();
+        let city = db.items().schema().attr_by_name("city").unwrap();
+        let flat = RatingMap::from_subgroups(
+            MapKey::new(Entity::Item, city, DimId(0)),
+            vec![
+                Subgroup {
+                    value: ValueId(0),
+                    distribution: RatingDistribution::from_counts(vec![0, 0, 5, 0, 0]),
+                    avg_score: None,
+                },
+                Subgroup {
+                    value: ValueId(1),
+                    distribution: RatingDistribution::from_counts(vec![0, 0, 5, 0, 0]),
+                    avg_score: None,
+                },
+            ],
+            5,
+        );
+        assert!(headline(&db, &flat).contains("no significant difference"));
+    }
+
+    #[test]
+    fn headline_single_subgroup() {
+        let db = db();
+        let city = db.items().schema().attr_by_name("city").unwrap();
+        let single = RatingMap::from_subgroups(
+            MapKey::new(Entity::Item, city, DimId(0)),
+            vec![Subgroup {
+                value: ValueId(0),
+                distribution: RatingDistribution::from_counts(vec![0, 0, 0, 0, 6]),
+                avg_score: None,
+            }],
+            5,
+        );
+        assert!(headline(&db, &single).contains("all records share"));
+        let empty = RatingMap::from_subgroups(
+            MapKey::new(Entity::Item, city, DimId(0)),
+            vec![],
+            5,
+        );
+        assert!(headline(&db, &empty).contains("no records"));
+    }
+
+    #[test]
+    fn why_interesting_names_argmax_criterion() {
+        let db = db();
+        let sm = ScoredRatingMap {
+            map: map_of(&db),
+            utility: 0.9,
+            dw_utility: 0.9,
+            criteria: CriterionScores {
+                conciseness: 0.1,
+                agreement: 0.2,
+                self_peculiarity: 0.9,
+                global_peculiarity: 0.3,
+            },
+        };
+        let why = why_interesting(&sm);
+        assert!(why.contains("self-peculiarity"), "{why}");
+        assert!(why.contains("deviates"), "{why}");
+    }
+
+    #[test]
+    fn narrate_full_step() {
+        let db = Arc::new(db());
+        let mut engine = SdeEngine::new(db.clone(), EngineConfig::default());
+        let res = engine.step(&SelectionQuery::all());
+        let text = narrate_step(&db, &res);
+        assert!(text.contains("Step 1"), "{text}");
+        assert!(text.contains("12 rating records"), "{text}");
+        assert!(text.lines().count() >= 2);
+        if !res.recommendations.is_empty() {
+            assert!(text.contains("Suggested next steps"));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Distance between rating maps (Section 3.2.4).
+//!
+//! Diversity `div(RM) = min over pairs of d(rm, rm′)` with `d` the Earth
+//! Mover's Distance. A rating map is a *weighted set* of subgroup
+//! distributions, so `d` is the exact EMD of the transportation problem
+//! whose supplies/demands are the subgroup record fractions and whose
+//! ground distance is the (normalized) 1-D EMD between subgroup rating
+//! distributions.
+//!
+//! Two maps over the same group and dimension but different grouping
+//! attributes partition the records differently, hence have nonzero
+//! distance — this is what lets diversity surface new *attributes*
+//! (Table 5's "attributes" row), not just new dimensions.
+
+use crate::ratingmap::RatingMap;
+use subdex_stats::distance::emd_1d_normalized;
+use subdex_stats::emd::emd_transport;
+
+/// Exact EMD between two rating maps, in `[0, 1]`.
+///
+/// Conventions for degenerate maps: two empty maps are identical (0);
+/// an empty map is maximally far (1) from a non-empty one.
+pub fn map_distance(a: &RatingMap, b: &RatingMap) -> f64 {
+    match (a.subgroups.is_empty(), b.subgroups.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        (false, false) => {}
+    }
+    let supplies: Vec<f64> = a
+        .subgroups
+        .iter()
+        .map(|s| s.distribution.total() as f64)
+        .collect();
+    let demands: Vec<f64> = b
+        .subgroups
+        .iter()
+        .map(|s| s.distribution.total() as f64)
+        .collect();
+    emd_transport(&supplies, &demands, |i, j| {
+        emd_1d_normalized(&a.subgroups[i].distribution, &b.subgroups[j].distribution)
+    })
+}
+
+/// The diversity of a set of maps: the minimum pairwise distance
+/// (`div(RM)` in the paper). Sets of fewer than two maps have diversity 0.
+pub fn set_diversity(maps: &[&RatingMap]) -> f64 {
+    if maps.len() < 2 {
+        return 0.0;
+    }
+    let mut min = f64::INFINITY;
+    for i in 0..maps.len() {
+        for j in (i + 1)..maps.len() {
+            min = min.min(map_distance(maps[i], maps[j]));
+        }
+    }
+    min
+}
+
+/// Average pairwise distance — the "diversity" column reported in Table 5.
+pub fn avg_pairwise_distance(maps: &[&RatingMap]) -> f64 {
+    let n = maps.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0u32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += map_distance(maps[i], maps[j]);
+            pairs += 1;
+        }
+    }
+    sum / f64::from(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratingmap::{MapKey, Subgroup};
+    use subdex_stats::RatingDistribution;
+    use subdex_store::{AttrId, DimId, Entity, ValueId};
+
+    fn map(attr: u16, dim: u16, groups: &[&[u64]]) -> RatingMap {
+        let subs = groups
+            .iter()
+            .enumerate()
+            .map(|(i, counts)| Subgroup {
+                value: ValueId(i as u32),
+                distribution: RatingDistribution::from_counts(counts.to_vec()),
+                avg_score: None,
+            })
+            .collect();
+        RatingMap::from_subgroups(MapKey::new(Entity::Item, AttrId(attr), DimId(dim)), subs, 5)
+    }
+
+    #[test]
+    fn identical_maps_distance_zero() {
+        let a = map(0, 0, &[&[1, 2, 3, 4, 5], &[5, 4, 3, 2, 1]]);
+        let b = a.clone();
+        assert!(map_distance(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn opposite_maps_distance_one() {
+        let a = map(0, 0, &[&[10, 0, 0, 0, 0]]);
+        let b = map(0, 0, &[&[0, 0, 0, 0, 10]]);
+        assert!((map_distance(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = map(0, 0, &[&[3, 1, 0, 0, 6], &[0, 5, 5, 0, 0]]);
+        let b = map(1, 0, &[&[1, 1, 1, 1, 1]]);
+        assert!((map_distance(&a, &b) - map_distance(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_partitions_same_overall_have_positive_distance() {
+        // Same 20 records; one partition separates extremes, the other
+        // mixes them evenly.
+        let a = map(0, 0, &[&[10, 0, 0, 0, 0], &[0, 0, 0, 0, 10]]);
+        let b = map(1, 0, &[&[5, 0, 0, 0, 5], &[5, 0, 0, 0, 5]]);
+        assert_eq!(a.overall, b.overall);
+        assert!(map_distance(&a, &b) > 0.3, "partition shape matters");
+    }
+
+    #[test]
+    fn degenerate_maps() {
+        let empty = map(0, 0, &[]);
+        let full = map(0, 0, &[&[1, 1, 1, 1, 1]]);
+        assert_eq!(map_distance(&empty, &empty), 0.0);
+        assert_eq!(map_distance(&empty, &full), 1.0);
+        assert_eq!(map_distance(&full, &empty), 1.0);
+    }
+
+    #[test]
+    fn set_diversity_is_min_pairwise() {
+        let a = map(0, 0, &[&[10, 0, 0, 0, 0]]);
+        let b = map(1, 0, &[&[0, 0, 0, 0, 10]]);
+        let c = map(2, 0, &[&[9, 1, 0, 0, 0]]); // close to a
+        let d_ac = map_distance(&a, &c);
+        assert!((set_diversity(&[&a, &b, &c]) - d_ac).abs() < 1e-9);
+        assert_eq!(set_diversity(&[&a]), 0.0);
+        assert_eq!(set_diversity(&[]), 0.0);
+    }
+
+    #[test]
+    fn avg_pairwise_behaves() {
+        let a = map(0, 0, &[&[10, 0, 0, 0, 0]]);
+        let b = map(1, 0, &[&[0, 0, 0, 0, 10]]);
+        assert!((avg_pairwise_distance(&[&a, &b]) - 1.0).abs() < 1e-9);
+        assert_eq!(avg_pairwise_distance(&[&a]), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_sample() {
+        let a = map(0, 0, &[&[10, 0, 0, 0, 0]]);
+        let b = map(1, 0, &[&[0, 0, 10, 0, 0]]);
+        let c = map(2, 0, &[&[0, 0, 0, 0, 10]]);
+        let ab = map_distance(&a, &b);
+        let bc = map_distance(&b, &c);
+        let ac = map_distance(&a, &c);
+        assert!(ac <= ab + bc + 1e-9);
+    }
+}

@@ -1,0 +1,221 @@
+//! Personalized recommendation re-ranking — the paper's stated future
+//! work ("we are pursuing the extension of our work to support
+//! personalized exploration") and the modularity claim of Section 5.2.2
+//! ("the Recommendation Builder may be replaced with alternative
+//! implementations, yielding personalized recommendations using logs of
+//! previous operations").
+//!
+//! [`OperationHistory`] digests session logs into per-attribute affinities
+//! (how often the analyst has constrained each attribute), and
+//! [`rerank`] blends those affinities into the utility ranking of the
+//! engine's recommendations: an analyst who always slices by neighborhood
+//! sees neighborhood operations first, *without* discarding the utility
+//! signal.
+
+use crate::recommend::Recommendation;
+use crate::sessionlog::SessionLog;
+use std::collections::HashMap;
+use subdex_store::{AttrId, Entity};
+
+/// Per-analyst usage statistics over (entity, attribute) pairs.
+#[derive(Debug, Clone, Default)]
+pub struct OperationHistory {
+    counts: HashMap<(Entity, AttrId), u64>,
+    total: u64,
+}
+
+impl OperationHistory {
+    /// An empty history (re-ranking becomes the identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a history from session logs.
+    pub fn from_logs<'a>(logs: impl IntoIterator<Item = &'a SessionLog>) -> Self {
+        let mut h = Self::new();
+        for log in logs {
+            for entry in log.entries() {
+                h.record_query(&entry.query);
+            }
+        }
+        h
+    }
+
+    /// Counts every predicate of one executed query.
+    pub fn record_query(&mut self, query: &subdex_store::SelectionQuery) {
+        for p in query.preds() {
+            *self.counts.entry((p.entity, p.attr)).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Total predicates observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The analyst's affinity for an attribute: its share of all
+    /// predicates they have ever used (`0` for unseen attributes or an
+    /// empty history).
+    pub fn affinity(&self, entity: Entity, attr: AttrId) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&(entity, attr)).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Affinity of a whole query: the mean affinity of its predicates
+    /// (`0` for the empty query).
+    pub fn query_affinity(&self, query: &subdex_store::SelectionQuery) -> f64 {
+        let preds = query.preds();
+        if preds.is_empty() {
+            return 0.0;
+        }
+        preds
+            .iter()
+            .map(|p| self.affinity(p.entity, p.attr))
+            .sum::<f64>()
+            / preds.len() as f64
+    }
+}
+
+/// Re-ranks recommendations in place by
+/// `utility · (1 + alpha · affinity(query))`.
+///
+/// `alpha = 0` leaves the utility ranking untouched; larger values weigh
+/// the analyst's habits more. Ties keep the original (utility) order.
+pub fn rerank(recs: &mut [Recommendation], history: &OperationHistory, alpha: f64) {
+    debug_assert!(alpha >= 0.0);
+    let mut keyed: Vec<(f64, usize)> = recs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let score = r.utility * (1.0 + alpha * history.query_affinity(&r.query));
+            (score, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let order: Vec<usize> = keyed.into_iter().map(|(_, i)| i).collect();
+    apply_permutation(recs, &order);
+}
+
+/// Reorders `items` so that `items[new_i] = old items[order[new_i]]`.
+fn apply_permutation<T: Clone>(items: &mut [T], order: &[usize]) {
+    let snapshot: Vec<T> = items.to_vec();
+    for (dst, &src) in order.iter().enumerate() {
+        items[dst] = snapshot[src].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sessionlog::OpSource;
+    use subdex_store::{AttrValue, SelectionQuery, ValueId};
+
+    fn rec(utility: f64, preds: Vec<AttrValue>) -> Recommendation {
+        Recommendation {
+            query: SelectionQuery::from_preds(preds),
+            utility,
+            group_size: 10,
+            maps: Vec::new(),
+        }
+    }
+
+    fn av(entity: Entity, attr: u16, value: u32) -> AttrValue {
+        AttrValue::new(entity, AttrId(attr), ValueId(value))
+    }
+
+    #[test]
+    fn empty_history_is_identity() {
+        let h = OperationHistory::new();
+        let mut recs = vec![
+            rec(0.9, vec![av(Entity::Item, 0, 0)]),
+            rec(0.5, vec![av(Entity::Item, 1, 0)]),
+        ];
+        rerank(&mut recs, &h, 2.0);
+        assert_eq!(recs[0].utility, 0.9);
+        assert_eq!(recs[1].utility, 0.5);
+    }
+
+    #[test]
+    fn history_promotes_habitual_attributes() {
+        let mut h = OperationHistory::new();
+        // The analyst constantly slices by item attribute 1.
+        for _ in 0..10 {
+            h.record_query(&SelectionQuery::from_preds(vec![av(Entity::Item, 1, 2)]));
+        }
+        assert!(h.affinity(Entity::Item, AttrId(1)) > 0.99);
+        assert_eq!(h.affinity(Entity::Item, AttrId(0)), 0.0);
+
+        let mut recs = vec![
+            rec(0.6, vec![av(Entity::Item, 0, 0)]), // higher utility
+            rec(0.5, vec![av(Entity::Item, 1, 0)]), // habitual attribute
+        ];
+        rerank(&mut recs, &h, 2.0);
+        // 0.5 · (1 + 2·1) = 1.5 beats 0.6 · 1 = 0.6.
+        assert_eq!(recs[0].utility, 0.5, "habitual attribute promoted");
+    }
+
+    #[test]
+    fn alpha_zero_keeps_utility_order() {
+        let mut h = OperationHistory::new();
+        h.record_query(&SelectionQuery::from_preds(vec![av(Entity::Item, 1, 0)]));
+        let mut recs = vec![
+            rec(0.6, vec![av(Entity::Item, 0, 0)]),
+            rec(0.5, vec![av(Entity::Item, 1, 0)]),
+        ];
+        rerank(&mut recs, &h, 0.0);
+        assert_eq!(recs[0].utility, 0.6);
+    }
+
+    #[test]
+    fn from_logs_aggregates_sessions() {
+        let mut a = SessionLog::new();
+        a.record(
+            OpSource::User,
+            SelectionQuery::from_preds(vec![av(Entity::Reviewer, 0, 1)]),
+        );
+        let mut b = SessionLog::new();
+        b.record(
+            OpSource::Auto,
+            SelectionQuery::from_preds(vec![
+                av(Entity::Reviewer, 0, 2),
+                av(Entity::Item, 3, 0),
+            ]),
+        );
+        let h = OperationHistory::from_logs([&a, &b]);
+        assert_eq!(h.total(), 3);
+        assert!((h.affinity(Entity::Reviewer, AttrId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.affinity(Entity::Item, AttrId(3)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_affinity_averages_predicates() {
+        let mut h = OperationHistory::new();
+        for _ in 0..3 {
+            h.record_query(&SelectionQuery::from_preds(vec![av(Entity::Item, 0, 0)]));
+        }
+        h.record_query(&SelectionQuery::from_preds(vec![av(Entity::Item, 1, 0)]));
+        let q = SelectionQuery::from_preds(vec![av(Entity::Item, 0, 5), av(Entity::Item, 1, 5)]);
+        // affinities: 0.75 and 0.25 → mean 0.5.
+        assert!((h.query_affinity(&q) - 0.5).abs() < 1e-12);
+        assert_eq!(h.query_affinity(&SelectionQuery::all()), 0.0);
+    }
+
+    #[test]
+    fn rerank_is_stable_on_ties() {
+        let h = OperationHistory::new();
+        let mut recs = vec![
+            rec(0.5, vec![av(Entity::Item, 0, 0)]),
+            rec(0.5, vec![av(Entity::Item, 1, 0)]),
+        ];
+        let first_query = recs[0].query.clone();
+        rerank(&mut recs, &h, 1.0);
+        assert_eq!(recs[0].query, first_query, "ties keep original order");
+    }
+}

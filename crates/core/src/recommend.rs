@@ -1,0 +1,435 @@
+//! The Recommendation Builder (Section 4.3) and Problem 2.
+//!
+//! Candidate next-step operations are *small adjustments* to the current
+//! query: they differ in at most one added attribute–value pair plus at most
+//! one removed-or-changed existing pair (matching the paper's examples).
+//! Additions are *anchored* on the displayed rating maps — drilling into a
+//! map's extreme subgroups is precisely the adjustment the maps invite —
+//! while removals are the roll-up operations the drill-down-only baselines
+//! (SDD, QAGView) cannot express.
+//!
+//! Each candidate's utility (Equation 2) is the sum of DW utilities of the
+//! `k` rating maps it would lead to, so ranking operations and
+//! recommending visualizations share one computation. Candidates are
+//! evaluated concurrently, up to the number of available cores.
+
+use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
+use crate::ratingmap::ScoredRatingMap;
+use crate::selector::{select_diverse, SelectionStrategy};
+use subdex_store::{AttrValue, Entity, SelectionQuery, SubjectiveDb};
+
+/// One recommended next-step operation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The recommended query.
+    pub query: SelectionQuery,
+    /// Its utility `u(q, RM)` — the summed DW utility of the maps it
+    /// yields (Equation 2).
+    pub utility: f64,
+    /// Size of the rating group the operation selects.
+    pub group_size: usize,
+    /// The `k` maps the operation would display (reused by the
+    /// Fully-Automated mode so the next step needs no recomputation).
+    pub maps: Vec<ScoredRatingMap>,
+}
+
+/// Candidate-enumeration and evaluation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RecommendConfig {
+    /// How many recommendations to return (`o`).
+    pub o: usize,
+    /// Number of rating maps per step (`k`).
+    pub k: usize,
+    /// Final-selection strategy (utility-only / GMM hybrid / diversity-only).
+    pub selection: SelectionStrategy,
+    /// Hard cap on evaluated candidates.
+    pub max_candidates: usize,
+    /// Alternative values tried per changed predicate.
+    pub change_fanout: usize,
+    /// Evaluate candidates on multiple threads.
+    pub parallel: bool,
+    /// Worker threads (`0` = all cores).
+    pub threads: usize,
+}
+
+impl Default for RecommendConfig {
+    fn default() -> Self {
+        Self {
+            o: 3,
+            k: 3,
+            selection: SelectionStrategy::Hybrid { l: 3 },
+            max_candidates: 48,
+            change_fanout: 2,
+            parallel: true,
+            threads: 0,
+        }
+    }
+}
+
+/// Enumerates candidate operations for `query` given the displayed maps.
+///
+/// Edit grammar (diffs vs. `query`): `{add}`, `{remove}`, `{change}`,
+/// `{add, remove}`, `{add, change}` — at most one addition and at most one
+/// removal-or-change, mirroring Section 4.3. Duplicates and the identity
+/// operation are dropped; the list is capped at `max_candidates` with
+/// single-edit operations prioritized.
+pub fn enumerate_candidates(
+    db: &SubjectiveDb,
+    query: &SelectionQuery,
+    displayed: &[ScoredRatingMap],
+    cfg: &RecommendConfig,
+) -> Vec<SelectionQuery> {
+    // Additions: drill into extreme subgroups of each displayed map.
+    let mut adds: Vec<AttrValue> = Vec::new();
+    for sm in displayed {
+        let key = sm.map.key;
+        for sg in [sm.map.top_subgroup(), sm.map.bottom_subgroup()]
+            .into_iter()
+            .flatten()
+        {
+            let p = AttrValue::new(key.entity, key.attr, sg.value);
+            if !query.contains(&p) && !adds.contains(&p) {
+                adds.push(p);
+            }
+        }
+    }
+
+    // Removals: any existing predicate (roll-up).
+    let removes: Vec<AttrValue> = query.preds().to_vec();
+
+    // Changes: swap a predicate's value for the most selective siblings.
+    let mut changes: Vec<(AttrValue, subdex_store::ValueId)> = Vec::new();
+    for p in query.preds() {
+        let index = db.index(p.entity);
+        let mut siblings: Vec<(usize, subdex_store::ValueId)> = db
+            .values_of(p.entity, p.attr)
+            .into_iter()
+            .filter(|&v| v != p.value)
+            .map(|v| (index.postings(p.attr, v).len(), v))
+            .filter(|&(n, _)| n > 0)
+            .collect();
+        siblings.sort_by_key(|&(n, _)| std::cmp::Reverse(n));
+        for (_, v) in siblings.into_iter().take(cfg.change_fanout) {
+            changes.push((*p, v));
+        }
+    }
+
+    // Build per-kind lists, then interleave under the cap so every
+    // operation class survives: a budget spent entirely on drill-downs
+    // could never recommend the roll-ups SubDEx is distinguished by
+    // (Table 4's whole point).
+    let mut drill: Vec<SelectionQuery> = Vec::new();
+    let mut rollup: Vec<SelectionQuery> = Vec::new();
+    let mut change_ops: Vec<SelectionQuery> = Vec::new();
+    let mut combos: Vec<SelectionQuery> = Vec::new();
+    let push = |q: SelectionQuery, out: &mut Vec<SelectionQuery>| {
+        if &q != query && !out.contains(&q) {
+            out.push(q);
+        }
+    };
+
+    for &a in &adds {
+        push(query.with_added(a), &mut drill);
+    }
+    for r in &removes {
+        push(query.with_removed(r), &mut rollup);
+    }
+    for (p, v) in &changes {
+        if let Some(q) = query.with_changed(p.entity, p.attr, *v) {
+            push(q, &mut change_ops);
+        }
+    }
+    'outer: for &a in &adds {
+        for r in &removes {
+            if r.entity == a.entity && r.attr == a.attr {
+                continue; // that combination is a change, handled above
+            }
+            push(query.with_removed(r).with_added(a), &mut combos);
+            if combos.len() >= cfg.max_candidates {
+                break 'outer;
+            }
+        }
+        for (p, v) in &changes {
+            if p.entity == a.entity && p.attr == a.attr {
+                continue;
+            }
+            if let Some(q) = query.with_changed(p.entity, p.attr, *v) {
+                push(q.with_added(a), &mut combos);
+            }
+            if combos.len() >= cfg.max_candidates {
+                break 'outer;
+            }
+        }
+    }
+
+    // Round-robin across kinds until the cap: drill-downs, roll-ups,
+    // changes, then combinations.
+    let mut out: Vec<SelectionQuery> = Vec::new();
+    let mut lists = [
+        drill.into_iter(),
+        rollup.into_iter(),
+        change_ops.into_iter(),
+        combos.into_iter(),
+    ];
+    let mut exhausted = false;
+    while out.len() < cfg.max_candidates && !exhausted {
+        exhausted = true;
+        for list in &mut lists {
+            if out.len() >= cfg.max_candidates {
+                break;
+            }
+            if let Some(q) = list.next() {
+                exhausted = false;
+                if !out.contains(&q) {
+                    out.push(q);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates candidates and returns the top-`o` recommendations
+/// (Problem 2). Candidates run concurrently when `cfg.parallel` — the
+/// engine-level "recommendation builder in parallel" optimization whose
+/// absence is the paper's *No-Parallelism* baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn recommend(
+    db: &SubjectiveDb,
+    query: &SelectionQuery,
+    displayed: &[ScoredRatingMap],
+    seen: &SeenContext,
+    normalizers: &CriterionNormalizers,
+    gen_cfg: &GeneratorConfig,
+    cfg: &RecommendConfig,
+    seed: u64,
+) -> Vec<Recommendation> {
+    let candidates = enumerate_candidates(db, query, displayed, cfg);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    let evaluate = |q: &SelectionQuery| -> Recommendation {
+        let group = db.rating_group(q, seed ^ fxhash(q));
+        let mut norms = normalizers.clone();
+        let out = generator::generate(db, &group, q, seen, &mut norms, gen_cfg);
+        let pool_size = cfg.selection.pool_size(cfg.k, out.pool.len());
+        let pool: Vec<ScoredRatingMap> = out.pool.into_iter().take(pool_size.max(cfg.k)).collect();
+        let maps = select_diverse(pool, cfg.k, cfg.selection);
+        let utility = maps.iter().map(|m| m.dw_utility).sum();
+        Recommendation {
+            query: q.clone(),
+            utility,
+            group_size: group.len(),
+            maps,
+        }
+    };
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+
+    let mut recs: Vec<Recommendation> = if cfg.parallel && threads > 1 && candidates.len() > 1 {
+        let chunk = candidates.len().div_ceil(threads);
+        let mut results: Vec<Vec<Recommendation>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|slice| s.spawn(|| slice.iter().map(evaluate).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("recommendation worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    } else {
+        candidates.iter().map(evaluate).collect()
+    };
+
+    recs.retain(|r| r.group_size > 0);
+    recs.sort_by(|a, b| {
+        b.utility
+            .partial_cmp(&a.utility)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.query.preds().len().cmp(&b.query.preds().len()))
+    });
+    recs.truncate(cfg.o);
+    recs
+}
+
+/// Cheap deterministic hash of a query, used to vary rating-group shuffle
+/// seeds across candidates without an RNG.
+fn fxhash(q: &SelectionQuery) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in q.preds() {
+        for v in [
+            matches!(p.entity, Entity::Item) as u64,
+            u64::from(p.attr.0),
+            u64::from(p.value.0),
+        ] {
+            h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CriterionNormalizers, SeenContext};
+    use crate::pruning::PruningStrategy;
+    use subdex_stats::normalize::NormalizerKind;
+    use subdex_store::{Cell, EntityTableBuilder, RatingTableBuilder, Schema, Value};
+
+    fn db() -> SubjectiveDb {
+        let mut us = Schema::new();
+        us.add("gender", false);
+        us.add("age", false);
+        let mut ub = EntityTableBuilder::new(us);
+        for i in 0..12 {
+            ub.push_row(vec![
+                Cell::from(if i % 2 == 0 { "F" } else { "M" }),
+                Cell::from(["young", "adult", "old"][i % 3]),
+            ]);
+        }
+        let mut is = Schema::new();
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        for i in 0..6 {
+            ib.push_row(vec![Cell::from(if i < 3 { "NYC" } else { "SF" })]);
+        }
+        let mut rb = RatingTableBuilder::new(vec!["overall".into(), "food".into()], 5);
+        for r in 0..12u32 {
+            for i in 0..6u32 {
+                let overall = 1 + ((r * 7 + i * 3) % 5) as u8;
+                let food = 1 + ((r + i) % 5) as u8;
+                rb.push(r, i, &[overall, food]);
+            }
+        }
+        SubjectiveDb::new(ub.build(), ib.build(), rb.build(12, 6))
+    }
+
+    fn displayed(db: &SubjectiveDb, q: &SelectionQuery) -> Vec<ScoredRatingMap> {
+        let group = db.rating_group(q, 3);
+        let seen = SeenContext::new(2);
+        let mut norms = CriterionNormalizers::new(NormalizerKind::ZLogistic);
+        let cfg = GeneratorConfig {
+            pruning: PruningStrategy::None,
+            parallel: false,
+            ..Default::default()
+        };
+        let out = generator::generate(db, &group, q, &seen, &mut norms, &cfg);
+        out.pool.into_iter().take(3).collect()
+    }
+
+    #[test]
+    fn candidates_respect_edit_budget() {
+        let db = db();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let young = db.pred(Entity::Reviewer, "age", &Value::str("young")).unwrap();
+        let q = SelectionQuery::from_preds(vec![nyc, young]);
+        let maps = displayed(&db, &q);
+        let cands = enumerate_candidates(&db, &q, &maps, &RecommendConfig::default());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert_ne!(&c, &&q, "identity excluded");
+            // add=1, remove=1, change=2, add+remove=2, add+change=3 diffs,
+            // but "change" is one conceptual edit; the raw symmetric diff is
+            // therefore at most 3.
+            assert!(q.diff_size(c) <= 3, "diff too large: {}", db.describe_query(c));
+        }
+        // Dedup holds.
+        let unique: std::collections::HashSet<_> = cands.iter().collect();
+        assert_eq!(unique.len(), cands.len());
+    }
+
+    #[test]
+    fn candidates_include_rollups() {
+        let db = db();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let q = SelectionQuery::from_preds(vec![nyc]);
+        let maps = displayed(&db, &q);
+        let cands = enumerate_candidates(&db, &q, &maps, &RecommendConfig::default());
+        assert!(
+            cands.iter().any(|c| c.is_empty()),
+            "removing the only predicate (a roll-up) must be a candidate"
+        );
+        assert!(
+            cands.iter().any(|c| c.len() > q.len()),
+            "drill-downs must be candidates too"
+        );
+    }
+
+    #[test]
+    fn empty_query_offers_only_adds() {
+        let db = db();
+        let q = SelectionQuery::all();
+        let maps = displayed(&db, &q);
+        let cands = enumerate_candidates(&db, &q, &maps, &RecommendConfig::default());
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn recommend_ranks_by_utility_and_truncates() {
+        let db = db();
+        let q = SelectionQuery::all();
+        let maps = displayed(&db, &q);
+        let seen = SeenContext::new(2);
+        let norms = CriterionNormalizers::new(NormalizerKind::ZLogistic);
+        let gen_cfg = GeneratorConfig {
+            pruning: PruningStrategy::None,
+            parallel: false,
+            ..Default::default()
+        };
+        let cfg = RecommendConfig {
+            o: 3,
+            parallel: false,
+            ..Default::default()
+        };
+        let recs = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &cfg, 11);
+        assert!(recs.len() <= 3 && !recs.is_empty());
+        for w in recs.windows(2) {
+            assert!(w[0].utility >= w[1].utility);
+        }
+        for r in &recs {
+            assert!(r.group_size > 0);
+            assert!(!r.maps.is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let db = db();
+        let q = SelectionQuery::all();
+        let maps = displayed(&db, &q);
+        let seen = SeenContext::new(2);
+        let norms = CriterionNormalizers::new(NormalizerKind::ZLogistic);
+        let gen_cfg = GeneratorConfig {
+            pruning: PruningStrategy::None,
+            parallel: false,
+            ..Default::default()
+        };
+        let seq_cfg = RecommendConfig { parallel: false, ..Default::default() };
+        let par_cfg = RecommendConfig { parallel: true, threads: 4, ..Default::default() };
+        let a = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &seq_cfg, 7);
+        let b = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &par_cfg, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query, y.query);
+            assert!((x.utility - y.utility).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_displayed_maps_still_offers_edits_of_nonempty_query() {
+        let db = db();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let q = SelectionQuery::from_preds(vec![nyc]);
+        let cands = enumerate_candidates(&db, &q, &[], &RecommendConfig::default());
+        assert!(cands.iter().any(|c| c.is_empty()), "roll-up still available");
+    }
+}

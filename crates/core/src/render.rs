@@ -1,0 +1,166 @@
+//! ASCII rendering of rating maps — the terminal stand-in for the paper's
+//! histogram UI (Figure 5).
+//!
+//! Each subgroup renders as a labeled bar (length ∝ average score) plus
+//! its rating distribution as a sparkline over the scale, e.g.:
+//!
+//! ```text
+//! GROUPBY item.neighborhood · food score
+//! Williamsburg  ████████████████░░░░ 3.9 ▁▂▁▅▇ (16)
+//! SoHo          ██████████████░░░░░░ 3.5 ▂▂▁▅▇ (20)
+//! ```
+
+use crate::ratingmap::RatingMap;
+use subdex_store::SubjectiveDb;
+
+/// Bar width in character cells.
+const BAR_WIDTH: usize = 20;
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a horizontal bar of `width` cells filled proportionally to
+/// `fraction` (clamped to `[0, 1]`).
+pub fn bar(fraction: f64, width: usize) -> String {
+    let f = fraction.clamp(0.0, 1.0);
+    let filled = (f * width as f64).round() as usize;
+    let mut s = String::with_capacity(width * 3);
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '░' });
+    }
+    s
+}
+
+/// Renders a distribution's counts as a sparkline (one glyph per score).
+pub fn sparkline(counts: &[u64]) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    counts
+        .iter()
+        .map(|&c| {
+            if max == 0 {
+                SPARKS[0]
+            } else {
+                let idx = ((c as f64 / max as f64) * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[idx.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a full rating map as ASCII bars (paper-UI style).
+pub fn render_map(db: &SubjectiveDb, map: &RatingMap) -> String {
+    use std::fmt::Write as _;
+    let table = db.table(map.key.entity);
+    let attr = &table.schema().attr(map.key.attr).name;
+    let dict = table.dictionary(map.key.attr);
+    let dim = db.ratings().dim_name(map.key.dim);
+    let scale = db.ratings().scale() as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "GROUPBY {}.{attr} · {dim} score", map.key.entity);
+    if map.subgroups.is_empty() {
+        let _ = writeln!(out, "  (no records)");
+        return out;
+    }
+    let label_width = map
+        .subgroups
+        .iter()
+        .map(|s| dict.value(s.value).to_string().chars().count())
+        .max()
+        .unwrap_or(4)
+        .min(24);
+    for sg in &map.subgroups {
+        let label: String = dict.value(sg.value).to_string();
+        let label: String = label.chars().take(24).collect();
+        let avg = sg.avg_score.unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  {label:<label_width$}  {} {:>4.1} {} ({})",
+            bar(avg / scale, BAR_WIDTH),
+            avg,
+            sparkline(sg.distribution.counts()),
+            sg.distribution.total(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratingmap::{MapKey, Subgroup};
+    use subdex_stats::RatingDistribution;
+    use subdex_store::{
+        Cell, DimId, Entity, EntityTableBuilder, RatingTableBuilder, Schema, ValueId,
+    };
+
+    #[test]
+    fn bar_proportions() {
+        assert_eq!(bar(0.0, 4), "░░░░");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4), "██░░");
+        assert_eq!(bar(2.0, 4), "████", "clamped above");
+        assert_eq!(bar(-1.0, 4), "░░░░", "clamped below");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁");
+        let s = sparkline(&[1, 5, 10]);
+        let glyphs: Vec<char> = s.chars().collect();
+        assert_eq!(glyphs.len(), 3);
+        assert!(glyphs[0] < glyphs[1] && glyphs[1] < glyphs[2]);
+        assert_eq!(glyphs[2], '█');
+    }
+
+    fn db() -> SubjectiveDb {
+        let mut us = Schema::new();
+        us.add("g", false);
+        let mut ub = EntityTableBuilder::new(us);
+        ub.push_row(vec![Cell::from("x")]);
+        let mut is = Schema::new();
+        is.add("neighborhood", false);
+        let mut ib = EntityTableBuilder::new(is);
+        ib.push_row(vec![Cell::from("Williamsburg")]);
+        ib.push_row(vec![Cell::from("SoHo")]);
+        let mut rb = RatingTableBuilder::new(vec!["food".into()], 5);
+        rb.push(0, 0, &[4]);
+        rb.push(0, 1, &[2]);
+        SubjectiveDb::new(ub.build(), ib.build(), rb.build(1, 2))
+    }
+
+    #[test]
+    fn render_map_lists_subgroups_with_bars() {
+        let db = db();
+        let attr = db.items().schema().attr_by_name("neighborhood").unwrap();
+        let map = RatingMap::from_subgroups(
+            MapKey::new(Entity::Item, attr, DimId(0)),
+            vec![
+                Subgroup {
+                    value: ValueId(0),
+                    distribution: RatingDistribution::from_counts(vec![1, 1, 0, 5, 7]),
+                    avg_score: None,
+                },
+                Subgroup {
+                    value: ValueId(1),
+                    distribution: RatingDistribution::from_counts(vec![3, 3, 2, 5, 7]),
+                    avg_score: None,
+                },
+            ],
+            5,
+        );
+        let s = render_map(&db, &map);
+        assert!(s.contains("GROUPBY item.neighborhood · food score"), "{s}");
+        assert!(s.contains("Williamsburg"), "{s}");
+        assert!(s.contains('█'), "{s}");
+        assert!(s.contains('▇') || s.contains('█'), "{s}");
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn render_empty_map() {
+        let db = db();
+        let attr = db.items().schema().attr_by_name("neighborhood").unwrap();
+        let map = RatingMap::from_subgroups(MapKey::new(Entity::Item, attr, DimId(0)), vec![], 5);
+        assert!(render_map(&db, &map).contains("no records"));
+    }
+}

@@ -1,0 +1,216 @@
+//! RM-Selector: diverse subset selection via the GMM algorithm
+//! (Section 4.2.2).
+//!
+//! Given the top-`l·k` rating maps by DW utility, select the `k` most
+//! diverse using Gonzalez's greedy max-min algorithm \[29\]: seed with one
+//! map, then `k − 1` times add the map maximizing the minimum distance to
+//! the chosen set. A 2-approximation for max-min diversification, running
+//! in `O(k² · l)` distance evaluations.
+//!
+//! We seed deterministically with the highest-DW-utility map (the paper
+//! allows an arbitrary seed), so the "most interesting" map is always
+//! shown.
+
+use crate::mapdist::map_distance;
+use crate::ratingmap::ScoredRatingMap;
+
+/// How the final `k`-subset is chosen — the knob behind Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Take the `k` highest-DW-utility maps (`l = 1`, "Utility-Only").
+    UtilityOnly,
+    /// GMM over the top-`l·k` (the paper's default, `l = 3`).
+    Hybrid {
+        /// The pruning-diversity factor `l > 1`.
+        l: usize,
+    },
+    /// GMM over *all* candidates regardless of utility ("Diversity-Only").
+    DiversityOnly,
+}
+
+impl SelectionStrategy {
+    /// The candidate-pool size (`k′`) this strategy needs from the
+    /// generator, given `k` and the total number of candidates.
+    pub fn pool_size(self, k: usize, total_candidates: usize) -> usize {
+        match self {
+            SelectionStrategy::UtilityOnly => k,
+            SelectionStrategy::Hybrid { l } => k * l.max(1),
+            SelectionStrategy::DiversityOnly => total_candidates,
+        }
+        .min(total_candidates.max(k))
+    }
+}
+
+/// Selects `k` maps from `pool` (already ranked by descending DW utility).
+///
+/// For [`SelectionStrategy::UtilityOnly`] this is the prefix; otherwise
+/// GMM runs over the pool. Returns at most `k` maps (fewer when the pool is
+/// smaller).
+pub fn select_diverse(pool: Vec<ScoredRatingMap>, k: usize, strategy: SelectionStrategy) -> Vec<ScoredRatingMap> {
+    if pool.len() <= k || k == 0 {
+        return pool.into_iter().take(k).collect();
+    }
+    if matches!(strategy, SelectionStrategy::UtilityOnly) {
+        return pool.into_iter().take(k).collect();
+    }
+    gmm(pool, k)
+}
+
+/// Gonzalez's greedy max-min selection, seeded with index 0 (the
+/// highest-utility map, since pools arrive utility-sorted).
+fn gmm(pool: Vec<ScoredRatingMap>, k: usize) -> Vec<ScoredRatingMap> {
+    let n = pool.len();
+    debug_assert!(k < n || n == 0);
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut min_dist = vec![f64::INFINITY; n];
+    chosen.push(0);
+    for (i, d) in min_dist.iter_mut().enumerate() {
+        *d = map_distance(&pool[0].map, &pool[i].map);
+    }
+    while chosen.len() < k {
+        // Farthest-point: maximize the minimum distance to the chosen set;
+        // tie-break toward higher utility (lower pool index).
+        let mut best = None;
+        let mut best_d = f64::NEG_INFINITY;
+        for (i, &d) in min_dist.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            if d > best_d {
+                best_d = d;
+                best = Some(i);
+            }
+        }
+        let Some(next) = best else { break };
+        chosen.push(next);
+        for (i, md) in min_dist.iter_mut().enumerate() {
+            let d = map_distance(&pool[next].map, &pool[i].map);
+            if d < *md {
+                *md = d;
+            }
+        }
+    }
+    chosen.sort_unstable(); // keep utility order within the selection
+    let mut picked = vec![false; n];
+    for &i in &chosen {
+        picked[i] = true;
+    }
+    pool.into_iter()
+        .zip(picked)
+        .filter_map(|(m, keep)| keep.then_some(m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapdist::set_diversity;
+    use crate::ratingmap::{MapKey, RatingMap, Subgroup};
+    use crate::utility::CriterionScores;
+    use subdex_stats::RatingDistribution;
+    use subdex_store::{AttrId, DimId, Entity, ValueId};
+
+    fn scored(attr: u16, counts: &[&[u64]], dw: f64) -> ScoredRatingMap {
+        let subs = counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Subgroup {
+                value: ValueId(i as u32),
+                distribution: RatingDistribution::from_counts(c.to_vec()),
+                avg_score: None,
+            })
+            .collect();
+        ScoredRatingMap {
+            map: RatingMap::from_subgroups(
+                MapKey::new(Entity::Item, AttrId(attr), DimId(0)),
+                subs,
+                5,
+            ),
+            utility: dw,
+            dw_utility: dw,
+            criteria: CriterionScores::default(),
+        }
+    }
+
+    /// Pool: three near-identical high-utility maps + one far-away map.
+    fn clustered_pool() -> Vec<ScoredRatingMap> {
+        vec![
+            scored(0, &[&[10, 0, 0, 0, 0]], 0.9),
+            scored(1, &[&[9, 1, 0, 0, 0]], 0.8),
+            scored(2, &[&[10, 0, 0, 0, 1]], 0.7),
+            scored(3, &[&[0, 0, 0, 0, 10]], 0.4),
+        ]
+    }
+
+    #[test]
+    fn utility_only_takes_prefix() {
+        let out = select_diverse(clustered_pool(), 2, SelectionStrategy::UtilityOnly);
+        let attrs: Vec<u16> = out.iter().map(|m| m.map.key.attr.0).collect();
+        assert_eq!(attrs, vec![0, 1]);
+    }
+
+    #[test]
+    fn gmm_prefers_distant_maps() {
+        let out = select_diverse(clustered_pool(), 2, SelectionStrategy::Hybrid { l: 2 });
+        let attrs: Vec<u16> = out.iter().map(|m| m.map.key.attr.0).collect();
+        assert_eq!(attrs, vec![0, 3], "seed + the farthest map");
+    }
+
+    #[test]
+    fn gmm_beats_prefix_on_diversity() {
+        let pool = clustered_pool();
+        let prefix = select_diverse(pool.clone(), 2, SelectionStrategy::UtilityOnly);
+        let gmm_sel = select_diverse(pool, 2, SelectionStrategy::DiversityOnly);
+        let d_prefix = set_diversity(&prefix.iter().map(|m| &m.map).collect::<Vec<_>>());
+        let d_gmm = set_diversity(&gmm_sel.iter().map(|m| &m.map).collect::<Vec<_>>());
+        assert!(d_gmm > d_prefix);
+    }
+
+    #[test]
+    fn small_pool_returned_whole() {
+        let pool = clustered_pool();
+        let out = select_diverse(pool.clone(), 10, SelectionStrategy::Hybrid { l: 3 });
+        assert_eq!(out.len(), 4);
+        let out0 = select_diverse(pool, 0, SelectionStrategy::Hybrid { l: 3 });
+        assert!(out0.is_empty());
+    }
+
+    #[test]
+    fn gmm_two_approximation_on_brute_forceable_instance() {
+        // 6 maps; check GMM's min-pairwise ≥ ½ of the optimum over all
+        // 3-subsets.
+        let pool = vec![
+            scored(0, &[&[10, 0, 0, 0, 0]], 0.9),
+            scored(1, &[&[0, 10, 0, 0, 0]], 0.8),
+            scored(2, &[&[0, 0, 10, 0, 0]], 0.7),
+            scored(3, &[&[0, 0, 0, 10, 0]], 0.6),
+            scored(4, &[&[0, 0, 0, 0, 10]], 0.5),
+            scored(5, &[&[5, 0, 0, 0, 5]], 0.4),
+        ];
+        let k = 3;
+        let maps: Vec<&RatingMap> = pool.iter().map(|m| &m.map).collect();
+        let mut opt: f64 = 0.0;
+        for i in 0..maps.len() {
+            for j in (i + 1)..maps.len() {
+                for l in (j + 1)..maps.len() {
+                    opt = opt.max(set_diversity(&[maps[i], maps[j], maps[l]]));
+                }
+            }
+        }
+        let sel = select_diverse(pool, k, SelectionStrategy::DiversityOnly);
+        let got = set_diversity(&sel.iter().map(|m| &m.map).collect::<Vec<_>>());
+        assert!(got * 2.0 + 1e-9 >= opt, "GMM {got} vs OPT {opt}");
+    }
+
+    #[test]
+    fn pool_size_per_strategy() {
+        assert_eq!(SelectionStrategy::UtilityOnly.pool_size(3, 100), 3);
+        assert_eq!(SelectionStrategy::Hybrid { l: 3 }.pool_size(3, 100), 9);
+        assert_eq!(SelectionStrategy::DiversityOnly.pool_size(3, 100), 100);
+        assert_eq!(
+            SelectionStrategy::Hybrid { l: 3 }.pool_size(3, 5),
+            5,
+            "clamped to available candidates"
+        );
+    }
+}

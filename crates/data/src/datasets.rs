@@ -1,0 +1,651 @@
+//! Synthetic twins of the paper's three datasets (Table 2).
+//!
+//! | dataset | #atts | max #vals | #dims | \|R\| | \|U\| | \|I\| |
+//! |---|---|---|---|---|---|---|
+//! | MovieLens-like | 12 | 29 | 1 | 100 000 | 943 | 1 682 |
+//! | Yelp-like | 24 | 13 | 4 | 200 500 | 150 318 | 93 |
+//! | Hotel-Reviews-like | 8 | 62 | 4 | 35 912 | 15 493 | 879 |
+//!
+//! Attribute values follow Zipfian popularity; rating scores come from a
+//! clipped Gaussian whose mean combines a per-dimension base with planted
+//! reviewer-/item-trait biases. The planted biases double as the five
+//! ground-truth insights per dataset that Scenario II asks subjects to
+//! rediscover.
+
+use crate::insight::{Insight, Polarity};
+use crate::model::{sample_score, ZipfSampler};
+use crate::params::GenParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subdex_store::{
+    Cell, Entity, EntityTable, EntityTableBuilder, RatingTableBuilder, Schema, SubjectiveDb, Value,
+};
+
+/// A generated dataset: the database plus its Scenario II ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The finished database.
+    pub db: SubjectiveDb,
+    /// The five planted insights.
+    pub insights: Vec<Insight>,
+}
+
+/// Un-finalized tables — the stage at which Scenario I irregular groups
+/// can still be injected (scores are overwritten pre-index).
+pub struct RawTables {
+    /// Finished reviewer table.
+    pub reviewers: EntityTable,
+    /// Finished item table.
+    pub items: EntityTable,
+    /// Mutable rating records.
+    pub ratings: RatingTableBuilder,
+    /// Rating-dimension names.
+    pub dim_names: Vec<String>,
+    /// Planted insights.
+    pub insights: Vec<Insight>,
+}
+
+impl RawTables {
+    /// Builds indexes and produces the final [`Dataset`].
+    pub fn finish(self) -> Dataset {
+        let reviewer_count = self.reviewers.len();
+        let item_count = self.items.len();
+        Dataset {
+            db: SubjectiveDb::new(
+                self.reviewers,
+                self.items,
+                self.ratings.build(reviewer_count, item_count),
+            ),
+            insights: self.insights,
+        }
+    }
+}
+
+/// One categorical attribute blueprint.
+struct AttrSpec {
+    name: &'static str,
+    values: Vec<String>,
+    multi: bool,
+    /// Zipf exponent for value popularity (0 = uniform).
+    zipf: f64,
+    /// For multi-valued attributes: max values per row (min 1).
+    max_per_row: usize,
+}
+
+impl AttrSpec {
+    fn single(name: &'static str, values: &[&str], zipf: f64) -> Self {
+        Self {
+            name,
+            values: values.iter().map(|s| (*s).to_owned()).collect(),
+            multi: false,
+            zipf,
+            max_per_row: 1,
+        }
+    }
+
+    fn single_gen(name: &'static str, prefix: &str, n: usize, zipf: f64) -> Self {
+        Self {
+            name,
+            values: (1..=n).map(|i| format!("{prefix}{i}")).collect(),
+            multi: false,
+            zipf,
+            max_per_row: 1,
+        }
+    }
+
+    fn multi(name: &'static str, values: &[&str], zipf: f64, max_per_row: usize) -> Self {
+        Self {
+            name,
+            values: values.iter().map(|s| (*s).to_owned()).collect(),
+            multi: true,
+            zipf,
+            max_per_row,
+        }
+    }
+}
+
+/// Raw (pre-interning) value indexes of one generated column.
+enum RawCol {
+    Single(Vec<u16>),
+    Multi(Vec<Vec<u16>>),
+}
+
+impl RawCol {
+    fn row_has(&self, row: usize, v: u16) -> bool {
+        match self {
+            RawCol::Single(c) => c[row] == v,
+            RawCol::Multi(c) => c[row].contains(&v),
+        }
+    }
+}
+
+/// Generates an entity table from attribute blueprints; returns both the
+/// finished table and the raw per-row codes (for bias lookups during
+/// rating generation).
+fn build_entity(rng: &mut StdRng, rows: usize, specs: &[AttrSpec]) -> (EntityTable, Vec<RawCol>) {
+    let mut raw: Vec<RawCol> = specs
+        .iter()
+        .map(|s| {
+            if s.multi {
+                RawCol::Multi(Vec::with_capacity(rows))
+            } else {
+                RawCol::Single(Vec::with_capacity(rows))
+            }
+        })
+        .collect();
+    let samplers: Vec<ZipfSampler> = specs
+        .iter()
+        .map(|s| ZipfSampler::new(s.values.len(), s.zipf))
+        .collect();
+
+    let mut schema = Schema::new();
+    for s in specs {
+        schema.add(s.name, s.multi);
+    }
+    let mut builder = EntityTableBuilder::new(schema);
+
+    for _ in 0..rows {
+        let mut cells = Vec::with_capacity(specs.len());
+        for (ai, spec) in specs.iter().enumerate() {
+            if spec.multi {
+                let n = rng.random_range(1..=spec.max_per_row.max(1));
+                let mut vs: Vec<u16> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = samplers[ai].sample(rng) as u16;
+                    if !vs.contains(&v) {
+                        vs.push(v);
+                    }
+                }
+                vs.sort_unstable();
+                let values: Vec<Value> = vs
+                    .iter()
+                    .map(|&v| Value::str(spec.values[v as usize].clone()))
+                    .collect();
+                if let RawCol::Multi(c) = &mut raw[ai] {
+                    c.push(vs);
+                }
+                cells.push(Cell::Many(values));
+            } else {
+                let v = samplers[ai].sample(rng) as u16;
+                if let RawCol::Single(c) = &mut raw[ai] {
+                    c.push(v);
+                }
+                cells.push(Cell::One(Value::str(spec.values[v as usize].clone())));
+            }
+        }
+        builder.push_row(cells);
+    }
+    (builder.build(), raw)
+}
+
+/// A planted latent-score bias — the generative side of an insight.
+struct Bias {
+    entity: Entity,
+    attr: usize,
+    value: u16,
+    dim: usize,
+    delta: f64,
+}
+
+/// Shared rating-generation loop.
+#[allow(clippy::too_many_arguments)]
+fn generate_ratings(
+    rng: &mut StdRng,
+    params: &GenParams,
+    dims: &[&str],
+    base_mean: f64,
+    noise_sd: f64,
+    reviewer_raw: &[RawCol],
+    item_raw: &[RawCol],
+    biases: &[Bias],
+) -> RatingTableBuilder {
+    let mut rb = RatingTableBuilder::new(dims.iter().map(|s| (*s).to_owned()).collect(), 5);
+    let item_pop = ZipfSampler::new(params.items, 0.8);
+    let reviewer_extra = ZipfSampler::new(params.reviewers, 0.7);
+    let mut scores = vec![0u8; dims.len()];
+    for rec in 0..params.ratings {
+        // First half round-robin (guarantees per-reviewer coverage, like
+        // MovieLens's ≥20-ratings floor), second half Zipf-skewed activity.
+        let reviewer = if rec % 2 == 0 {
+            (rec / 2) % params.reviewers
+        } else {
+            reviewer_extra.sample(rng)
+        };
+        let item = item_pop.sample(rng);
+        for (d, score) in scores.iter_mut().enumerate() {
+            let mut mean = base_mean;
+            for b in biases {
+                if b.dim != d {
+                    continue;
+                }
+                let raw = match b.entity {
+                    Entity::Reviewer => reviewer_raw,
+                    Entity::Item => item_raw,
+                };
+                let row = match b.entity {
+                    Entity::Reviewer => reviewer,
+                    Entity::Item => item,
+                };
+                if raw[b.attr].row_has(row, b.value) {
+                    mean += b.delta;
+                }
+            }
+            *score = sample_score(rng, mean, noise_sd, 5);
+        }
+        rb.push(reviewer as u32, item as u32, &scores);
+    }
+    rb
+}
+
+fn insight(
+    id: usize,
+    entity: Entity,
+    attr_name: &str,
+    value: &str,
+    dim_name: &str,
+    polarity: Polarity,
+    subject: &str,
+) -> Insight {
+    let direction = match polarity {
+        Polarity::Highest => "highest",
+        Polarity::Lowest => "lowest",
+    };
+    Insight {
+        id,
+        description: format!("{subject} have the {direction} {dim_name} ratings"),
+        entity,
+        attr_name: attr_name.to_owned(),
+        dim_name: dim_name.to_owned(),
+        value: Value::str(value),
+        polarity,
+        min_support: 5,
+    }
+}
+
+/// The MovieLens-100K-like dataset (12 attributes, 1 rating dimension).
+///
+/// ```
+/// use subdex_data::{movielens, GenParams};
+/// let ds = movielens::dataset(GenParams::new(100, 50, 500, 7));
+/// assert_eq!(ds.db.stats().attr_count, 12);
+/// assert_eq!(ds.insights.len(), 5);
+/// ```
+pub mod movielens {
+    use super::*;
+
+    /// Table 2 cardinalities: 943 reviewers, 1 682 movies, 100K ratings.
+    pub fn default_params() -> GenParams {
+        GenParams::new(943, 1682, 100_000, 0x4d4c)
+    }
+
+    const OCCUPATIONS: [&str; 21] = [
+        "administrator", "artist", "doctor", "educator", "engineer", "entertainment",
+        "executive", "healthcare", "homemaker", "lawyer", "librarian", "marketing",
+        "none", "other", "programmer", "retired", "salesman", "scientist", "student",
+        "technician", "writer",
+    ];
+    const GENRES: [&str; 19] = [
+        "Action", "Adventure", "Animation", "Children", "Comedy", "Crime",
+        "Documentary", "Drama", "Fantasy", "FilmNoir", "Horror", "Musical",
+        "Mystery", "Romance", "SciFi", "Thriller", "War", "Western", "Unknown",
+    ];
+
+    fn reviewer_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::single("gender", &["M", "F"], 0.3),
+            AttrSpec::single(
+                "age_group",
+                &["under18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+"],
+                0.5,
+            ),
+            AttrSpec::single("occupation", &OCCUPATIONS, 0.6),
+            AttrSpec::single_gen("state", "state_", 29, 0.8),
+            AttrSpec::single("region", &["Northeast", "Midwest", "South", "West"], 0.2),
+            AttrSpec::single("city_size", &["urban", "suburban", "rural"], 0.4),
+        ]
+    }
+
+    fn item_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::multi("genre", &GENRES, 0.7, 3),
+            AttrSpec::single(
+                "decade",
+                &["1920s", "1930s", "1940s", "1950s", "1960s", "1970s", "1980s", "1990s"],
+                1.2,
+            ),
+            AttrSpec::single("era", &["classic", "golden", "modern"], 0.6),
+            AttrSpec::single("popularity", &["blockbuster", "popular", "niche", "obscure"], 0.3),
+            AttrSpec::single("length", &["short", "medium", "long"], 0.3),
+            AttrSpec::single_gen("country", "country_", 10, 1.0),
+        ]
+    }
+
+    /// Generates the un-finalized tables.
+    pub fn generate(params: GenParams) -> RawTables {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let r_specs = reviewer_specs();
+        let i_specs = item_specs();
+        let (reviewers, r_raw) = build_entity(&mut rng, params.reviewers, &r_specs);
+        let (items, i_raw) = build_entity(&mut rng, params.items, &i_specs);
+
+        // Planted biases ↔ insights (genre indexes: Documentary 6,
+        // Horror 10; occupation: retired 15; age under18 0; era classic 0).
+        let biases = vec![
+            Bias { entity: Entity::Item, attr: 0, value: 6, dim: 0, delta: 1.0 },
+            Bias { entity: Entity::Item, attr: 0, value: 10, dim: 0, delta: -1.0 },
+            Bias { entity: Entity::Item, attr: 2, value: 0, dim: 0, delta: 0.55 },
+            Bias { entity: Entity::Reviewer, attr: 2, value: 15, dim: 0, delta: 0.65 },
+            Bias { entity: Entity::Reviewer, attr: 1, value: 0, dim: 0, delta: -0.65 },
+        ];
+        let dims = ["overall"];
+        let ratings = generate_ratings(
+            &mut rng, &params, &dims, 3.5, 0.9, &r_raw, &i_raw, &biases,
+        );
+        let insights = vec![
+            insight(0, Entity::Item, "genre", "Documentary", "overall", Polarity::Highest, "Documentaries"),
+            insight(1, Entity::Item, "genre", "Horror", "overall", Polarity::Lowest, "Horror movies"),
+            insight(2, Entity::Item, "era", "classic", "overall", Polarity::Highest, "Classic-era movies"),
+            insight(3, Entity::Reviewer, "occupation", "retired", "overall", Polarity::Highest, "Retired reviewers"),
+            insight(4, Entity::Reviewer, "age_group", "under18", "overall", Polarity::Lowest, "Under-18 reviewers"),
+        ];
+        RawTables {
+            reviewers,
+            items,
+            ratings,
+            dim_names: dims.iter().map(|s| (*s).to_owned()).collect(),
+            insights,
+        }
+    }
+
+    /// Generates and finalizes.
+    pub fn dataset(params: GenParams) -> Dataset {
+        generate(params).finish()
+    }
+}
+
+/// The Yelp-restaurants-like dataset (24 attributes, 4 rating dimensions).
+pub mod yelp {
+    use super::*;
+
+    /// Table 2 cardinalities: 150 318 reviewers, 93 restaurants, 200 500
+    /// rating records.
+    pub fn default_params() -> GenParams {
+        GenParams::new(150_318, 93, 200_500, 0x59454c)
+    }
+
+    const CUISINES: [&str; 13] = [
+        "American", "Barbeque", "Burgers", "Chinese", "FastFood", "French",
+        "Indian", "Italian", "Japanese", "Mexican", "Pizza", "Sushi", "Thai",
+    ];
+    const NEIGHBORHOODS: [&str; 10] = [
+        "Williamsburg", "SoHo", "KipsBay", "Tribeca", "Chelsea", "Midtown",
+        "Harlem", "Astoria", "Bushwick", "GreenwichVillage",
+    ];
+    const OCCUPATIONS: [&str; 13] = [
+        "student", "programmer", "teacher", "nurse", "chef", "driver", "artist",
+        "lawyer", "manager", "clerk", "scientist", "retired", "other",
+    ];
+
+    fn reviewer_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::single("gender", &["male", "female", "unspecified"], 0.3),
+            AttrSpec::single("age_group", &["young", "adult", "middle_aged", "senior", "unknown"], 0.4),
+            AttrSpec::single("occupation", &OCCUPATIONS, 0.6),
+            AttrSpec::single_gen("home_state", "st_", 10, 0.9),
+            AttrSpec::single_gen("yelping_since", "y", 8, 0.5),
+            AttrSpec::single("elite", &["yes", "no"], 0.8),
+            AttrSpec::single("fans", &["none", "few", "some", "many"], 0.9),
+            AttrSpec::single("review_count", &["1-10", "11-50", "51-200", "201-500", "500+"], 0.8),
+            AttrSpec::single("avg_stars", &["1-2", "2-3", "3-4", "4-4.5", "4.5-5"], 0.4),
+            AttrSpec::single("friends", &["none", "few", "some", "many"], 0.6),
+            AttrSpec::single("compliments", &["none", "few", "some", "many"], 0.7),
+            AttrSpec::single("device", &["mobile", "desktop", "tablet"], 0.5),
+        ]
+    }
+
+    fn item_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::multi("cuisine", &CUISINES, 0.5, 2),
+            AttrSpec::single("neighborhood", &NEIGHBORHOODS, 0.4),
+            AttrSpec::single("price_range", &["$", "$$", "$$$", "$$$$"], 0.4),
+            AttrSpec::single("noise", &["quiet", "average", "loud", "very_loud"], 0.4),
+            AttrSpec::single("delivery", &["yes", "no"], 0.2),
+            AttrSpec::single("outdoor", &["yes", "no"], 0.3),
+            AttrSpec::single("groups", &["yes", "no"], 0.2),
+            AttrSpec::single("alcohol", &["none", "beer_wine", "full_bar"], 0.3),
+            AttrSpec::single("attire", &["casual", "dressy", "formal"], 0.7),
+            AttrSpec::single("wifi", &["free", "paid", "no"], 0.5),
+            AttrSpec::single("parking", &["street", "lot", "valet", "none"], 0.4),
+            AttrSpec::single("reservations", &["yes", "no"], 0.2),
+        ]
+    }
+
+    /// Generates the un-finalized tables.
+    pub fn generate(params: GenParams) -> RawTables {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let r_specs = reviewer_specs();
+        let i_specs = item_specs();
+        let (reviewers, r_raw) = build_entity(&mut rng, params.reviewers, &r_specs);
+        let (items, i_raw) = build_entity(&mut rng, params.items, &i_specs);
+
+        // Dimensions: 0 overall, 1 food, 2 service, 3 ambiance.
+        // Insight biases: Japanese(8) service+, FastFood(4) food−,
+        // Williamsburg(0) food+, young(0) ambiance−, $$$$ (3) overall+.
+        let biases = vec![
+            Bias { entity: Entity::Item, attr: 0, value: 8, dim: 2, delta: 1.0 },
+            Bias { entity: Entity::Item, attr: 0, value: 4, dim: 1, delta: -1.0 },
+            Bias { entity: Entity::Item, attr: 1, value: 0, dim: 1, delta: 0.8 },
+            Bias { entity: Entity::Reviewer, attr: 1, value: 0, dim: 3, delta: -0.7 },
+            Bias { entity: Entity::Item, attr: 2, value: 3, dim: 0, delta: 0.8 },
+        ];
+        let dims = ["overall", "food", "service", "ambiance"];
+        let ratings = generate_ratings(
+            &mut rng, &params, &dims, 3.4, 0.9, &r_raw, &i_raw, &biases,
+        );
+        let insights = vec![
+            insight(0, Entity::Item, "cuisine", "Japanese", "service", Polarity::Highest, "Japanese restaurants"),
+            insight(1, Entity::Item, "cuisine", "FastFood", "food", Polarity::Lowest, "Fast-food restaurants"),
+            insight(2, Entity::Item, "neighborhood", "Williamsburg", "food", Polarity::Highest, "Williamsburg restaurants"),
+            insight(3, Entity::Reviewer, "age_group", "young", "ambiance", Polarity::Lowest, "Young reviewers"),
+            insight(4, Entity::Item, "price_range", "$$$$", "overall", Polarity::Highest, "Top-price restaurants"),
+        ];
+        RawTables {
+            reviewers,
+            items,
+            ratings,
+            dim_names: dims.iter().map(|s| (*s).to_owned()).collect(),
+            insights,
+        }
+    }
+
+    /// Generates and finalizes.
+    pub fn dataset(params: GenParams) -> Dataset {
+        generate(params).finish()
+    }
+}
+
+/// The Hotel-Reviews-like dataset (8 attributes, 4 rating dimensions).
+pub mod hotels {
+    use super::*;
+
+    /// Table 2 cardinalities: 15 493 reviewers, 879 hotels, 35 912 records.
+    pub fn default_params() -> GenParams {
+        GenParams::new(15_493, 879, 35_912, 0x484f54)
+    }
+
+    fn reviewer_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::single_gen("country", "country_", 62, 1.1),
+            AttrSpec::single(
+                "traveler_type",
+                &["business", "couple", "family", "solo", "group"],
+                0.4,
+            ),
+            AttrSpec::single("age_group", &["young", "adult", "middle_aged", "senior", "unknown"], 0.4),
+            AttrSpec::single("membership", &["none", "silver", "gold", "platinum"], 0.8),
+        ]
+    }
+
+    fn item_specs() -> Vec<AttrSpec> {
+        vec![
+            AttrSpec::single_gen("city", "city_", 40, 0.9),
+            AttrSpec::single("stars", &["1", "2", "3", "4", "5"], 0.3),
+            AttrSpec::single_gen("chain", "chain_", 12, 0.7),
+            AttrSpec::multi(
+                "amenities",
+                &["pool", "spa", "gym", "wifi", "parking", "bar", "restaurant",
+                  "shuttle", "pets", "laundry"],
+                0.4,
+                4,
+            ),
+        ]
+    }
+
+    /// Generates the un-finalized tables.
+    pub fn generate(params: GenParams) -> RawTables {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let r_specs = reviewer_specs();
+        let i_specs = item_specs();
+        let (reviewers, r_raw) = build_entity(&mut rng, params.reviewers, &r_specs);
+        let (items, i_raw) = build_entity(&mut rng, params.items, &i_specs);
+
+        // Dimensions: 0 overall, 1 cleanliness, 2 food, 3 comfort.
+        // Biases: 5-star hotels cleanliness+, 1-star comfort−, spa (amenity
+        // 1) comfort+, business travelers food−, platinum members overall+.
+        let biases = vec![
+            Bias { entity: Entity::Item, attr: 1, value: 4, dim: 1, delta: 0.9 },
+            Bias { entity: Entity::Item, attr: 1, value: 0, dim: 3, delta: -0.9 },
+            Bias { entity: Entity::Item, attr: 3, value: 1, dim: 3, delta: 0.7 },
+            Bias { entity: Entity::Reviewer, attr: 1, value: 0, dim: 2, delta: -0.7 },
+            Bias { entity: Entity::Reviewer, attr: 3, value: 3, dim: 0, delta: 0.8 },
+        ];
+        let dims = ["overall", "cleanliness", "food", "comfort"];
+        let ratings = generate_ratings(
+            &mut rng, &params, &dims, 3.6, 0.9, &r_raw, &i_raw, &biases,
+        );
+        let insights = vec![
+            insight(0, Entity::Item, "stars", "5", "cleanliness", Polarity::Highest, "Five-star hotels"),
+            insight(1, Entity::Item, "stars", "1", "comfort", Polarity::Lowest, "One-star hotels"),
+            insight(2, Entity::Item, "amenities", "spa", "comfort", Polarity::Highest, "Spa hotels"),
+            insight(3, Entity::Reviewer, "traveler_type", "business", "food", Polarity::Lowest, "Business travelers"),
+            insight(4, Entity::Reviewer, "membership", "platinum", "overall", Polarity::Highest, "Platinum members"),
+        ];
+        RawTables {
+            reviewers,
+            items,
+            ratings,
+            dim_names: dims.iter().map(|s| (*s).to_owned()).collect(),
+            insights,
+        }
+    }
+
+    /// Generates and finalizes.
+    pub fn dataset(params: GenParams) -> Dataset {
+        generate(params).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movielens_matches_table2_shape() {
+        let ds = movielens::dataset(GenParams::new(943, 1682, 10_000, 1));
+        let s = ds.db.stats();
+        assert_eq!(s.attr_count, 12);
+        assert_eq!(s.dim_count, 1);
+        assert_eq!(s.reviewer_count, 943);
+        assert_eq!(s.item_count, 1682);
+        assert_eq!(s.rating_count, 10_000);
+        assert_eq!(s.max_values, 29, "state has 29 values");
+    }
+
+    #[test]
+    fn yelp_matches_table2_shape() {
+        let ds = yelp::dataset(GenParams::new(2000, 93, 8000, 2));
+        let s = ds.db.stats();
+        assert_eq!(s.attr_count, 24);
+        assert_eq!(s.dim_count, 4);
+        assert_eq!(s.item_count, 93);
+        assert!(s.max_values <= 13, "max values {}", s.max_values);
+    }
+
+    #[test]
+    fn hotels_matches_table2_shape() {
+        let ds = hotels::dataset(GenParams::new(3000, 879, 7000, 3));
+        let s = ds.db.stats();
+        assert_eq!(s.attr_count, 8);
+        assert_eq!(s.dim_count, 4);
+        assert_eq!(s.item_count, 879);
+        assert_eq!(s.max_values, 62, "country has 62 values");
+    }
+
+    #[test]
+    fn default_params_match_table2_cardinalities() {
+        let m = movielens::default_params();
+        assert_eq!((m.reviewers, m.items, m.ratings), (943, 1682, 100_000));
+        let y = yelp::default_params();
+        assert_eq!((y.reviewers, y.items, y.ratings), (150_318, 93, 200_500));
+        let h = hotels::default_params();
+        assert_eq!((h.reviewers, h.items, h.ratings), (15_493, 879, 35_912));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = yelp::dataset(GenParams::new(500, 93, 2000, 42));
+        let b = yelp::dataset(GenParams::new(500, 93, 2000, 42));
+        for rec in [0u32, 100, 1999] {
+            assert_eq!(a.db.ratings().reviewer_of(rec), b.db.ratings().reviewer_of(rec));
+            for d in a.db.ratings().dims() {
+                assert_eq!(a.db.ratings().score(rec, d), b.db.ratings().score(rec, d));
+            }
+        }
+    }
+
+    #[test]
+    fn movielens_insights_verify_on_generated_data() {
+        let ds = movielens::dataset(GenParams::new(943, 600, 40_000, 7));
+        for ins in &ds.insights {
+            assert!(ins.verify(&ds.db), "insight {} fails: {}", ins.id, ins.description);
+        }
+    }
+
+    #[test]
+    fn yelp_insights_verify_on_generated_data() {
+        let ds = yelp::dataset(GenParams::new(3000, 93, 30_000, 7));
+        for ins in &ds.insights {
+            assert!(ins.verify(&ds.db), "insight {} fails: {}", ins.id, ins.description);
+        }
+    }
+
+    #[test]
+    fn hotels_insights_verify_on_generated_data() {
+        let ds = hotels::dataset(GenParams::new(4000, 300, 30_000, 7));
+        for ins in &ds.insights {
+            assert!(ins.verify(&ds.db), "insight {} fails: {}", ins.id, ins.description);
+        }
+    }
+
+    #[test]
+    fn every_reviewer_gets_ratings_under_round_robin() {
+        let ds = movielens::dataset(GenParams::new(100, 50, 4000, 9));
+        for r in 0..100 {
+            assert!(
+                !ds.db.ratings().records_of_reviewer(r).is_empty(),
+                "reviewer {r} has no ratings"
+            );
+        }
+    }
+
+    #[test]
+    fn item_popularity_is_skewed() {
+        let ds = movielens::dataset(GenParams::new(200, 200, 20_000, 11));
+        let counts: Vec<usize> = (0..200)
+            .map(|i| ds.db.ratings().records_of_item(i).len())
+            .collect();
+        let head: usize = counts[..20].iter().sum();
+        let tail: usize = counts[180..].iter().sum();
+        assert!(head > tail * 3, "Zipf head {head} vs tail {tail}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Ground-truth insights for Scenario II (Section 5.2).
+//!
+//! The paper's second user-study task hands subjects five insights mined
+//! from Kaggle EDA notebooks and asks them to rediscover them with SubDEx.
+//! Our synthetic datasets *plant* their insights: each is a latent score
+//! bias injected by the generator, phrased as "⟨group⟩ has the
+//! highest/lowest ⟨dimension⟩ ratings". An insight is *revealed* by a
+//! displayed rating map when the map aggregates the right dimension,
+//! groups by the right attribute, and shows the insight's subgroup at the
+//! right extreme — exactly the condition under which a human reading the
+//! histogram would write the insight down.
+
+use subdex_core::ratingmap::RatingMap;
+use subdex_store::{Entity, SubjectiveDb, Value};
+
+/// Whether the insight's subgroup sits at the top or bottom of its map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// The subgroup has the highest average score.
+    Highest,
+    /// The subgroup has the lowest average score.
+    Lowest,
+}
+
+/// A verifiable planted insight.
+#[derive(Debug, Clone)]
+pub struct Insight {
+    /// Stable identifier within its dataset.
+    pub id: usize,
+    /// Human-readable statement.
+    pub description: String,
+    /// Entity carrying the grouping attribute.
+    pub entity: Entity,
+    /// Grouping attribute name.
+    pub attr_name: String,
+    /// Rating dimension name.
+    pub dim_name: String,
+    /// The extreme subgroup's value.
+    pub value: Value,
+    /// Which extreme.
+    pub polarity: Polarity,
+    /// Minimum records the subgroup must have for a reveal to count.
+    pub min_support: u64,
+}
+
+impl Insight {
+    /// Whether this displayed rating map reveals the insight.
+    pub fn revealed_by(&self, db: &SubjectiveDb, map: &RatingMap) -> bool {
+        if map.key.entity != self.entity {
+            return false;
+        }
+        let table = db.table(self.entity);
+        if table.schema().attr(map.key.attr).name != self.attr_name {
+            return false;
+        }
+        if db.ratings().dim_name(map.key.dim) != self.dim_name {
+            return false;
+        }
+        let Some(code) = table.dictionary(map.key.attr).code(&self.value) else {
+            return false;
+        };
+        // Maps list subgroups by descending average; require the insight's
+        // subgroup at the exact extreme with enough support.
+        let extreme = match self.polarity {
+            Polarity::Highest => map.top_subgroup(),
+            Polarity::Lowest => map.bottom_subgroup(),
+        };
+        extreme.is_some_and(|sg| sg.value == code && sg.distribution.total() >= self.min_support)
+            && map.subgroup_count() >= 2
+    }
+
+    /// Ground-truth verification: over the *whole* database, the insight's
+    /// subgroup must indeed have the extreme average on its dimension.
+    /// Generators call this in tests to certify planted insights.
+    pub fn verify(&self, db: &SubjectiveDb) -> bool {
+        let table = db.table(self.entity);
+        let Some(attr) = table.schema().attr_by_name(&self.attr_name) else {
+            return false;
+        };
+        let Some(dim) = db.ratings().dim_by_name(&self.dim_name) else {
+            return false;
+        };
+        let Some(code) = table.dictionary(attr).code(&self.value) else {
+            return false;
+        };
+        let ratings = db.ratings();
+        let n_values = table.dictionary(attr).len();
+        let mut sums = vec![0u64; n_values];
+        let mut counts = vec![0u64; n_values];
+        for rec in 0..ratings.len() as u32 {
+            let row = match self.entity {
+                Entity::Reviewer => ratings.reviewer_of(rec),
+                Entity::Item => ratings.item_of(rec),
+            };
+            let score = u64::from(ratings.score(rec, dim));
+            for &v in table.values(row, attr) {
+                sums[v.index()] += score;
+                counts[v.index()] += 1;
+            }
+        }
+        let avg = |i: usize| -> Option<f64> {
+            (counts[i] > 0).then(|| sums[i] as f64 / counts[i] as f64)
+        };
+        let Some(target) = avg(code.index()) else {
+            return false;
+        };
+        if counts[code.index()] < self.min_support {
+            return false;
+        }
+        (0..n_values)
+            .filter(|&i| i != code.index())
+            .filter_map(avg)
+            .all(|other| match self.polarity {
+                Polarity::Highest => target > other,
+                Polarity::Lowest => target < other,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subdex_core::ratingmap::{MapKey, Subgroup};
+    use subdex_stats::RatingDistribution;
+    use subdex_store::{
+        Cell, DimId, EntityTableBuilder, RatingTableBuilder, Schema, ValueId,
+    };
+
+    fn db() -> SubjectiveDb {
+        let mut us = Schema::new();
+        us.add("age", false);
+        let mut ub = EntityTableBuilder::new(us);
+        ub.push_row(vec![Cell::from("young")]);
+        ub.push_row(vec![Cell::from("old")]);
+        let mut is = Schema::new();
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        ib.push_row(vec![Cell::from("NYC")]);
+        ib.push_row(vec![Cell::from("SF")]);
+        let mut rb = RatingTableBuilder::new(vec!["overall".into()], 5);
+        // NYC scores high (5s), SF low (1s/2s).
+        for r in 0..2 {
+            for _ in 0..5 {
+                rb.push(r, 0, &[5]);
+                rb.push(r, 1, &[if r == 0 { 1 } else { 2 }]);
+            }
+        }
+        SubjectiveDb::new(ub.build(), ib.build(), rb.build(2, 2))
+    }
+
+    fn nyc_insight() -> Insight {
+        Insight {
+            id: 0,
+            description: "NYC restaurants have the highest overall ratings".into(),
+            entity: Entity::Item,
+            attr_name: "city".into(),
+            dim_name: "overall".into(),
+            value: Value::str("NYC"),
+            polarity: Polarity::Highest,
+            min_support: 5,
+        }
+    }
+
+    fn map(db: &SubjectiveDb, flip: bool) -> RatingMap {
+        let attr = db.items().schema().attr_by_name("city").unwrap();
+        let nyc = Subgroup {
+            value: ValueId(0),
+            distribution: RatingDistribution::from_counts(if flip {
+                vec![10, 0, 0, 0, 0]
+            } else {
+                vec![0, 0, 0, 0, 10]
+            }),
+            avg_score: None,
+        };
+        let sf = Subgroup {
+            value: ValueId(1),
+            distribution: RatingDistribution::from_counts(vec![5, 5, 0, 0, 0]),
+            avg_score: None,
+        };
+        RatingMap::from_subgroups(
+            MapKey::new(Entity::Item, attr, DimId(0)),
+            vec![nyc, sf],
+            5,
+        )
+    }
+
+    #[test]
+    fn verify_holds_on_planted_data() {
+        let db = db();
+        assert!(nyc_insight().verify(&db));
+        let mut wrong = nyc_insight();
+        wrong.polarity = Polarity::Lowest;
+        assert!(!wrong.verify(&db));
+    }
+
+    #[test]
+    fn revealed_by_matching_map() {
+        let db = db();
+        assert!(nyc_insight().revealed_by(&db, &map(&db, false)));
+    }
+
+    #[test]
+    fn not_revealed_when_subgroup_at_wrong_extreme() {
+        let db = db();
+        assert!(!nyc_insight().revealed_by(&db, &map(&db, true)));
+    }
+
+    #[test]
+    fn not_revealed_by_wrong_attribute_or_dim() {
+        let db = db();
+        let m = map(&db, false);
+        let mut other_attr = nyc_insight();
+        other_attr.attr_name = "neighborhood".into();
+        assert!(!other_attr.revealed_by(&db, &m));
+        let mut other_dim = nyc_insight();
+        other_dim.dim_name = "food".into();
+        assert!(!other_dim.revealed_by(&db, &m));
+        let mut other_entity = nyc_insight();
+        other_entity.entity = Entity::Reviewer;
+        assert!(!other_entity.revealed_by(&db, &m));
+    }
+
+    #[test]
+    fn support_threshold_enforced() {
+        let db = db();
+        let mut needy = nyc_insight();
+        needy.min_support = 100;
+        assert!(!needy.revealed_by(&db, &map(&db, false)));
+        assert!(!needy.verify(&db));
+    }
+
+    #[test]
+    fn single_subgroup_map_reveals_nothing() {
+        let db = db();
+        let attr = db.items().schema().attr_by_name("city").unwrap();
+        let only = Subgroup {
+            value: ValueId(0),
+            distribution: RatingDistribution::from_counts(vec![0, 0, 0, 0, 10]),
+            avg_score: None,
+        };
+        let m = RatingMap::from_subgroups(
+            MapKey::new(Entity::Item, attr, DimId(0)),
+            vec![only],
+            5,
+        );
+        assert!(!nyc_insight().revealed_by(&db, &m), "no comparison basis");
+    }
+
+    #[test]
+    fn missing_value_in_dictionary() {
+        let db = db();
+        let mut ghost = nyc_insight();
+        ghost.value = Value::str("Atlantis");
+        assert!(!ghost.revealed_by(&db, &map(&db, false)));
+        assert!(!ghost.verify(&db));
+    }
+}

@@ -1,0 +1,289 @@
+//! Irregular-group injection for Scenario I (Section 5.2).
+//!
+//! The paper plants "irregular" reviewer/item groups: a group described by
+//! two or three attribute–value pairs, with at least five members, whose
+//! rating scores on one dimension are all forced to the minimal value 1.
+//! Descriptions are drawn uniformly at random (as in the paper); the
+//! injector retries until the sampled description actually has enough
+//! members *and* rating records.
+
+use crate::datasets::RawTables;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subdex_store::{AttrId, DimId, Entity, RecordId, Value};
+
+/// Injection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IrregularSpec {
+    /// How many reviewer-side groups to inject.
+    pub reviewer_groups: usize,
+    /// How many item-side groups to inject.
+    pub item_groups: usize,
+    /// Minimum members in a reviewer group (the paper uses 5).
+    pub min_members: usize,
+    /// Minimum members in an item group (item tables are often far
+    /// smaller than reviewer tables — Yelp has 93 restaurants — so the
+    /// floors are independent).
+    pub min_item_members: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IrregularSpec {
+    fn default() -> Self {
+        Self {
+            reviewer_groups: 1,
+            item_groups: 1,
+            min_members: 5,
+            min_item_members: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// A planted irregular group (Scenario I ground truth).
+#[derive(Debug, Clone)]
+pub struct IrregularGroup {
+    /// Which entity table the description selects.
+    pub entity: Entity,
+    /// The 2–3 describing attribute–value pairs (names + decoded values).
+    pub description: Vec<(String, Value)>,
+    /// The dimension whose scores were forced to 1.
+    pub dim: DimId,
+    /// The dimension's name.
+    pub dim_name: String,
+    /// Number of entity rows in the group.
+    pub member_count: usize,
+    /// Number of rating records forced to 1.
+    pub record_count: usize,
+    /// The affected record ids (ground truth for detection checks).
+    pub records: Vec<RecordId>,
+}
+
+/// Injects irregular groups into un-finalized tables, overwriting the
+/// affected records' scores with 1. Returns the ground truth. Groups that
+/// cannot be placed after many retries are skipped (the returned list may
+/// be shorter than requested on tiny datasets).
+pub fn inject_irregular_groups(raw: &mut RawTables, spec: &IrregularSpec) -> Vec<IrregularGroup> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = Vec::new();
+    for (entity, n) in [
+        (Entity::Reviewer, spec.reviewer_groups),
+        (Entity::Item, spec.item_groups),
+    ] {
+        for _ in 0..n {
+            if let Some(g) = inject_one(raw, entity, spec, &mut rng) {
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+fn inject_one(
+    raw: &mut RawTables,
+    entity: Entity,
+    spec: &IrregularSpec,
+    rng: &mut StdRng,
+) -> Option<IrregularGroup> {
+    let table = match entity {
+        Entity::Reviewer => &raw.reviewers,
+        Entity::Item => &raw.items,
+    };
+    let schema = table.schema();
+    let attr_ids: Vec<AttrId> = schema
+        .attr_ids()
+        .filter(|&a| table.dictionary(a).len() >= 2)
+        .collect();
+    if attr_ids.len() < 2 {
+        return None;
+    }
+
+    const MAX_TRIES: usize = 400;
+    for _ in 0..MAX_TRIES {
+        // Sample a description of 2 or 3 distinct attributes with uniform
+        // values, per the paper.
+        let arity = if attr_ids.len() >= 3 && rng.random_bool(0.5) {
+            3
+        } else {
+            2
+        };
+        let mut attrs: Vec<AttrId> = attr_ids.clone();
+        // Partial Fisher–Yates for a distinct sample.
+        for i in 0..arity {
+            let j = rng.random_range(i..attrs.len());
+            attrs.swap(i, j);
+        }
+        attrs.truncate(arity);
+        let desc: Vec<(AttrId, subdex_store::ValueId)> = attrs
+            .iter()
+            .map(|&a| {
+                let n = table.dictionary(a).len() as u32;
+                (a, subdex_store::ValueId(rng.random_range(0..n)))
+            })
+            .collect();
+
+        // Member rows: every description pair must hold.
+        let floor = match entity {
+            Entity::Reviewer => spec.min_members,
+            Entity::Item => spec.min_item_members,
+        };
+        let members: Vec<u32> = (0..table.len() as u32)
+            .filter(|&row| desc.iter().all(|&(a, v)| table.row_has(row, a, v)))
+            .collect();
+        if members.len() < floor {
+            continue;
+        }
+
+        // Affected rating records.
+        let member_set: std::collections::HashSet<u32> = members.iter().copied().collect();
+        let keys = match entity {
+            Entity::Reviewer => raw.ratings.reviewer_column(),
+            Entity::Item => raw.ratings.item_column(),
+        };
+        let records: Vec<RecordId> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| member_set.contains(k))
+            .map(|(i, _)| i as RecordId)
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+
+        let dim = DimId(rng.random_range(0..raw.dim_names.len() as u16));
+        for &rec in &records {
+            raw.ratings.set_score(rec, dim, 1);
+        }
+        let description = desc
+            .iter()
+            .map(|&(a, v)| {
+                (
+                    schema.attr(a).name.clone(),
+                    table.dictionary(a).value(v).clone(),
+                )
+            })
+            .collect();
+        return Some(IrregularGroup {
+            entity,
+            description,
+            dim,
+            dim_name: raw.dim_names[dim.index()].clone(),
+            member_count: members.len(),
+            record_count: records.len(),
+            records,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{movielens, yelp};
+    use crate::params::GenParams;
+
+    fn small_yelp() -> RawTables {
+        yelp::generate(GenParams::new(300, 40, 3000, 9))
+    }
+
+    #[test]
+    fn injects_requested_groups() {
+        let mut raw = small_yelp();
+        let spec = IrregularSpec {
+            reviewer_groups: 1,
+            item_groups: 1,
+            min_members: 5,
+            min_item_members: 5,
+            seed: 4,
+        };
+        let groups = inject_irregular_groups(&mut raw, &spec);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().any(|g| g.entity == Entity::Reviewer));
+        assert!(groups.iter().any(|g| g.entity == Entity::Item));
+        for g in &groups {
+            assert!(g.description.len() == 2 || g.description.len() == 3);
+            assert!(g.member_count >= 5);
+            assert!(g.record_count > 0);
+        }
+    }
+
+    #[test]
+    fn affected_records_are_all_ones() {
+        let mut raw = small_yelp();
+        let spec = IrregularSpec {
+            reviewer_groups: 1,
+            item_groups: 0,
+            min_members: 5,
+            min_item_members: 5,
+            seed: 11,
+        };
+        let groups = inject_irregular_groups(&mut raw, &spec);
+        let g = &groups[0];
+        let dim = g.dim;
+        let ds = raw.finish();
+        let db = &ds.db;
+        // Re-derive the member set from the description and check every one
+        // of their records scores 1 on the dimension.
+        let table = db.table(g.entity);
+        let preds: Vec<_> = g
+            .description
+            .iter()
+            .map(|(name, value)| db.pred(g.entity, name, value).unwrap())
+            .collect();
+        let q = subdex_store::SelectionQuery::from_preds(preds);
+        let members = db.select_group(g.entity, &q);
+        assert_eq!(members.len(), g.member_count);
+        let mut affected = 0;
+        for rec in 0..db.ratings().len() as u32 {
+            let row = db.ratings().reviewer_of(rec);
+            if members.contains(row) {
+                assert_eq!(db.ratings().score(rec, dim), 1);
+                affected += 1;
+            }
+        }
+        assert_eq!(affected, g.record_count);
+        let _ = table;
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let describe = |seed: u64| {
+            let mut raw = small_yelp();
+            let spec = IrregularSpec {
+                seed,
+                ..Default::default()
+            };
+            inject_irregular_groups(&mut raw, &spec)
+                .into_iter()
+                .map(|g| format!("{:?}{:?}{:?}", g.entity, g.description, g.dim))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(describe(3), describe(3));
+        assert_ne!(describe(3), describe(4));
+    }
+
+    #[test]
+    fn works_on_movielens_too() {
+        let mut raw = movielens::generate(GenParams::new(200, 100, 4000, 5));
+        let groups = inject_irregular_groups(&mut raw, &IrregularSpec::default());
+        assert!(!groups.is_empty());
+        for g in &groups {
+            assert_eq!(g.dim, DimId(0), "MovieLens has a single dimension");
+        }
+    }
+
+    #[test]
+    fn impossible_spec_skips_gracefully() {
+        let mut raw = yelp::generate(GenParams::new(20, 5, 50, 1));
+        let spec = IrregularSpec {
+            reviewer_groups: 2,
+            item_groups: 2,
+            min_members: 1000, // cannot be satisfied
+            min_item_members: 1000,
+            seed: 0,
+        };
+        let groups = inject_irregular_groups(&mut raw, &spec);
+        assert!(groups.is_empty());
+    }
+}

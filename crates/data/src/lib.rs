@@ -1,0 +1,39 @@
+//! # subdex-data
+//!
+//! Datasets and workloads for the SubDEx evaluation (Section 5.1).
+//!
+//! The paper evaluates on MovieLens-100K, a restaurant subset of Yelp, and
+//! a hotel-review dump. Those dumps are not redistributable, so this crate
+//! generates synthetic equivalents that match Table 2 exactly — attribute
+//! counts, maximum dictionary sizes, rating-dimension counts, and the
+//! |R| / |U| / |I| cardinalities — with realistic skews (Zipfian item
+//! popularity, demographically biased latent scores). Every engine
+//! algorithm consumes only attributes, values and rating records, so these
+//! synthetic twins exercise the same code paths at the same scales (the
+//! substitution is documented in `DESIGN.md`).
+//!
+//! Also provided:
+//!
+//! * the review-text pipeline the paper used to obtain Yelp's food /
+//!   service / ambiance scores: a synthetic review generator plus a
+//!   VADER-style lexicon scorer with window-of-5 phrase extraction
+//!   ([`sentiment`], [`reviews`]);
+//! * Scenario I workloads — injected *irregular groups* ([`irregular`]);
+//! * Scenario II workloads — planted, verifiable *insights*
+//!   ([`insight`]);
+//! * dataset transforms for the scalability sweeps of Figure 10
+//!   ([`transform`]).
+
+pub mod datasets;
+pub mod insight;
+pub mod irregular;
+pub mod model;
+pub mod params;
+pub mod reviews;
+pub mod sentiment;
+pub mod transform;
+
+pub use datasets::{hotels, movielens, yelp, Dataset, RawTables};
+pub use insight::Insight;
+pub use irregular::{inject_irregular_groups, IrregularGroup, IrregularSpec};
+pub use params::GenParams;

@@ -1,0 +1,157 @@
+//! Latent score model and sampling utilities shared by the generators.
+//!
+//! Rating scores are drawn from a clipped, rounded Gaussian around a latent
+//! mean that combines a per-dataset base with reviewer-trait and item-trait
+//! biases. The biases are what give rating maps structure to discover —
+//! and the planted ones double as Scenario II's ground-truth insights.
+
+use rand::Rng;
+
+/// Samples an index in `0..n` from a Zipf-like distribution with exponent
+/// `s` (rank 0 is the most popular). Used for item popularity and skewed
+/// categorical attributes.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn zipf_index<R: Rng + ?Sized>(rng: &mut R, n: usize, s: f64) -> usize {
+    assert!(n > 0, "zipf over an empty domain");
+    // Cumulative weights are cheap at generator scales (n ≤ a few thousand);
+    // recomputing per call would not be, so callers holding a hot loop
+    // should prefer `ZipfSampler`.
+    ZipfSampler::new(n, s).sample(rng)
+}
+
+/// Precomputed Zipf sampler (cumulative weights + binary search).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `0..n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.random::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Draws a standard-normal variate (Box–Muller; two uniforms per call).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a rating score on `1..=scale`: a Gaussian around `mean` with
+/// standard deviation `sd`, rounded and clipped.
+pub fn sample_score<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, scale: u8) -> u8 {
+    let raw = mean + sd * standard_normal(rng);
+    (raw.round()).clamp(1.0, f64::from(scale)) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampler = ZipfSampler::new(50, 1.0);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[40]);
+        assert!(counts[0] > 2_000, "rank 0 dominates: {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_ish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..=2_500).contains(&c), "roughly uniform: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_all_indices_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(zipf_index(&mut rng, 7, 1.2) < 7);
+        }
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn scores_respect_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let s = sample_score(&mut rng, 3.5, 2.0, 5);
+            assert!((1..=5).contains(&s));
+        }
+        // Extreme mean pins the score.
+        for _ in 0..100 {
+            assert_eq!(sample_score(&mut rng, 10.0, 0.1, 5), 5);
+            assert_eq!(sample_score(&mut rng, -5.0, 0.1, 5), 1);
+        }
+    }
+
+    #[test]
+    fn score_mean_tracks_latent_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| f64::from(sample_score(&mut rng, 4.0, 0.8, 5)))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zipf_empty_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

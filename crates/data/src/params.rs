@@ -1,0 +1,69 @@
+//! Generator parameters.
+
+/// Size and seed parameters for a dataset generator.
+///
+/// The defaults of each generator (see [`crate::datasets`]) reproduce the
+/// paper's Table 2 cardinalities; [`GenParams::scaled`] shrinks everything
+/// proportionally for unit tests and quick experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenParams {
+    /// Number of reviewers `|U|`.
+    pub reviewers: usize,
+    /// Number of items `|I|`.
+    pub items: usize,
+    /// Number of rating records `|R|`.
+    pub ratings: usize,
+    /// RNG seed — all generation is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl GenParams {
+    /// Creates parameters.
+    pub fn new(reviewers: usize, items: usize, ratings: usize, seed: u64) -> Self {
+        Self {
+            reviewers,
+            items,
+            ratings,
+            seed,
+        }
+    }
+
+    /// Scales all cardinalities by `factor` (at least 1 each), keeping the
+    /// seed. `factor` must be in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(1);
+        Self {
+            reviewers: scale(self.reviewers),
+            items: scale(self.items),
+            ratings: scale(self.ratings),
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_shrinks_proportionally() {
+        let p = GenParams::new(1000, 100, 10_000, 7).scaled(0.1);
+        assert_eq!(p, GenParams::new(100, 10, 1000, 7));
+    }
+
+    #[test]
+    fn scaled_never_hits_zero() {
+        let p = GenParams::new(5, 5, 5, 0).scaled(0.01);
+        assert!(p.reviewers >= 1 && p.items >= 1 && p.ratings >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn bad_factor_panics() {
+        let _ = GenParams::new(10, 10, 10, 0).scaled(1.5);
+    }
+}

@@ -1,0 +1,184 @@
+//! A VADER-style lexicon sentiment scorer.
+//!
+//! The paper obtained Yelp's food/service/ambiance scores by extracting,
+//! for each rating dimension, all phrases containing the dimension's
+//! keyword within a fixed window of 5 words, scoring each phrase with the
+//! VADER sentiment measure \[34\], and averaging. This module implements
+//! the scoring half: a valence lexicon with booster ("very", "extremely")
+//! and negation ("not", "never") handling, normalized to `[-1, 1]` the way
+//! VADER normalizes (score / sqrt(score² + α)).
+
+/// Valence lexicon entries (word, valence). Magnitudes follow VADER's
+/// −4..+4 convention.
+const LEXICON: &[(&str, f64)] = &[
+    ("amazing", 3.2), ("awesome", 3.1), ("excellent", 3.2), ("fantastic", 3.3),
+    ("great", 2.8), ("good", 1.9), ("nice", 1.8), ("lovely", 2.6),
+    ("delicious", 3.0), ("tasty", 2.4), ("fresh", 1.7), ("friendly", 2.2),
+    ("attentive", 2.1), ("fast", 1.5), ("cozy", 2.0), ("charming", 2.4),
+    ("clean", 1.8), ("comfortable", 2.1), ("perfect", 3.4), ("wonderful", 3.0),
+    ("superb", 3.2), ("decent", 1.2), ("okay", 0.6), ("fine", 0.9),
+    ("average", 0.1), ("mediocre", -1.3), ("bland", -1.8), ("stale", -2.2),
+    ("slow", -1.6), ("rude", -2.8), ("dirty", -2.6), ("noisy", -1.9),
+    ("bad", -2.5), ("poor", -2.3), ("terrible", -3.2), ("awful", -3.3),
+    ("horrible", -3.3), ("disgusting", -3.5), ("cold", -1.4), ("greasy", -1.7),
+    ("overpriced", -2.0), ("cramped", -1.8), ("disappointing", -2.4),
+    ("inedible", -3.4), ("unfriendly", -2.4), ("filthy", -3.1),
+];
+
+/// Degree boosters (word, multiplier applied to the following valence word).
+const BOOSTERS: &[(&str, f64)] = &[
+    ("very", 1.3),
+    ("extremely", 1.5),
+    ("really", 1.25),
+    ("incredibly", 1.45),
+    ("somewhat", 0.8),
+    ("slightly", 0.7),
+    ("barely", 0.6),
+];
+
+/// Negations flip the valence of the next sentiment word.
+const NEGATIONS: &[&str] = &["not", "never", "no", "hardly", "isnt", "wasnt"];
+
+/// VADER's normalization constant.
+const ALPHA: f64 = 15.0;
+
+fn lookup_valence(word: &str) -> Option<f64> {
+    LEXICON
+        .iter()
+        .find(|(w, _)| *w == word)
+        .map(|&(_, v)| v)
+}
+
+fn lookup_booster(word: &str) -> Option<f64> {
+    BOOSTERS
+        .iter()
+        .find(|(w, _)| *w == word)
+        .map(|&(_, m)| m)
+}
+
+/// Lower-cases and strips non-alphabetic characters from a token.
+fn normalize_token(tok: &str) -> String {
+    tok.chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .flat_map(|c| c.to_lowercase())
+        .collect()
+}
+
+/// Scores a phrase in `[-1, 1]`; `0.0` for neutral / no sentiment words.
+///
+/// Handling mirrors VADER's core rules: sum the valences of lexicon words,
+/// boosting by a preceding intensifier and flipping (damped ×−0.74, as
+/// VADER does) under a preceding negation within two tokens, then squash by
+/// `s / sqrt(s² + α)`.
+pub fn score_phrase(phrase: &str) -> f64 {
+    let tokens: Vec<String> = phrase.split_whitespace().map(normalize_token).collect();
+    let mut total = 0.0;
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(mut valence) = lookup_valence(tok) else {
+            continue;
+        };
+        if i >= 1 {
+            if let Some(m) = lookup_booster(&tokens[i - 1]) {
+                valence *= m;
+            }
+        }
+        let negated = tokens[i.saturating_sub(2)..i]
+            .iter()
+            .any(|t| NEGATIONS.contains(&t.as_str()));
+        if negated {
+            valence *= -0.74;
+        }
+        total += valence;
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    total / (total * total + ALPHA).sqrt()
+}
+
+/// Maps a `[-1, 1]` sentiment to the discrete rating scale `1..=m`.
+pub fn sentiment_to_score(sentiment: f64, scale: u8) -> u8 {
+    let m = f64::from(scale);
+    let raw = (sentiment + 1.0) / 2.0 * (m - 1.0) + 1.0;
+    raw.round().clamp(1.0, m) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_words_score_positive() {
+        assert!(score_phrase("the food was delicious") > 0.3);
+        assert!(score_phrase("amazing fantastic excellent") > 0.7);
+    }
+
+    #[test]
+    fn negative_words_score_negative() {
+        assert!(score_phrase("the service was terrible") < -0.3);
+        assert!(score_phrase("dirty noisy awful") < -0.7);
+    }
+
+    #[test]
+    fn neutral_phrase_scores_zero() {
+        assert_eq!(score_phrase("the table by the window"), 0.0);
+        assert_eq!(score_phrase(""), 0.0);
+    }
+
+    #[test]
+    fn boosters_intensify() {
+        let plain = score_phrase("good food");
+        let boosted = score_phrase("very good food");
+        let extreme = score_phrase("extremely good food");
+        assert!(boosted > plain);
+        assert!(extreme > boosted);
+    }
+
+    #[test]
+    fn dampeners_soften() {
+        let plain = score_phrase("good food");
+        let soft = score_phrase("slightly good food");
+        assert!(soft < plain && soft > 0.0);
+    }
+
+    #[test]
+    fn negation_flips() {
+        assert!(score_phrase("not good at all") < 0.0);
+        assert!(score_phrase("never bad here") > 0.0);
+        // Negation two tokens away still applies.
+        assert!(score_phrase("not very good") < 0.0);
+    }
+
+    #[test]
+    fn punctuation_and_case_ignored() {
+        let a = score_phrase("GREAT, food!");
+        let b = score_phrase("great food");
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squash_keeps_scores_in_unit_range() {
+        let many_pos = "amazing ".repeat(30);
+        let s = score_phrase(&many_pos);
+        assert!(s > 0.9 && s <= 1.0);
+        let many_neg = "awful ".repeat(30);
+        let s = score_phrase(&many_neg);
+        assert!((-1.0..-0.9).contains(&s));
+    }
+
+    #[test]
+    fn sentiment_to_score_maps_extremes() {
+        assert_eq!(sentiment_to_score(-1.0, 5), 1);
+        assert_eq!(sentiment_to_score(1.0, 5), 5);
+        assert_eq!(sentiment_to_score(0.0, 5), 3);
+        assert_eq!(sentiment_to_score(0.45, 5), 4);
+    }
+
+    #[test]
+    fn sentiment_order_preserved_in_scores() {
+        let bad = sentiment_to_score(score_phrase("awful disgusting inedible"), 5);
+        let meh = sentiment_to_score(score_phrase("average food"), 5);
+        let good = sentiment_to_score(score_phrase("extremely delicious amazing"), 5);
+        assert!(bad < meh && meh < good, "{bad} {meh} {good}");
+    }
+}

@@ -1,0 +1,345 @@
+//! Dataset transforms for the scalability sweeps (Figure 10).
+//!
+//! * [`sample_reviewers`] — Figure 10(a): vary database size by sampling a
+//!   fraction of reviewers and keeping their rating records;
+//! * [`drop_attributes`] — Figure 10(b): vary the number of attributes
+//!   (akin to the number of GroupBys / candidate rating maps);
+//! * [`restrict_values`] — Figure 10(c): vary the number of attribute
+//!   values (akin to the number of next-step operations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subdex_store::{
+    AttrId, Cell, Entity, EntityTable, EntityTableBuilder, RatingTableBuilder, Schema,
+    SubjectiveDb, Value,
+};
+
+/// Rebuilds an entity table keeping only `keep` attribute ids.
+fn project_entity(table: &EntityTable, keep: &[AttrId]) -> EntityTable {
+    let mut schema = Schema::new();
+    for &a in keep {
+        let def = table.schema().attr(a);
+        schema.add(def.name.clone(), def.multi_valued);
+    }
+    let mut b = EntityTableBuilder::new(schema);
+    for row in 0..table.len() as u32 {
+        let cells: Vec<Cell> = keep
+            .iter()
+            .map(|&a| {
+                let vals = table.decoded_values(row, a);
+                if table.schema().attr(a).multi_valued {
+                    Cell::Many(vals)
+                } else {
+                    Cell::One(vals.into_iter().next().expect("single-valued"))
+                }
+            })
+            .collect();
+        b.push_row(cells);
+    }
+    b.build()
+}
+
+/// Figure 10(a): keeps a random `fraction` of reviewers (at least one) and
+/// only their rating records; reviewer ids are compacted.
+///
+/// # Panics
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn sample_reviewers(db: &SubjectiveDb, fraction: f64, seed: u64) -> SubjectiveDb {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = db.reviewers().len();
+    let target = ((n as f64 * fraction).round() as usize).clamp(1, n);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    // Partial Fisher–Yates.
+    for i in 0..target {
+        let j = rng.random_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(target);
+    ids.sort_unstable();
+    let mut remap = vec![u32::MAX; n];
+    for (new, &old) in ids.iter().enumerate() {
+        remap[old as usize] = new as u32;
+    }
+
+    let all_attrs: Vec<AttrId> = db.reviewers().schema().attr_ids().collect();
+    let mut schema = Schema::new();
+    for &a in &all_attrs {
+        let def = db.reviewers().schema().attr(a);
+        schema.add(def.name.clone(), def.multi_valued);
+    }
+    let mut rb = EntityTableBuilder::new(schema);
+    for &old in &ids {
+        let cells: Vec<Cell> = all_attrs
+            .iter()
+            .map(|&a| {
+                let vals = db.reviewers().decoded_values(old, a);
+                if db.reviewers().schema().attr(a).multi_valued {
+                    Cell::Many(vals)
+                } else {
+                    Cell::One(vals.into_iter().next().expect("single-valued"))
+                }
+            })
+            .collect();
+        rb.push_row(cells);
+    }
+    let reviewers = rb.build();
+
+    let r = db.ratings();
+    let mut ratings = RatingTableBuilder::new(r.dim_names().to_vec(), r.scale());
+    let mut scores = vec![0u8; r.dim_count()];
+    for rec in 0..r.len() as u32 {
+        let new_rev = remap[r.reviewer_of(rec) as usize];
+        if new_rev == u32::MAX {
+            continue;
+        }
+        for (i, d) in r.dims().enumerate() {
+            scores[i] = r.score(rec, d);
+        }
+        ratings.push(new_rev, r.item_of(rec), &scores);
+    }
+    let items = project_entity(db.items(), &db.items().schema().attr_ids().collect::<Vec<_>>());
+    let item_count = items.len();
+    let reviewer_count = reviewers.len();
+    SubjectiveDb::new(reviewers, items, ratings.build(reviewer_count, item_count))
+}
+
+/// Figure 10(b): keeps `keep_total` randomly chosen attributes across both
+/// tables (at least one per side).
+///
+/// # Panics
+/// Panics if `keep_total < 2` or exceeds the available attribute count.
+pub fn drop_attributes(db: &SubjectiveDb, keep_total: usize, seed: u64) -> SubjectiveDb {
+    let r_attrs: Vec<AttrId> = db.reviewers().schema().attr_ids().collect();
+    let i_attrs: Vec<AttrId> = db.items().schema().attr_ids().collect();
+    let total = r_attrs.len() + i_attrs.len();
+    assert!(
+        (2..=total).contains(&keep_total),
+        "keep_total must be in 2..={total}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Tag attrs by side, shuffle, force one of each side into the front.
+    let mut tagged: Vec<(Entity, AttrId)> = r_attrs
+        .iter()
+        .map(|&a| (Entity::Reviewer, a))
+        .chain(i_attrs.iter().map(|&a| (Entity::Item, a)))
+        .collect();
+    for i in (1..tagged.len()).rev() {
+        let j = rng.random_range(0..=i);
+        tagged.swap(i, j);
+    }
+    let mut kept: Vec<(Entity, AttrId)> = Vec::with_capacity(keep_total);
+    // Guarantee one per side first.
+    for side in [Entity::Reviewer, Entity::Item] {
+        let pos = tagged.iter().position(|&(e, _)| e == side).expect("side present");
+        kept.push(tagged.remove(pos));
+    }
+    for t in tagged {
+        if kept.len() >= keep_total {
+            break;
+        }
+        kept.push(t);
+    }
+    let mut keep_r: Vec<AttrId> = kept
+        .iter()
+        .filter(|(e, _)| *e == Entity::Reviewer)
+        .map(|&(_, a)| a)
+        .collect();
+    let mut keep_i: Vec<AttrId> = kept
+        .iter()
+        .filter(|(e, _)| *e == Entity::Item)
+        .map(|&(_, a)| a)
+        .collect();
+    keep_r.sort_unstable();
+    keep_i.sort_unstable();
+
+    let reviewers = project_entity(db.reviewers(), &keep_r);
+    let items = project_entity(db.items(), &keep_i);
+
+    let r = db.ratings();
+    let mut ratings = RatingTableBuilder::new(r.dim_names().to_vec(), r.scale());
+    let mut scores = vec![0u8; r.dim_count()];
+    for rec in 0..r.len() as u32 {
+        for (i, d) in r.dims().enumerate() {
+            scores[i] = r.score(rec, d);
+        }
+        ratings.push(r.reviewer_of(rec), r.item_of(rec), &scores);
+    }
+    let (rc, ic) = (reviewers.len(), items.len());
+    SubjectiveDb::new(reviewers, items, ratings.build(rc, ic))
+}
+
+/// Figure 10(c): caps every attribute's dictionary at `max_values` by
+/// keeping its most frequent values. Rows holding a dropped value are
+/// remapped to the attribute's most frequent value (single-valued) or have
+/// the value removed from their set (multi-valued).
+///
+/// # Panics
+/// Panics if `max_values == 0`.
+pub fn restrict_values(db: &SubjectiveDb, max_values: usize, _seed: u64) -> SubjectiveDb {
+    assert!(max_values > 0, "at least one value per attribute");
+
+    let shrink = |table: &EntityTable, entity: Entity| -> EntityTable {
+        let index = db.index(entity);
+        let mut schema = Schema::new();
+        for (_, def) in table.schema().iter() {
+            schema.add(def.name.clone(), def.multi_valued);
+        }
+        // For each attribute: the retained values (by frequency) and the
+        // fallback (most frequent).
+        let per_attr: Vec<(Vec<bool>, Value)> = table
+            .schema()
+            .attr_ids()
+            .map(|a| {
+                let dict = table.dictionary(a);
+                let mut freq: Vec<(usize, u32)> = (0..dict.len() as u32)
+                    .map(|v| (index.postings(a, subdex_store::ValueId(v)).len(), v))
+                    .collect();
+                freq.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+                let mut keep = vec![false; dict.len()];
+                for &(_, v) in freq.iter().take(max_values) {
+                    keep[v as usize] = true;
+                }
+                let fallback = dict.value(subdex_store::ValueId(freq[0].1)).clone();
+                (keep, fallback)
+            })
+            .collect();
+        let mut b = EntityTableBuilder::new(schema);
+        for row in 0..table.len() as u32 {
+            let cells: Vec<Cell> = table
+                .schema()
+                .attr_ids()
+                .map(|a| {
+                    let (keep, fallback) = &per_attr[a.index()];
+                    let multi = table.schema().attr(a).multi_valued;
+                    let kept: Vec<Value> = table
+                        .values(row, a)
+                        .iter()
+                        .filter(|v| keep[v.index()])
+                        .map(|&v| table.dictionary(a).value(v).clone())
+                        .collect();
+                    if multi {
+                        Cell::Many(kept)
+                    } else if let Some(v) = kept.into_iter().next() {
+                        Cell::One(v)
+                    } else {
+                        Cell::One(fallback.clone())
+                    }
+                })
+                .collect();
+            b.push_row(cells);
+        }
+        b.build()
+    };
+
+    let reviewers = shrink(db.reviewers(), Entity::Reviewer);
+    let items = shrink(db.items(), Entity::Item);
+    let r = db.ratings();
+    let mut ratings = RatingTableBuilder::new(r.dim_names().to_vec(), r.scale());
+    let mut scores = vec![0u8; r.dim_count()];
+    for rec in 0..r.len() as u32 {
+        for (i, d) in r.dims().enumerate() {
+            scores[i] = r.score(rec, d);
+        }
+        ratings.push(r.reviewer_of(rec), r.item_of(rec), &scores);
+    }
+    let (rc, ic) = (reviewers.len(), items.len());
+    SubjectiveDb::new(reviewers, items, ratings.build(rc, ic))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::yelp;
+    use crate::params::GenParams;
+
+    fn db() -> SubjectiveDb {
+        yelp::dataset(GenParams::new(400, 40, 3000, 21)).db
+    }
+
+    #[test]
+    fn sample_reviewers_shrinks_proportionally() {
+        let db = db();
+        let half = sample_reviewers(&db, 0.5, 1);
+        assert_eq!(half.reviewers().len(), 200);
+        assert_eq!(half.items().len(), 40);
+        // Roughly half the ratings survive (reviewer activity varies).
+        let frac = half.ratings().len() as f64 / db.ratings().len() as f64;
+        assert!((0.3..=0.7).contains(&frac), "kept fraction {frac}");
+        // Referential integrity: every record's reviewer is in range.
+        for rec in 0..half.ratings().len() as u32 {
+            assert!((half.ratings().reviewer_of(rec) as usize) < 200);
+        }
+    }
+
+    #[test]
+    fn sample_reviewers_full_keeps_everything() {
+        let db = db();
+        let all = sample_reviewers(&db, 1.0, 1);
+        assert_eq!(all.ratings().len(), db.ratings().len());
+        assert_eq!(all.reviewers().len(), db.reviewers().len());
+    }
+
+    #[test]
+    fn drop_attributes_keeps_requested_count() {
+        let db = db();
+        for keep in [2, 6, 12, 20] {
+            let small = drop_attributes(&db, keep, 5);
+            let s = small.stats();
+            assert_eq!(s.attr_count, keep);
+            assert!(!small.reviewers().schema().is_empty());
+            assert!(!small.items().schema().is_empty());
+            assert_eq!(s.rating_count, db.ratings().len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_total")]
+    fn drop_attributes_rejects_too_many() {
+        let db = db();
+        let _ = drop_attributes(&db, 99, 0);
+    }
+
+    #[test]
+    fn restrict_values_caps_dictionaries() {
+        let db = db();
+        let capped = restrict_values(&db, 3, 0);
+        for entity in [Entity::Reviewer, Entity::Item] {
+            let t = capped.table(entity);
+            for a in t.schema().attr_ids() {
+                assert!(
+                    t.dictionary(a).len() <= 3,
+                    "{entity} attr {a:?} has {} values",
+                    t.dictionary(a).len()
+                );
+            }
+        }
+        assert_eq!(capped.ratings().len(), db.ratings().len());
+    }
+
+    #[test]
+    fn restrict_values_keeps_most_frequent() {
+        let db = db();
+        let capped = restrict_values(&db, 2, 0);
+        // The original most frequent gender value must survive.
+        let orig_attr = db.reviewers().schema().attr_by_name("gender").unwrap();
+        let idx = db.index(Entity::Reviewer);
+        let best = (0..db.reviewers().dictionary(orig_attr).len() as u32)
+            .max_by_key(|&v| idx.postings(orig_attr, subdex_store::ValueId(v)).len())
+            .unwrap();
+        let best_val = db.reviewers().dictionary(orig_attr).value(subdex_store::ValueId(best));
+        let new_attr = capped.reviewers().schema().attr_by_name("gender").unwrap();
+        assert!(capped.reviewers().dictionary(new_attr).code(best_val).is_some());
+    }
+
+    #[test]
+    fn transforms_preserve_queryability() {
+        let db = db();
+        let t = restrict_values(&drop_attributes(&sample_reviewers(&db, 0.5, 3), 8, 3), 4, 3);
+        let q = subdex_store::SelectionQuery::all();
+        assert!(!t.rating_group(&q, 0).is_empty());
+        let s = t.stats();
+        assert_eq!(s.attr_count, 8);
+        assert!(s.max_values <= 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based and structural tests of the dataset generators.
+
+use proptest::prelude::*;
+use subdex_data::{hotels, movielens, yelp, GenParams};
+use subdex_store::Entity;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn generators_respect_requested_cardinalities(
+        reviewers in 20usize..300,
+        items in 10usize..120,
+        ratings in 100usize..2000,
+        seed in 0u64..1000,
+    ) {
+        for build in [movielens::dataset, yelp::dataset, hotels::dataset] {
+            let ds = build(GenParams::new(reviewers, items, ratings, seed));
+            let s = ds.db.stats();
+            prop_assert_eq!(s.reviewer_count, reviewers);
+            prop_assert_eq!(s.item_count, items);
+            prop_assert_eq!(s.rating_count, ratings);
+            // Referential integrity.
+            for rec in 0..ds.db.ratings().len() as u32 {
+                prop_assert!((ds.db.ratings().reviewer_of(rec) as usize) < reviewers);
+                prop_assert!((ds.db.ratings().item_of(rec) as usize) < items);
+            }
+            // All scores in scale.
+            for d in ds.db.ratings().dims() {
+                for &s in ds.db.ratings().score_column(d) {
+                    prop_assert!((1..=5).contains(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_row_has_every_single_valued_attribute(seed in 0u64..100) {
+        let ds = yelp::dataset(GenParams::new(100, 30, 500, seed));
+        for entity in [Entity::Reviewer, Entity::Item] {
+            let t = ds.db.table(entity);
+            for (attr, def) in t.schema().iter() {
+                for row in 0..t.len() as u32 {
+                    let vals = t.values(row, attr);
+                    if def.multi_valued {
+                        // Multi-valued rows may carry several values but
+                        // never duplicates.
+                        let set: std::collections::HashSet<_> = vals.iter().collect();
+                        prop_assert_eq!(set.len(), vals.len());
+                    } else {
+                        prop_assert_eq!(vals.len(), 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insights_are_structurally_resolvable(seed in 0u64..50) {
+        // Every planted insight must reference attributes/values/dims that
+        // actually exist in the generated database, at any scale.
+        for build in [movielens::dataset, yelp::dataset, hotels::dataset] {
+            let ds = build(GenParams::new(150, 40, 800, seed));
+            prop_assert_eq!(ds.insights.len(), 5);
+            for ins in &ds.insights {
+                let table = ds.db.table(ins.entity);
+                let attr = table.schema().attr_by_name(&ins.attr_name);
+                prop_assert!(attr.is_some(), "missing attr {}", ins.attr_name);
+                prop_assert!(
+                    ds.db.ratings().dim_by_name(&ins.dim_name).is_some(),
+                    "missing dim {}",
+                    ins.dim_name
+                );
+                // The value itself may legitimately be missing at tiny
+                // scales (Zipf sampling can skip rare values); when it is
+                // present, verification machinery must accept it.
+                let _ = table.dictionary(attr.unwrap()).code(&ins.value);
+            }
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ_same_seed_agrees() {
+    let a = yelp::dataset(GenParams::new(200, 50, 1000, 1));
+    let b = yelp::dataset(GenParams::new(200, 50, 1000, 1));
+    let c = yelp::dataset(GenParams::new(200, 50, 1000, 2));
+    let col = |ds: &subdex_data::Dataset| {
+        ds.db
+            .ratings()
+            .score_column(subdex_store::DimId(0))
+            .to_vec()
+    };
+    assert_eq!(col(&a), col(&b));
+    assert_ne!(col(&a), col(&c));
+}
+
+#[test]
+fn planted_biases_shift_group_means() {
+    // The Yelp "Japanese → highest service" bias must move the group mean
+    // by a visible margin, not epsilon.
+    let ds = yelp::dataset(GenParams::new(3000, 93, 30_000, 7));
+    let db = &ds.db;
+    let cuisine = db.items().schema().attr_by_name("cuisine").unwrap();
+    let japanese = db
+        .items()
+        .dictionary(cuisine)
+        .code(&subdex_store::Value::str("Japanese"))
+        .unwrap();
+    let service = db.ratings().dim_by_name("service").unwrap();
+    let (mut sum_j, mut n_j, mut sum_o, mut n_o) = (0u64, 0u64, 0u64, 0u64);
+    for rec in 0..db.ratings().len() as u32 {
+        let item = db.ratings().item_of(rec);
+        let s = u64::from(db.ratings().score(rec, service));
+        if db.items().row_has(item, cuisine, japanese) {
+            sum_j += s;
+            n_j += 1;
+        } else {
+            sum_o += s;
+            n_o += 1;
+        }
+    }
+    let mean_j = sum_j as f64 / n_j as f64;
+    let mean_o = sum_o as f64 / n_o as f64;
+    assert!(
+        mean_j - mean_o > 0.5,
+        "bias should shift the mean: {mean_j:.2} vs {mean_o:.2}"
+    );
+}

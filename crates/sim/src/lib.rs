@@ -1,0 +1,38 @@
+//! # subdex-sim
+//!
+//! Simulated user-study harness for the SubDEx evaluation (Section 5.2).
+//!
+//! The paper ran 120 Amazon Mechanical Turk subjects per dataset/scenario
+//! through a three-stage protocol (pre-qualification → exploration →
+//! post-test). MTurk subjects are not available to a reproduction, so this
+//! crate substitutes *stochastic subject models* whose mechanisms mirror
+//! what each exploration mode affords a human:
+//!
+//! * in **User-Driven** mode a subject sees only the rating maps — she has
+//!   no interestingness signal, so her next operation is a guess (biased
+//!   toward extreme subgroups when her CS expertise is high);
+//! * in **Recommendation-Powered** mode she usually follows a
+//!   recommendation but *can* intervene — e.g. drill straight into a
+//!   suspicious subgroup she spotted;
+//! * in **Fully-Automated** mode she cannot intervene at all; the path is
+//!   whatever the top-1 recommendation chain gives.
+//!
+//! Finding irregular groups / insights requires both *being shown* the
+//! right map (mode-dependent) and *noticing* it (expertise-dependent), so
+//! the paper's qualitative ordering — RP > FA ≈ UD — emerges from the
+//! mechanism rather than being hard-coded. Domain knowledge deliberately
+//! has no mechanical effect; the harness's ANOVA then reproduces the
+//! paper's "no significant difference" footnotes.
+//!
+//! Modules: [`subject`] (profiles & behavior), [`workload`] (scenario
+//! setup & detection logic), [`study`] (treatment groups, Figure 7/8),
+//! [`autopath`] (fixed-path runs behind Tables 4 and 6).
+
+pub mod autopath;
+pub mod study;
+pub mod subject;
+pub mod workload;
+
+pub use study::{run_study, StudyConfig, StudyResults};
+pub use subject::{CsExpertise, DomainKnowledge, SubjectProfile};
+pub use workload::{Scenario, Workload};

@@ -1,0 +1,226 @@
+//! Simulated study subjects.
+//!
+//! A subject is parameterized by CS expertise and domain knowledge (the
+//! pre-qualification axes of Section 5.2.1) plus an RNG seed. Behavior:
+//!
+//! * **Noticing.** When a displayed map exhibits a planted irregular group
+//!   or reveals an insight, the subject notices it with a probability that
+//!   grows with CS expertise (reading grouped histograms is a skill).
+//!   Domain knowledge has *no* effect — matching the paper's finding that
+//!   results do not depend on it.
+//! * **Acting.** Where the mode allows her to choose the next operation,
+//!   a high-CS subject drills into the most extreme visible subgroup more
+//!   often; otherwise she takes a random small edit. In
+//!   Recommendation-Powered mode she follows a recommendation with high
+//!   probability but overrides it to chase a suspicious subgroup she has
+//!   noticed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subdex_core::ratingmap::ScoredRatingMap;
+use subdex_store::{AttrValue, SelectionQuery, SubjectiveDb};
+
+/// CS expertise level (pre-qualification, 10-question questionnaire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsExpertise {
+    /// Scored ≤ 5 of 10.
+    Low,
+    /// Scored > 5 of 10.
+    High,
+}
+
+/// Domain knowledge level (movies questionnaire / restaurant frequency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKnowledge {
+    /// Low familiarity with the domain.
+    Low,
+    /// High familiarity with the domain.
+    High,
+}
+
+/// One simulated subject.
+#[derive(Debug, Clone)]
+pub struct SubjectProfile {
+    /// CS expertise.
+    pub cs: CsExpertise,
+    /// Domain knowledge (mechanically inert; see module docs).
+    pub domain: DomainKnowledge,
+    /// Per-subject RNG seed.
+    pub seed: u64,
+}
+
+impl SubjectProfile {
+    /// Creates a profile.
+    pub fn new(cs: CsExpertise, domain: DomainKnowledge, seed: u64) -> Self {
+        Self { cs, domain, seed }
+    }
+
+    /// Probability of noticing a shown irregular group / revealed insight.
+    pub fn notice_probability(&self) -> f64 {
+        match self.cs {
+            CsExpertise::High => 0.85,
+            CsExpertise::Low => 0.65,
+        }
+    }
+
+    /// Probability of taking a recommendation (vs acting on her own) in
+    /// Recommendation-Powered mode.
+    pub fn follow_probability(&self) -> f64 {
+        match self.cs {
+            // Experts second-guess the system a bit more; the paper finds
+            // non-experts lean on the recommendations almost entirely.
+            CsExpertise::High => 0.75,
+            CsExpertise::Low => 0.92,
+        }
+    }
+
+    /// Probability that, when choosing on her own, she drills into the most
+    /// extreme visible subgroup rather than editing at random.
+    pub fn greedy_probability(&self) -> f64 {
+        match self.cs {
+            CsExpertise::High => 0.6,
+            CsExpertise::Low => 0.25,
+        }
+    }
+
+    /// Probability of overriding the mode's default action to drill into a
+    /// *suspicious* subgroup she spotted (possible in User-Driven and
+    /// Recommendation-Powered modes; Fully-Automated cannot intervene —
+    /// the mechanical reason FA trails RP in the study).
+    pub fn chase_probability(&self) -> f64 {
+        match self.cs {
+            CsExpertise::High => 0.85,
+            CsExpertise::Low => 0.65,
+        }
+    }
+
+    /// The subject's RNG.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Chooses the subject's *own* next operation given the displayed maps:
+/// either a greedy drill-down into the lowest-average subgroup on display,
+/// or a random small edit (drill into a random subgroup / remove a random
+/// predicate). Returns `None` when no edit is possible.
+pub fn choose_own_operation(
+    rng: &mut StdRng,
+    profile: &SubjectProfile,
+    db: &SubjectiveDb,
+    query: &SelectionQuery,
+    maps: &[ScoredRatingMap],
+) -> Option<SelectionQuery> {
+    let greedy = rng.random_bool(profile.greedy_probability());
+    if greedy {
+        // Lowest-average subgroup across all displayed maps.
+        let mut best: Option<(f64, AttrValue)> = None;
+        for sm in maps {
+            if let Some(sg) = sm.map.bottom_subgroup() {
+                let avg = sg.avg_score.unwrap_or(5.0);
+                let p = AttrValue::new(sm.map.key.entity, sm.map.key.attr, sg.value);
+                if !query.contains(&p) && best.is_none_or(|(a, _)| avg < a) {
+                    best = Some((avg, p));
+                }
+            }
+        }
+        if let Some((_, p)) = best {
+            return Some(query.with_added(p));
+        }
+    }
+    // Random small edit: 70% drill into a random displayed subgroup,
+    // 30% roll up a random predicate (when any exists).
+    let rollup = !query.is_empty() && rng.random_bool(0.3);
+    if rollup {
+        let preds = query.preds();
+        let victim = preds[rng.random_range(0..preds.len())];
+        return Some(query.with_removed(&victim));
+    }
+    let candidates: Vec<AttrValue> = maps
+        .iter()
+        .flat_map(|sm| {
+            sm.map.subgroups.iter().map(move |sg| {
+                AttrValue::new(sm.map.key.entity, sm.map.key.attr, sg.value)
+            })
+        })
+        .filter(|p| !query.contains(p))
+        .collect();
+    if candidates.is_empty() {
+        let _ = db;
+        return None;
+    }
+    let pick = candidates[rng.random_range(0..candidates.len())];
+    Some(query.with_added(pick))
+}
+
+/// Finds a drill-down into the most suspicious visible subgroup: lowest
+/// average at or below `max_avg` with enough support, not already pinned.
+pub fn suspicious_drill(
+    query: &SelectionQuery,
+    maps: &[ScoredRatingMap],
+    max_avg: f64,
+    min_support: u64,
+) -> Option<SelectionQuery> {
+    suspicious_drill_on(query, maps, max_avg, min_support, None)
+}
+
+/// [`suspicious_drill`] restricted to maps grouping one entity side —
+/// the paper's Scenario I tells subjects there is one reviewer-side and
+/// one item-side group, so after finding one they hunt the other side.
+pub fn suspicious_drill_on(
+    query: &SelectionQuery,
+    maps: &[ScoredRatingMap],
+    max_avg: f64,
+    min_support: u64,
+    side: Option<subdex_store::Entity>,
+) -> Option<SelectionQuery> {
+    let mut best: Option<(f64, AttrValue)> = None;
+    for sm in maps {
+        if side.is_some_and(|e| sm.map.key.entity != e) {
+            continue;
+        }
+        for sg in &sm.map.subgroups {
+            let avg = sg.avg_score.unwrap_or(f64::MAX);
+            if avg > max_avg || sg.distribution.total() < min_support {
+                continue;
+            }
+            let p = AttrValue::new(sm.map.key.entity, sm.map.key.attr, sg.value);
+            if !query.contains(&p) && best.is_none_or(|(a, _)| avg < a) {
+                best = Some((avg, p));
+            }
+        }
+    }
+    best.map(|(_, p)| query.with_added(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expertise_orders_probabilities() {
+        let hi = SubjectProfile::new(CsExpertise::High, DomainKnowledge::Low, 0);
+        let lo = SubjectProfile::new(CsExpertise::Low, DomainKnowledge::Low, 0);
+        assert!(hi.notice_probability() > lo.notice_probability());
+        assert!(hi.greedy_probability() > lo.greedy_probability());
+        assert!(hi.chase_probability() > lo.chase_probability());
+        assert!(hi.follow_probability() < lo.follow_probability());
+    }
+
+    #[test]
+    fn domain_knowledge_is_mechanically_inert() {
+        let a = SubjectProfile::new(CsExpertise::High, DomainKnowledge::Low, 0);
+        let b = SubjectProfile::new(CsExpertise::High, DomainKnowledge::High, 0);
+        assert_eq!(a.notice_probability(), b.notice_probability());
+        assert_eq!(a.follow_probability(), b.follow_probability());
+        assert_eq!(a.greedy_probability(), b.greedy_probability());
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let p = SubjectProfile::new(CsExpertise::High, DomainKnowledge::Low, 99);
+        let a: u64 = p.rng().random();
+        let b: u64 = p.rng().random();
+        assert_eq!(a, b);
+    }
+}

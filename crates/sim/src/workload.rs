@@ -1,0 +1,284 @@
+//! Study workloads: scenario setup and detection logic.
+//!
+//! A [`Workload`] bundles a generated database with its Scenario I ground
+//! truth (injected irregular groups) and Scenario II ground truth (planted
+//! insights), plus the two detection predicates shared by every simulated
+//! subject:
+//!
+//! * [`Workload::irregular_shown`] — does a displayed rating map exhibit a
+//!   subgroup that *is* one of the planted irregular groups (suspiciously
+//!   low average, sufficient support, matching dimension, and a display
+//!   dominated by — and covering most of — the planted records)?
+//! * [`Workload::insights_shown`] — which catalogued insights does a
+//!   displayed map reveal (see [`subdex_data::Insight::revealed_by`])?
+
+use std::sync::Arc;
+use subdex_core::ratingmap::RatingMap;
+use subdex_data::datasets::Dataset;
+use subdex_data::{inject_irregular_groups, Insight, IrregularGroup, IrregularSpec};
+use subdex_store::{Entity, SelectionQuery, SubjectiveDb};
+
+/// The two study tasks of Section 5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Identify planted irregular groups (0–2 per run).
+    IrregularGroups,
+    /// Extract catalogued insights (0–5 per run).
+    InsightExtraction,
+}
+
+impl Scenario {
+    /// Default exploration-path length (Table 3).
+    pub fn default_steps(self) -> usize {
+        match self {
+            Scenario::IrregularGroups => 7,
+            Scenario::InsightExtraction => 10,
+        }
+    }
+}
+
+/// A fully prepared study workload.
+pub struct Workload {
+    /// The database (with irregular groups injected when Scenario I).
+    pub db: Arc<SubjectiveDb>,
+    /// Scenario I ground truth.
+    pub irregulars: Vec<IrregularGroup>,
+    /// Scenario II ground truth.
+    pub insights: Vec<Insight>,
+    /// Which task this workload serves.
+    pub scenario: Scenario,
+}
+
+/// A suspicious subgroup's support and average must clear these bars for a
+/// subject to even look twice. The planted groups average exactly 1.0;
+/// a display mixing them with outside records is still an obvious anomaly
+/// as long as the planted records dominate (an analyst seeing a subgroup
+/// at 2.0 among siblings at 3.5 inspects it).
+pub const SUSPICIOUS_AVG: f64 = 2.0;
+/// Minimum records in a suspicious subgroup.
+pub const SUSPICIOUS_SUPPORT: u64 = 5;
+/// Fraction of a suspicious subgroup's records that must come from the
+/// planted group (display purity).
+const PURITY_THRESHOLD: f64 = 0.6;
+/// Fraction of the planted group's records the display must contain
+/// (coverage — seeing a sliver is not an identification).
+const COVERAGE_THRESHOLD: f64 = 0.5;
+
+impl Workload {
+    /// Prepares a Scenario I workload: injects irregular groups into raw
+    /// tables and finalizes.
+    pub fn scenario1(mut raw: subdex_data::RawTables, spec: &IrregularSpec) -> Self {
+        let irregulars = inject_irregular_groups(&mut raw, spec);
+        let ds = raw.finish();
+        Self {
+            db: Arc::new(ds.db),
+            irregulars,
+            insights: ds.insights,
+            scenario: Scenario::IrregularGroups,
+        }
+    }
+
+    /// Prepares a Scenario II workload from a finished dataset.
+    pub fn scenario2(ds: Dataset) -> Self {
+        Self {
+            db: Arc::new(ds.db),
+            irregulars: Vec::new(),
+            insights: ds.insights,
+            scenario: Scenario::InsightExtraction,
+        }
+    }
+
+    /// Ground-truth target count for the scenario.
+    pub fn target_count(&self) -> usize {
+        match self.scenario {
+            Scenario::IrregularGroups => self.irregulars.len(),
+            Scenario::InsightExtraction => self.insights.len(),
+        }
+    }
+
+    /// Indexes of irregular groups that `map` (displayed under `query`)
+    /// exhibits. A planted group is *shown* when some subgroup of the map
+    /// has a suspiciously low average with enough support, the map
+    /// aggregates the group's forced dimension, and the subgroup's records
+    /// are predominantly the group's forced records.
+    pub fn irregular_shown(&self, query: &SelectionQuery, map: &RatingMap) -> Vec<usize> {
+        let mut shown = Vec::new();
+        if self.irregulars.is_empty() {
+            return shown;
+        }
+        let suspicious: Vec<&subdex_core::ratingmap::Subgroup> = map
+            .subgroups
+            .iter()
+            .filter(|sg| {
+                sg.distribution.total() >= SUSPICIOUS_SUPPORT
+                    && sg.avg_score.unwrap_or(5.0) <= SUSPICIOUS_AVG
+            })
+            .collect();
+        if suspicious.is_empty() {
+            return shown;
+        }
+        // Materialize the subgroup record sets only when needed.
+        let group = self.db.rating_group(query, 0);
+        for (gi, irr) in self.irregulars.iter().enumerate() {
+            if irr.dim != map.key.dim {
+                continue;
+            }
+            let irr_set: std::collections::HashSet<u32> =
+                irr.records.iter().copied().collect();
+            // Planted records still inside the current selection: scoping
+            // the *other* entity (e.g. to young reviewers while hunting an
+            // item group) does not change the group's identity.
+            let in_scope = group.records().iter().filter(|r| irr_set.contains(r)).count();
+            if (in_scope as u64) < SUSPICIOUS_SUPPORT {
+                continue;
+            }
+            // Standing *on* the pocket: the whole selection is (almost)
+            // the planted group and the map's overall average is at the
+            // forced floor — unmistakable regardless of subgrouping.
+            if in_scope as f64 / group.len().max(1) as f64 >= PURITY_THRESHOLD
+                && map.overall.mean().unwrap_or(5.0) <= SUSPICIOUS_AVG
+            {
+                shown.push(gi);
+                continue;
+            }
+            for sg in &suspicious {
+                let table = self.db.table(map.key.entity);
+                let mut total = 0usize;
+                let mut inside = 0usize;
+                for &rec in group.records() {
+                    let row = match map.key.entity {
+                        Entity::Reviewer => self.db.ratings().reviewer_of(rec),
+                        Entity::Item => self.db.ratings().item_of(rec),
+                    };
+                    if table.row_has(row, map.key.attr, sg.value) {
+                        total += 1;
+                        if irr_set.contains(&rec) {
+                            inside += 1;
+                        }
+                    }
+                }
+                let purity = inside as f64 / total.max(1) as f64;
+                let coverage = inside as f64 / in_scope.max(1) as f64;
+                if total > 0 && purity >= PURITY_THRESHOLD && coverage >= COVERAGE_THRESHOLD {
+                    shown.push(gi);
+                    break;
+                }
+            }
+        }
+        shown
+    }
+
+    /// Indexes of catalogue insights revealed by `map`.
+    pub fn insights_shown(&self, map: &RatingMap) -> Vec<usize> {
+        self.insights
+            .iter()
+            .enumerate()
+            .filter(|(_, ins)| ins.revealed_by(&self.db, map))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subdex_data::{yelp, GenParams};
+
+    fn workload() -> Workload {
+        let raw = yelp::generate(GenParams::new(400, 50, 4000, 13));
+        Workload::scenario1(
+            raw,
+            &IrregularSpec {
+                reviewer_groups: 1,
+                item_groups: 1,
+                min_members: 5,
+                min_item_members: 5,
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn scenario1_setup() {
+        let w = workload();
+        assert_eq!(w.scenario, Scenario::IrregularGroups);
+        assert_eq!(w.target_count(), w.irregulars.len());
+        assert!(w.target_count() >= 1);
+        assert_eq!(Scenario::IrregularGroups.default_steps(), 7);
+        assert_eq!(Scenario::InsightExtraction.default_steps(), 10);
+    }
+
+    #[test]
+    fn irregular_shown_when_query_matches_description() {
+        let w = workload();
+        // Pin all but one description pair, group by the remaining one:
+        // the planted subgroup must surface.
+        let irr = &w.irregulars[0];
+        let preds: Vec<_> = irr.description[1..]
+            .iter()
+            .map(|(name, value)| w.db.pred(irr.entity, name, value).unwrap())
+            .collect();
+        let query = SelectionQuery::from_preds(preds);
+        // Build the map grouped by the first description attribute over the
+        // forced dimension, from actual data.
+        let attr = w
+            .db
+            .table(irr.entity)
+            .schema()
+            .attr_by_name(&irr.description[0].0)
+            .unwrap();
+        let group = w.db.rating_group(&query, 0);
+        let mut fam = subdex_core::accumulator::FamilyAccumulator::new(
+            &w.db,
+            irr.entity,
+            attr,
+            vec![irr.dim],
+        );
+        fam.update(&w.db, group.records());
+        let map = fam.to_rating_map(0);
+        let shown = w.irregular_shown(&query, &map);
+        assert!(shown.contains(&0), "planted group should be shown: {shown:?}");
+    }
+
+    #[test]
+    fn irregular_not_shown_on_wrong_dimension() {
+        let w = workload();
+        let irr = &w.irregulars[0];
+        let other_dim = w
+            .db
+            .ratings()
+            .dims()
+            .find(|&d| d != irr.dim)
+            .expect("yelp has 4 dims");
+        let preds: Vec<_> = irr.description[1..]
+            .iter()
+            .map(|(name, value)| w.db.pred(irr.entity, name, value).unwrap())
+            .collect();
+        let query = SelectionQuery::from_preds(preds);
+        let attr = w
+            .db
+            .table(irr.entity)
+            .schema()
+            .attr_by_name(&irr.description[0].0)
+            .unwrap();
+        let group = w.db.rating_group(&query, 0);
+        let mut fam = subdex_core::accumulator::FamilyAccumulator::new(
+            &w.db,
+            irr.entity,
+            attr,
+            vec![other_dim],
+        );
+        fam.update(&w.db, group.records());
+        let map = fam.to_rating_map(0);
+        assert!(!w.irregular_shown(&query, &map).contains(&0));
+    }
+
+    #[test]
+    fn scenario2_setup_carries_insights() {
+        let ds = subdex_data::yelp::dataset(GenParams::new(400, 50, 4000, 13));
+        let w = Workload::scenario2(ds);
+        assert_eq!(w.scenario, Scenario::InsightExtraction);
+        assert_eq!(w.target_count(), 5);
+        assert!(w.irregulars.is_empty());
+    }
+}

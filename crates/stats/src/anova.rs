@@ -1,0 +1,138 @@
+//! One-way analysis of variance (ANOVA).
+//!
+//! The paper's user study verifies, with ANOVA tests at p < .05, that (a)
+//! mode order within a treatment group, (b) the same treatment group across
+//! datasets, and (c) domain knowledge within a CS-expertise level, make no
+//! significant difference (footnotes 4–6). The study harness reproduces
+//! those checks with this module.
+
+use crate::special::f_sf;
+
+/// Result of a one-way ANOVA across `k` groups with `n` total observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnovaResult {
+    /// F statistic (between-group MS / within-group MS).
+    pub f: f64,
+    /// Numerator degrees of freedom (`k − 1`).
+    pub df_between: f64,
+    /// Denominator degrees of freedom (`n − k`).
+    pub df_within: f64,
+    /// Upper-tail p-value `P(F > f)`.
+    pub p_value: f64,
+}
+
+impl AnovaResult {
+    /// Whether the group means differ significantly at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a one-way ANOVA over the given groups of observations.
+///
+/// Returns `None` when the test is undefined: fewer than two groups, any
+/// empty group, or fewer observations than groups + 1. When all variance is
+/// between groups (zero within-group variance) the F statistic is reported
+/// as infinite with p-value 0, unless the group means are also all equal,
+/// in which case F = 0 and p = 1.
+pub fn one_way_anova(groups: &[&[f64]]) -> Option<AnovaResult> {
+    let k = groups.len();
+    if k < 2 || groups.iter().any(|g| g.is_empty()) {
+        return None;
+    }
+    let n: usize = groups.iter().map(|g| g.len()).sum();
+    if n <= k {
+        return None;
+    }
+
+    let grand_mean: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n as f64;
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups {
+        let m = g.iter().sum::<f64>() / g.len() as f64;
+        ss_between += g.len() as f64 * (m - grand_mean).powi(2);
+        ss_within += g.iter().map(|&x| (x - m).powi(2)).sum::<f64>();
+    }
+
+    let df_between = (k - 1) as f64;
+    let df_within = (n - k) as f64;
+    let ms_between = ss_between / df_between;
+    let ms_within = ss_within / df_within;
+
+    let (f, p_value) = if ms_within == 0.0 {
+        if ms_between == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY, 0.0)
+        }
+    } else {
+        let f = ms_between / ms_within;
+        (f, f_sf(f, df_between, df_within))
+    };
+
+    Some(AnovaResult {
+        f,
+        df_between,
+        df_within,
+        p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_groups_not_significant() {
+        let g = [1.0, 2.0, 3.0, 4.0];
+        let r = one_way_anova(&[&g, &g, &g]).unwrap();
+        assert!(r.f.abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn clearly_different_groups_significant() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let b = [5.0, 5.2, 4.8, 5.1, 4.9];
+        let r = one_way_anova(&[&a, &b]).unwrap();
+        assert!(r.f > 100.0);
+        assert!(r.significant_at(0.001));
+    }
+
+    #[test]
+    fn matches_textbook_example() {
+        // Classic example: three groups, known F.
+        let a = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let b = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let c = [13.0, 9.0, 11.0, 8.0, 7.0, 12.0];
+        let r = one_way_anova(&[&a, &b, &c]).unwrap();
+        // Hand computation: grand mean 8.0; SSB = 84, SSW = 68,
+        // F = (84/2)/(68/15) = 9.264…
+        assert!((r.f - 9.264_705_882).abs() < 1e-6, "F = {}", r.f);
+        assert_eq!(r.df_between, 2.0);
+        assert_eq!(r.df_within, 15.0);
+        assert!(r.p_value < 0.01 && r.p_value > 0.0001);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(one_way_anova(&[]).is_none());
+        let g = [1.0, 2.0];
+        assert!(one_way_anova(&[&g]).is_none());
+        let empty: [f64; 0] = [];
+        assert!(one_way_anova(&[&g, &empty]).is_none());
+        let s1 = [1.0];
+        let s2 = [2.0];
+        assert!(one_way_anova(&[&s1, &s2]).is_none(), "n <= k rejected");
+    }
+
+    #[test]
+    fn zero_within_variance_infinite_f() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [5.0, 5.0, 5.0];
+        let r = one_way_anova(&[&a, &b]).unwrap();
+        assert!(r.f.is_infinite());
+        assert_eq!(r.p_value, 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Distances between rating distributions.
+//!
+//! The paper uses the *Total Variation Distance* for the two peculiarity
+//! criteria (Section 4.1) and the *Earth Mover's Distance* for rating-map
+//! diversity (Section 3.2.4). The Kullback–Leibler divergence is provided as
+//! the alternative peculiarity measure the paper mentions.
+
+use crate::distribution::RatingDistribution;
+
+/// Total variation distance between two distributions over the same scale:
+/// `TVD(p, q) = ½ · Σ |p_j − q_j|`, in `[0, 1]`.
+///
+/// # Panics
+/// Panics if the scales differ.
+pub fn total_variation(a: &RatingDistribution, b: &RatingDistribution) -> f64 {
+    assert_eq!(a.scale(), b.scale(), "distributions must share a scale");
+    let pa = a.probabilities();
+    let pb = b.probabilities();
+    0.5 * pa
+        .iter()
+        .zip(&pb)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats, with additive smoothing
+/// `eps` applied to both distributions so the divergence is finite even when
+/// `q` has empty buckets.
+///
+/// # Panics
+/// Panics if the scales differ or `eps <= 0`.
+pub fn kl_divergence(a: &RatingDistribution, b: &RatingDistribution, eps: f64) -> f64 {
+    assert_eq!(a.scale(), b.scale(), "distributions must share a scale");
+    assert!(eps > 0.0, "smoothing epsilon must be positive");
+    let m = a.scale() as f64;
+    let pa = a.probabilities();
+    let pb = b.probabilities();
+    let norm = 1.0 + m * eps;
+    pa.iter()
+        .zip(&pb)
+        .map(|(x, y)| {
+            let p = (x + eps) / norm;
+            let q = (y + eps) / norm;
+            p * (p / q).ln()
+        })
+        .sum()
+}
+
+/// Closed-form 1-D Earth Mover's Distance between two distributions on the
+/// same ordinal scale, with unit ground distance between adjacent scores:
+/// `EMD(p, q) = Σ_j |CDF_p(j) − CDF_q(j)|`.
+///
+/// The result lies in `[0, m − 1]`. Dividing by `scale − 1` (see
+/// [`emd_1d_normalized`]) gives a `[0, 1]` distance.
+///
+/// # Panics
+/// Panics if the scales differ.
+pub fn emd_1d(a: &RatingDistribution, b: &RatingDistribution) -> f64 {
+    assert_eq!(a.scale(), b.scale(), "distributions must share a scale");
+    let ca = a.cdf();
+    let cb = b.cdf();
+    ca.iter().zip(&cb).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// [`emd_1d`] normalized to `[0, 1]` by the scale diameter `m − 1`.
+///
+/// For `m == 1` the distance is defined to be 0 (a single-point scale admits
+/// only one distribution).
+pub fn emd_1d_normalized(a: &RatingDistribution, b: &RatingDistribution) -> f64 {
+    let m = a.scale();
+    if m <= 1 {
+        return 0.0;
+    }
+    emd_1d(a, b) / (m as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(counts: &[u64]) -> RatingDistribution {
+        RatingDistribution::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn tvd_identical_is_zero() {
+        let a = dist(&[1, 2, 3, 4, 5]);
+        assert_eq!(total_variation(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn tvd_disjoint_is_one() {
+        let a = dist(&[10, 0, 0, 0, 0]);
+        let b = dist(&[0, 0, 0, 0, 10]);
+        assert!((total_variation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_symmetric() {
+        let a = dist(&[3, 1, 0, 2, 4]);
+        let b = dist(&[0, 5, 5, 0, 0]);
+        assert!((total_variation(&a, &b) - total_variation(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tvd_half_overlap() {
+        let a = dist(&[1, 1, 0]);
+        let b = dist(&[1, 0, 1]);
+        assert!((total_variation(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_identical_is_zero() {
+        let a = dist(&[1, 2, 3, 4, 5]);
+        assert!(kl_divergence(&a, &a, 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_nonnegative_and_asymmetric() {
+        let a = dist(&[8, 1, 1, 0, 0]);
+        let b = dist(&[0, 0, 1, 1, 8]);
+        let ab = kl_divergence(&a, &b, 1e-3);
+        let ba = kl_divergence(&b, &a, 1e-3);
+        assert!(ab > 0.0);
+        assert!(ba > 0.0);
+        // These particular histograms are mirror images, so KL is symmetric
+        // between them; perturb to observe asymmetry.
+        let c = dist(&[5, 4, 1, 0, 0]);
+        assert!((kl_divergence(&a, &c, 1e-3) - kl_divergence(&c, &a, 1e-3)).abs() > 1e-6);
+        let _ = (ab, ba);
+    }
+
+    #[test]
+    fn emd_identical_is_zero() {
+        let a = dist(&[1, 2, 3, 4, 5]);
+        assert_eq!(emd_1d(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn emd_extremes_is_diameter() {
+        let a = dist(&[10, 0, 0, 0, 0]);
+        let b = dist(&[0, 0, 0, 0, 10]);
+        assert!((emd_1d(&a, &b) - 4.0).abs() < 1e-12);
+        assert!((emd_1d_normalized(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_adjacent_mass() {
+        // Moving all mass one step costs exactly 1.
+        let a = dist(&[0, 10, 0, 0, 0]);
+        let b = dist(&[0, 0, 10, 0, 0]);
+        assert!((emd_1d(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_triangle_inequality_sample() {
+        let a = dist(&[5, 0, 0, 0, 5]);
+        let b = dist(&[0, 5, 0, 5, 0]);
+        let c = dist(&[0, 0, 10, 0, 0]);
+        assert!(emd_1d(&a, &c) <= emd_1d(&a, &b) + emd_1d(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    fn emd_single_point_scale_is_zero() {
+        let a = dist(&[5]);
+        let b = dist(&[9]);
+        assert_eq!(emd_1d_normalized(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a scale")]
+    fn tvd_scale_mismatch_panics() {
+        let a = dist(&[1, 1]);
+        let b = dist(&[1, 1, 1]);
+        let _ = total_variation(&a, &b);
+    }
+}

@@ -1,0 +1,307 @@
+//! Rating distributions (Definition 1 of the paper).
+//!
+//! A rating distribution records, for one rating dimension of one rating
+//! group, how many rating records were assigned each score of the discrete
+//! scale `1..=m`. It is the atom from which rating maps, interestingness
+//! scores, and all distribution distances are computed.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram of rating scores over the ordinal scale `1..=m`.
+///
+/// Index `j` of [`counts`](Self::counts) holds the number of records whose
+/// score is `j + 1`. The distribution is a plain count vector rather than a
+/// normalized probability vector so that it can be updated incrementally as
+/// the phase-based execution framework streams fractions of a rating group;
+/// probability views are derived on demand.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RatingDistribution {
+    counts: Vec<u64>,
+}
+
+impl RatingDistribution {
+    /// Creates an empty distribution over the scale `1..=scale`.
+    ///
+    /// # Panics
+    /// Panics if `scale == 0`.
+    pub fn new(scale: usize) -> Self {
+        assert!(scale > 0, "rating scale must be at least 1");
+        Self {
+            counts: vec![0; scale],
+        }
+    }
+
+    /// Builds a distribution directly from per-score counts
+    /// (`counts[0]` = number of 1-ratings, and so on).
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "rating scale must be at least 1");
+        Self { counts }
+    }
+
+    /// The size `m` of the rating scale.
+    #[inline]
+    pub fn scale(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The raw per-score counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of records with the given score (1-based).
+    ///
+    /// # Panics
+    /// Panics if `score` is 0 or exceeds the scale.
+    #[inline]
+    pub fn count(&self, score: u8) -> u64 {
+        self.counts[usize::from(score) - 1]
+    }
+
+    /// Records one rating with the given 1-based score.
+    ///
+    /// # Panics
+    /// Panics if `score` is 0 or exceeds the scale.
+    #[inline]
+    pub fn add(&mut self, score: u8) {
+        self.counts[usize::from(score) - 1] += 1;
+    }
+
+    /// Records `n` ratings with the given 1-based score.
+    #[inline]
+    pub fn add_n(&mut self, score: u8, n: u64) {
+        self.counts[usize::from(score) - 1] += n;
+    }
+
+    /// Total number of records.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the distribution holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Merges another distribution (same scale) into this one.
+    ///
+    /// # Panics
+    /// Panics if the scales differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.scale(), other.scale(), "cannot merge differing scales");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The probability view `[w_1, …, w_m]` of the distribution.
+    ///
+    /// Returns a uniform distribution when empty, so that distances against
+    /// empty subgroups are well-defined.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            let u = 1.0 / self.scale() as f64;
+            return vec![u; self.scale()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Mean score (on the `1..=m` scale). Returns `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| (j as f64 + 1.0) * c as f64)
+            .sum();
+        Some(sum / total as f64)
+    }
+
+    /// Population standard deviation of the scores. Returns `None` when empty.
+    ///
+    /// This is the dispersion measure behind the paper's *agreement*
+    /// criterion: a subgroup whose reviewers agree has a small SD.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let total = self.total() as f64;
+        let ss: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                let d = (j as f64 + 1.0) - mean;
+                d * d * c as f64
+            })
+            .sum();
+        Some((ss / total).sqrt())
+    }
+
+    /// The score (1-based) with the highest count; ties resolve to the
+    /// lowest score. Returns `None` when empty.
+    pub fn mode(&self) -> Option<u8> {
+        if self.is_empty() {
+            return None;
+        }
+        let (idx, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        Some(idx as u8 + 1)
+    }
+
+    /// Cumulative distribution function evaluated at every score:
+    /// `cdf[j] = P(score <= j + 1)`. Uniform if empty (consistent with
+    /// [`Self::probabilities`]).
+    pub fn cdf(&self) -> Vec<f64> {
+        let probs = self.probabilities();
+        let mut acc = 0.0;
+        probs
+            .into_iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for RatingDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (j, c) in self.counts.iter().enumerate() {
+            if j > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}:{}", j + 1, c)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> RatingDistribution {
+        // {1:1, 2:2, 3:1, 4:5, 5:7} — the Williamsburg row from Figure 3.
+        RatingDistribution::from_counts(vec![1, 2, 1, 5, 7])
+    }
+
+    #[test]
+    fn new_is_empty() {
+        let d = RatingDistribution::new(5);
+        assert!(d.is_empty());
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.scale(), 5);
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.std_dev(), None);
+        assert_eq!(d.mode(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rating scale")]
+    fn zero_scale_panics() {
+        let _ = RatingDistribution::new(0);
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut d = RatingDistribution::new(5);
+        d.add(1);
+        d.add(5);
+        d.add(5);
+        d.add_n(3, 4);
+        assert_eq!(d.count(1), 1);
+        assert_eq!(d.count(3), 4);
+        assert_eq!(d.count(5), 2);
+        assert_eq!(d.total(), 7);
+    }
+
+    #[test]
+    fn mean_matches_figure3() {
+        // Paper's Figure 3 reports 3.9 for the Williamsburg distribution.
+        let d = example();
+        let mean = d.mean().unwrap();
+        assert!((mean - 3.9375).abs() < 1e-12);
+        assert_eq!(format!("{:.1}", mean), "3.9");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = example();
+        let sum: f64 = d.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_probabilities_are_uniform() {
+        let d = RatingDistribution::new(4);
+        assert_eq!(d.probabilities(), vec![0.25; 4]);
+        let cdf = d.cdf();
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = example();
+        let b = example();
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 4, 2, 10, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differing scales")]
+    fn merge_scale_mismatch_panics() {
+        let mut a = RatingDistribution::new(5);
+        let b = RatingDistribution::new(4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn std_dev_zero_when_unanimous() {
+        let mut d = RatingDistribution::new(5);
+        d.add_n(4, 10);
+        assert_eq!(d.std_dev().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn std_dev_positive_when_spread() {
+        let d = example();
+        assert!(d.std_dev().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn mode_picks_highest_count() {
+        let d = example();
+        assert_eq!(d.mode(), Some(5));
+        let tie = RatingDistribution::from_counts(vec![3, 0, 3]);
+        assert_eq!(tie.mode(), Some(1), "ties resolve to the lowest score");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let d = example();
+        let cdf = d.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1] + 1e-15);
+        }
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(example().to_string(), "{1:1,2:2,3:1,4:5,5:7}");
+    }
+}

@@ -1,0 +1,455 @@
+//! CSV import/export of subjective databases.
+//!
+//! The paper's datasets ship as CSV-like dumps; this module round-trips a
+//! [`SubjectiveDb`] through three files (reviewers, items, ratings) so
+//! generated datasets can be inspected or exchanged. A minimal RFC-4180
+//! writer/parser is implemented in-repo (quoting for commas, quotes and
+//! newlines); multi-valued cells are joined with `|`.
+
+use crate::database::SubjectiveDb;
+use crate::ratings::RatingTableBuilder;
+use crate::schema::{Entity, Schema};
+use crate::table::{Cell, EntityTable, EntityTableBuilder};
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Quotes a field if needed (RFC 4180).
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Splits one CSV line into fields, honoring quotes.
+///
+/// Returns `None` on malformed quoting (unterminated quote).
+fn split_line(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    fields.push(cur);
+    Some(fields)
+}
+
+fn render_value(v: &Value) -> String {
+    v.to_string()
+}
+
+fn parse_value(s: &str) -> Value {
+    // Integers round-trip as integers; everything else is categorical.
+    match s.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(s.to_owned()),
+    }
+}
+
+/// Serializes one entity table to CSV (header row = attribute names).
+pub fn entity_to_csv(table: &EntityTable) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .iter()
+        .map(|(_, d)| quote(&d.name))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in 0..table.len() as u32 {
+        let fields: Vec<String> = table
+            .schema()
+            .attr_ids()
+            .map(|attr| {
+                let joined = table
+                    .decoded_values(row, attr)
+                    .iter()
+                    .map(render_value)
+                    .collect::<Vec<_>>()
+                    .join("|");
+                quote(&joined)
+            })
+            .collect();
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+/// Errors arising while parsing CSV input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A data row had a different number of fields than the header.
+    ArityMismatch {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Unterminated quote or similar.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A ratings field failed to parse as the expected number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing CSV header"),
+            CsvError::ArityMismatch { line } => write!(f, "line {line}: wrong field count"),
+            CsvError::Malformed { line } => write!(f, "line {line}: malformed CSV"),
+            CsvError::BadNumber { line } => write!(f, "line {line}: invalid number"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses an entity table from CSV. `multi_valued` names the attributes
+/// whose cells should be split on `|`.
+pub fn entity_from_csv(csv: &str, multi_valued: &[&str]) -> Result<EntityTable, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names = split_line(header).ok_or(CsvError::Malformed { line: 1 })?;
+    let mut schema = Schema::new();
+    for name in &names {
+        schema.add(name.clone(), multi_valued.contains(&name.as_str()));
+    }
+    let mut b = EntityTableBuilder::new(schema);
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let fields = split_line(line).ok_or(CsvError::Malformed { line: line_no })?;
+        if fields.len() != names.len() {
+            return Err(CsvError::ArityMismatch { line: line_no });
+        }
+        let cells: Vec<Cell> = fields
+            .iter()
+            .enumerate()
+            .map(|(j, f)| {
+                if multi_valued.contains(&names[j].as_str()) {
+                    Cell::Many(f.split('|').filter(|s| !s.is_empty()).map(parse_value).collect())
+                } else {
+                    Cell::One(parse_value(f))
+                }
+            })
+            .collect();
+        b.push_row(cells);
+    }
+    Ok(b.build())
+}
+
+/// Serializes the rating table to CSV
+/// (`reviewer,item,<dim1>,<dim2>,…`).
+pub fn ratings_to_csv(db: &SubjectiveDb) -> String {
+    let r = db.ratings();
+    let mut out = String::new();
+    let mut header = vec!["reviewer".to_owned(), "item".to_owned()];
+    header.extend(r.dim_names().iter().cloned());
+    let _ = writeln!(out, "{}", header.join(","));
+    for rec in 0..r.len() as u32 {
+        let mut fields = vec![r.reviewer_of(rec).to_string(), r.item_of(rec).to_string()];
+        for d in r.dims() {
+            fields.push(r.score(rec, d).to_string());
+        }
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+/// Parses a rating table CSV produced by [`ratings_to_csv`].
+pub fn ratings_from_csv(
+    csv: &str,
+    scale: u8,
+    reviewer_count: usize,
+    item_count: usize,
+) -> Result<crate::ratings::RatingTable, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names = split_line(header).ok_or(CsvError::Malformed { line: 1 })?;
+    if names.len() < 3 || names[0] != "reviewer" || names[1] != "item" {
+        return Err(CsvError::MissingHeader);
+    }
+    let dims: Vec<String> = names[2..].to_vec();
+    let mut b = RatingTableBuilder::new(dims, scale);
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let fields = split_line(line).ok_or(CsvError::Malformed { line: line_no })?;
+        if fields.len() != names.len() {
+            return Err(CsvError::ArityMismatch { line: line_no });
+        }
+        let reviewer: u32 = fields[0]
+            .parse()
+            .map_err(|_| CsvError::BadNumber { line: line_no })?;
+        let item: u32 = fields[1]
+            .parse()
+            .map_err(|_| CsvError::BadNumber { line: line_no })?;
+        let scores: Vec<u8> = fields[2..]
+            .iter()
+            .map(|f| f.parse::<u8>().map_err(|_| CsvError::BadNumber { line: line_no }))
+            .collect::<Result<_, _>>()?;
+        b.push(reviewer, item, &scores);
+    }
+    Ok(b.build(reviewer_count, item_count))
+}
+
+/// Exports the full database as three CSV documents
+/// (reviewers, items, ratings).
+pub fn db_to_csv(db: &SubjectiveDb) -> (String, String, String) {
+    (
+        entity_to_csv(db.table(Entity::Reviewer)),
+        entity_to_csv(db.table(Entity::Item)),
+        ratings_to_csv(db),
+    )
+}
+
+/// Errors from directory-level persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// One of the CSV files failed to parse.
+    Csv(CsvError),
+    /// The manifest is missing or malformed.
+    BadManifest,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Csv(e) => write!(f, "csv error: {e}"),
+            PersistError::BadManifest => write!(f, "missing or malformed manifest"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CsvError> for PersistError {
+    fn from(e: CsvError) -> Self {
+        PersistError::Csv(e)
+    }
+}
+
+/// Saves a database as a directory: `reviewers.csv`, `items.csv`,
+/// `ratings.csv`, plus a `manifest` recording the rating scale and which
+/// attributes are multi-valued (needed to re-parse faithfully).
+pub fn save_dir(db: &SubjectiveDb, dir: &std::path::Path) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    let (u, i, r) = db_to_csv(db);
+    std::fs::write(dir.join("reviewers.csv"), u)?;
+    std::fs::write(dir.join("items.csv"), i)?;
+    std::fs::write(dir.join("ratings.csv"), r)?;
+    let mut manifest = format!("scale={}\n", db.ratings().scale());
+    for (entity, file) in [(Entity::Reviewer, "reviewers"), (Entity::Item, "items")] {
+        let multi: Vec<&str> = db
+            .schema(entity)
+            .iter()
+            .filter(|(_, d)| d.multi_valued)
+            .map(|(_, d)| d.name.as_str())
+            .collect();
+        manifest.push_str(&format!("multi_{}={}\n", file, multi.join("|")));
+    }
+    std::fs::write(dir.join("manifest"), manifest)?;
+    Ok(())
+}
+
+/// Loads a database saved by [`save_dir`].
+pub fn load_dir(dir: &std::path::Path) -> Result<SubjectiveDb, PersistError> {
+    let manifest = std::fs::read_to_string(dir.join("manifest"))?;
+    let mut scale: Option<u8> = None;
+    let mut multi_reviewers: Vec<String> = Vec::new();
+    let mut multi_items: Vec<String> = Vec::new();
+    for line in manifest.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        match key {
+            "scale" => scale = value.parse().ok(),
+            "multi_reviewers" => {
+                multi_reviewers = value.split('|').filter(|s| !s.is_empty()).map(String::from).collect();
+            }
+            "multi_items" => {
+                multi_items = value.split('|').filter(|s| !s.is_empty()).map(String::from).collect();
+            }
+            _ => {}
+        }
+    }
+    let scale = scale.ok_or(PersistError::BadManifest)?;
+    let mr: Vec<&str> = multi_reviewers.iter().map(String::as_str).collect();
+    let mi: Vec<&str> = multi_items.iter().map(String::as_str).collect();
+    let reviewers = entity_from_csv(&std::fs::read_to_string(dir.join("reviewers.csv"))?, &mr)?;
+    let items = entity_from_csv(&std::fs::read_to_string(dir.join("items.csv"))?, &mi)?;
+    let ratings = ratings_from_csv(
+        &std::fs::read_to_string(dir.join("ratings.csv"))?,
+        scale,
+        reviewers.len(),
+        items.len(),
+    )?;
+    Ok(SubjectiveDb::new(reviewers, items, ratings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::SelectionQuery;
+
+    fn tiny_db() -> SubjectiveDb {
+        let mut us = Schema::new();
+        us.add("gender", false);
+        let mut ub = EntityTableBuilder::new(us);
+        ub.push_row(vec!["F".into()]);
+        ub.push_row(vec!["M".into()]);
+
+        let mut is = Schema::new();
+        is.add("cuisine", true);
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        ib.push_row(vec![
+            Cell::Many(vec![Value::str("Pizza"), Value::str("Italian")]),
+            "NYC, NY".into(), // embedded comma exercises quoting
+        ]);
+
+        let mut rb = RatingTableBuilder::new(vec!["overall".to_owned()], 5);
+        rb.push(0, 0, &[4]);
+        rb.push(1, 0, &[2]);
+        SubjectiveDb::new(ub.build(), ib.build(), rb.build(2, 1))
+    }
+
+    #[test]
+    fn entity_round_trip() {
+        let db = tiny_db();
+        let csv = entity_to_csv(db.items());
+        let parsed = entity_from_csv(&csv, &["cuisine"]).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let cuisine = parsed.schema().attr_by_name("cuisine").unwrap();
+        let city = parsed.schema().attr_by_name("city").unwrap();
+        assert_eq!(parsed.decoded_values(0, cuisine).len(), 2);
+        assert_eq!(parsed.decoded_values(0, city), vec![Value::str("NYC, NY")]);
+    }
+
+    #[test]
+    fn ratings_round_trip() {
+        let db = tiny_db();
+        let csv = ratings_to_csv(&db);
+        let parsed = ratings_from_csv(&csv, 5, 2, 1).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.score(0, crate::ratings::DimId(0)), 4);
+        assert_eq!(parsed.reviewer_of(1), 1);
+    }
+
+    #[test]
+    fn full_db_round_trip_preserves_queries() {
+        let db = tiny_db();
+        let (u_csv, i_csv, r_csv) = db_to_csv(&db);
+        let u = entity_from_csv(&u_csv, &[]).unwrap();
+        let i = entity_from_csv(&i_csv, &["cuisine"]).unwrap();
+        let r = ratings_from_csv(&r_csv, 5, u.len(), i.len()).unwrap();
+        let db2 = SubjectiveDb::new(u, i, r);
+        let q = SelectionQuery::from_preds(vec![db2
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap()]);
+        assert_eq!(db2.rating_group(&q, 0).len(), 1);
+    }
+
+    #[test]
+    fn quoting_round_trips() {
+        let fields = split_line("plain,\"with, comma\",\"with \"\"quote\"\"\"").unwrap();
+        assert_eq!(fields, vec!["plain", "with, comma", "with \"quote\""]);
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("plain"), "plain");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(split_line("\"unterminated").is_none());
+        assert_eq!(
+            entity_from_csv("", &[]).unwrap_err(),
+            CsvError::MissingHeader
+        );
+        let err = entity_from_csv("a,b\n1\n", &[]).unwrap_err();
+        assert_eq!(err, CsvError::ArityMismatch { line: 2 });
+        let err = ratings_from_csv("reviewer,item,overall\nx,0,3\n", 5, 1, 1).unwrap_err();
+        assert_eq!(err, CsvError::BadNumber { line: 2 });
+    }
+
+    #[test]
+    fn save_dir_load_dir_round_trip() {
+        let db = tiny_db();
+        let dir = std::env::temp_dir().join(format!("subdex-persist-{}", std::process::id()));
+        save_dir(&db, &dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.stats(), db.stats());
+        // Multi-valued attribute survived as multi-valued.
+        let cuisine = loaded.items().schema().attr_by_name("cuisine").unwrap();
+        assert!(loaded.items().schema().attr(cuisine).multi_valued);
+        assert_eq!(loaded.items().values(0, cuisine).len(), 2);
+        // Scale preserved.
+        assert_eq!(loaded.ratings().scale(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_missing_manifest_errors() {
+        let dir = std::env::temp_dir().join(format!("subdex-nope-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(load_dir(&dir), Err(PersistError::Io(_))));
+        std::fs::write(dir.join("manifest"), "garbage\n").unwrap();
+        assert!(matches!(load_dir(&dir), Err(PersistError::BadManifest)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn integer_values_round_trip_typed() {
+        let mut s = Schema::new();
+        s.add("year", false);
+        let mut b = EntityTableBuilder::new(s);
+        b.push_row(vec![Cell::One(Value::int(1995))]);
+        let t = b.build();
+        let csv = entity_to_csv(&t);
+        let parsed = entity_from_csv(&csv, &[]).unwrap();
+        let year = parsed.schema().attr_by_name("year").unwrap();
+        assert_eq!(parsed.decoded_values(0, year), vec![Value::int(1995)]);
+    }
+}

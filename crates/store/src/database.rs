@@ -1,0 +1,464 @@
+//! The subjective database `D = ⟨I, U, R⟩`.
+//!
+//! [`SubjectiveDb`] owns the two entity tables, the rating table, and one
+//! inverted index per entity. It answers the two queries the exploration
+//! engine needs: *select an entity group* (conjunction of attribute–value
+//! predicates) and *materialize the rating group* linking a reviewer group
+//! to an item group.
+
+use crate::bitset::BitSet;
+use crate::group::{EntityGroup, RatingGroup};
+use crate::index::InvertedIndex;
+use crate::predicate::{AttrValue, SelectionQuery};
+use crate::ratings::{RatingTable, RecordId};
+use crate::schema::{AttrId, Entity, Schema};
+use crate::table::EntityTable;
+use crate::value::{Value, ValueId};
+
+/// Summary statistics of a database, mirroring Table 2 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbStats {
+    /// Total number of objective attributes (reviewer + item side).
+    pub attr_count: usize,
+    /// Largest dictionary size over all attributes.
+    pub max_values: usize,
+    /// Number of rating dimensions.
+    pub dim_count: usize,
+    /// |R| — number of rating records.
+    pub rating_count: usize,
+    /// |U| — number of reviewers.
+    pub reviewer_count: usize,
+    /// |I| — number of items.
+    pub item_count: usize,
+}
+
+/// An immutable subjective database with query indexes.
+#[derive(Debug, Clone)]
+pub struct SubjectiveDb {
+    reviewers: EntityTable,
+    items: EntityTable,
+    ratings: RatingTable,
+    reviewer_index: InvertedIndex,
+    item_index: InvertedIndex,
+}
+
+impl SubjectiveDb {
+    /// Assembles a database and builds both inverted indexes.
+    ///
+    /// # Panics
+    /// Panics if any rating record references an out-of-range reviewer or
+    /// item (enforced earlier by `RatingTableBuilder::build`, re-checked
+    /// here defensively in debug builds).
+    pub fn new(reviewers: EntityTable, items: EntityTable, ratings: RatingTable) -> Self {
+        debug_assert!(ratings
+            .reviewer_column()
+            .iter()
+            .all(|&r| (r as usize) < reviewers.len()));
+        debug_assert!(ratings
+            .item_column()
+            .iter()
+            .all(|&i| (i as usize) < items.len()));
+        let reviewer_index = InvertedIndex::build(&reviewers);
+        let item_index = InvertedIndex::build(&items);
+        Self {
+            reviewers,
+            items,
+            ratings,
+            reviewer_index,
+            item_index,
+        }
+    }
+
+    /// The reviewer table `U`.
+    pub fn reviewers(&self) -> &EntityTable {
+        &self.reviewers
+    }
+
+    /// The item table `I`.
+    pub fn items(&self) -> &EntityTable {
+        &self.items
+    }
+
+    /// The rating table `R`.
+    pub fn ratings(&self) -> &RatingTable {
+        &self.ratings
+    }
+
+    /// The entity table for `entity`.
+    pub fn table(&self, entity: Entity) -> &EntityTable {
+        match entity {
+            Entity::Reviewer => &self.reviewers,
+            Entity::Item => &self.items,
+        }
+    }
+
+    /// The schema for `entity`.
+    pub fn schema(&self, entity: Entity) -> &Schema {
+        self.table(entity).schema()
+    }
+
+    /// The inverted index for `entity`.
+    #[allow(clippy::should_implement_trait)] // domain term, not ops::Index
+    pub fn index(&self, entity: Entity) -> &InvertedIndex {
+        match entity {
+            Entity::Reviewer => &self.reviewer_index,
+            Entity::Item => &self.item_index,
+        }
+    }
+
+    /// Table-2-style statistics.
+    pub fn stats(&self) -> DbStats {
+        let max_values = Entity::Reviewer
+            .into_iter_with(Entity::Item)
+            .flat_map(|e| {
+                let t = self.table(e);
+                t.schema()
+                    .attr_ids()
+                    .map(|a| t.dictionary(a).len())
+                    .collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap_or(0);
+        DbStats {
+            attr_count: self.reviewers.schema().len() + self.items.schema().len(),
+            max_values,
+            dim_count: self.ratings.dim_count(),
+            rating_count: self.ratings.len(),
+            reviewer_count: self.reviewers.len(),
+            item_count: self.items.len(),
+        }
+    }
+
+    /// Selects the entity group matching the `entity`-side predicates of
+    /// `query`. No predicates on that side ⇒ the full table.
+    pub fn select_group(&self, entity: Entity, query: &SelectionQuery) -> EntityGroup {
+        let table = self.table(entity);
+        let index = self.index(entity);
+        let mut members = BitSet::full(table.len());
+        for p in query.preds_of(entity) {
+            members.intersect_with_ids(index.postings(p.attr, p.value));
+        }
+        EntityGroup::new(entity, members)
+    }
+
+    /// Materializes the rating group for `query`: all records whose
+    /// reviewer and item match the respective sides. `seed` fixes the phase
+    /// order (see [`RatingGroup::new`]).
+    ///
+    /// Strategy: with no predicates the group is all records; otherwise the
+    /// smaller constrained entity group drives an adjacency walk filtered by
+    /// the other side's bitset, which is why the engine stays fast even on
+    /// the full Yelp-sized table.
+    pub fn rating_group(&self, query: &SelectionQuery, seed: u64) -> RatingGroup {
+        let has_reviewer_preds = query.preds_of(Entity::Reviewer).next().is_some();
+        let has_item_preds = query.preds_of(Entity::Item).next().is_some();
+
+        if !has_reviewer_preds && !has_item_preds {
+            return RatingGroup::new((0..self.ratings.len() as u32).collect(), seed);
+        }
+
+        let g_u = self.select_group(Entity::Reviewer, query);
+        let g_i = self.select_group(Entity::Item, query);
+
+        // Walk adjacency from the side that enumerates fewer records.
+        let reviewer_cost: usize = if has_reviewer_preds {
+            g_u.members()
+                .iter()
+                .map(|r| self.ratings.records_of_reviewer(r).len())
+                .sum()
+        } else {
+            usize::MAX
+        };
+        let item_cost: usize = if has_item_preds {
+            g_i.members()
+                .iter()
+                .map(|i| self.ratings.records_of_item(i).len())
+                .sum()
+        } else {
+            usize::MAX
+        };
+
+        let mut records: Vec<RecordId> = Vec::new();
+        if reviewer_cost <= item_cost {
+            for r in g_u.members().iter() {
+                for &rec in self.ratings.records_of_reviewer(r) {
+                    if g_i.contains(self.ratings.item_of(rec)) {
+                        records.push(rec);
+                    }
+                }
+            }
+        } else {
+            for i in g_i.members().iter() {
+                for &rec in self.ratings.records_of_item(i) {
+                    if g_u.contains(self.ratings.reviewer_of(rec)) {
+                        records.push(rec);
+                    }
+                }
+            }
+        }
+        RatingGroup::new(records, seed)
+    }
+
+    /// Human-readable rendering of one predicate, e.g. `item.city = NYC`.
+    pub fn describe_pred(&self, p: &AttrValue) -> String {
+        let table = self.table(p.entity);
+        let attr = table.schema().attr(p.attr);
+        let value = table.dictionary(p.attr).value(p.value);
+        format!("{}.{} = {}", p.entity, attr.name, value)
+    }
+
+    /// Human-readable rendering of a query, e.g.
+    /// `reviewer.age_group = young AND item.city = NYC` (or `*` when empty).
+    pub fn describe_query(&self, q: &SelectionQuery) -> String {
+        if q.is_empty() {
+            return "*".to_owned();
+        }
+        q.preds()
+            .iter()
+            .map(|p| self.describe_pred(p))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+
+    /// Resolves a named predicate to an [`AttrValue`], if both the
+    /// attribute and the value exist.
+    pub fn pred(&self, entity: Entity, attr_name: &str, value: &Value) -> Option<AttrValue> {
+        let table = self.table(entity);
+        let attr = table.schema().attr_by_name(attr_name)?;
+        let value = table.dictionary(attr).code(value)?;
+        Some(AttrValue::new(entity, attr, value))
+    }
+
+    /// All values of an attribute (id order).
+    pub fn values_of(&self, entity: Entity, attr: AttrId) -> Vec<ValueId> {
+        (0..self.table(entity).dictionary(attr).len() as u32)
+            .map(ValueId)
+            .collect()
+    }
+
+    /// Per-attribute summaries for one entity — what the paper's UI needs
+    /// to populate its drop-down menus (Figure 5): each attribute's name,
+    /// whether it is multi-valued, and its values with row counts, most
+    /// frequent first.
+    pub fn attribute_summaries(&self, entity: Entity) -> Vec<AttributeSummary> {
+        let table = self.table(entity);
+        let index = self.index(entity);
+        table
+            .schema()
+            .iter()
+            .map(|(attr, def)| {
+                let mut values: Vec<(Value, usize)> = table
+                    .dictionary(attr)
+                    .iter()
+                    .map(|(id, v)| (v.clone(), index.postings(attr, id).len()))
+                    .collect();
+                values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                AttributeSummary {
+                    attr,
+                    name: def.name.clone(),
+                    multi_valued: def.multi_valued,
+                    values,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Drop-down-ready description of one attribute (see
+/// [`SubjectiveDb::attribute_summaries`]).
+#[derive(Debug, Clone)]
+pub struct AttributeSummary {
+    /// The attribute id.
+    pub attr: AttrId,
+    /// Attribute name.
+    pub name: String,
+    /// Whether rows may carry value sets.
+    pub multi_valued: bool,
+    /// `(value, row count)` pairs, most frequent first.
+    pub values: Vec<(Value, usize)>,
+}
+
+/// Small helper: iterate two entities (used by [`SubjectiveDb::stats`]).
+trait EntityIterExt {
+    fn into_iter_with(self, other: Entity) -> std::array::IntoIter<Entity, 2>;
+}
+
+impl EntityIterExt for Entity {
+    fn into_iter_with(self, other: Entity) -> std::array::IntoIter<Entity, 2> {
+        [self, other].into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratings::RatingTableBuilder;
+    use crate::table::{Cell, EntityTableBuilder};
+
+    /// Builds the Figure 2 database: 4 reviewers, 4 restaurants, ratings.
+    pub(crate) fn figure2_db() -> SubjectiveDb {
+        let mut us = Schema::new();
+        us.add("gender", false);
+        us.add("age_group", false);
+        us.add("occupation", false);
+        let mut ub = EntityTableBuilder::new(us);
+        ub.push_row(vec!["F".into(), "Middle Aged".into(), "Lawyer".into()]);
+        ub.push_row(vec!["M".into(), "Young".into(), "Artist".into()]);
+        ub.push_row(vec!["F".into(), "Young".into(), "Student".into()]);
+        ub.push_row(vec!["M".into(), "Middle Aged".into(), "Teacher".into()]);
+
+        let mut is = Schema::new();
+        is.add("cuisine", true);
+        is.add("state", false);
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        ib.push_row(vec![
+            Cell::Many(vec![Value::str("Burgers"), Value::str("Barbeque")]),
+            "North Carolina".into(),
+            "Charlotte".into(),
+        ]);
+        ib.push_row(vec![
+            Cell::Many(vec![Value::str("Japanese"), Value::str("Sushi")]),
+            "Texas".into(),
+            "Austin".into(),
+        ]);
+        ib.push_row(vec![
+            Cell::Many(vec![Value::str("Mexican")]),
+            "Michigan".into(),
+            "Detroit".into(),
+        ]);
+        ib.push_row(vec![
+            Cell::Many(vec![Value::str("Pizza"), Value::str("Italian")]),
+            "New York".into(),
+            "NYC".into(),
+        ]);
+
+        let dims = vec![
+            "overall".to_owned(),
+            "food".to_owned(),
+            "service".to_owned(),
+            "ambiance".to_owned(),
+        ];
+        let mut rb = RatingTableBuilder::new(dims, 5);
+        rb.push(0, 3, &[4, 3, 5, 4]);
+        rb.push(1, 0, &[4, 4, 3, 5]);
+        rb.push(1, 1, &[3, 4, 3, 3]);
+        rb.push(2, 3, &[5, 5, 5, 4]);
+        SubjectiveDb::new(ub.build(), ib.build(), rb.build(4, 4))
+    }
+
+    #[test]
+    fn stats_match_construction() {
+        let db = figure2_db();
+        let s = db.stats();
+        assert_eq!(s.attr_count, 6);
+        assert_eq!(s.dim_count, 4);
+        assert_eq!(s.rating_count, 4);
+        assert_eq!(s.reviewer_count, 4);
+        assert_eq!(s.item_count, 4);
+        assert!(s.max_values >= 4);
+    }
+
+    #[test]
+    fn empty_query_selects_everything() {
+        let db = figure2_db();
+        let q = SelectionQuery::all();
+        assert_eq!(db.select_group(Entity::Reviewer, &q).len(), 4);
+        assert_eq!(db.select_group(Entity::Item, &q).len(), 4);
+        assert_eq!(db.rating_group(&q, 0).len(), 4);
+    }
+
+    #[test]
+    fn reviewer_side_selection() {
+        let db = figure2_db();
+        let young = db.pred(Entity::Reviewer, "age_group", &Value::str("Young")).unwrap();
+        let q = SelectionQuery::from_preds(vec![young]);
+        let g = db.select_group(Entity::Reviewer, &q);
+        assert_eq!(g.rows(), vec![1, 2]);
+        // Records of reviewers 1 and 2: ids 1, 2, 3.
+        let mut recs = db.rating_group(&q, 0).records().to_vec();
+        recs.sort_unstable();
+        assert_eq!(recs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn conjunctive_cross_entity_selection() {
+        let db = figure2_db();
+        let young = db.pred(Entity::Reviewer, "age_group", &Value::str("Young")).unwrap();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let q = SelectionQuery::from_preds(vec![young, nyc]);
+        let recs = db.rating_group(&q, 0);
+        // Only record 3 (reviewer 2 = young, item 3 = NYC).
+        assert_eq!(recs.records(), &[3]);
+    }
+
+    #[test]
+    fn multi_valued_predicate() {
+        let db = figure2_db();
+        let sushi = db.pred(Entity::Item, "cuisine", &Value::str("Sushi")).unwrap();
+        let q = SelectionQuery::from_preds(vec![sushi]);
+        let g = db.select_group(Entity::Item, &q);
+        assert_eq!(g.rows(), vec![1]);
+    }
+
+    #[test]
+    fn contradictory_predicates_select_nothing() {
+        let db = figure2_db();
+        let f = db.pred(Entity::Reviewer, "gender", &Value::str("F")).unwrap();
+        let m = db.pred(Entity::Reviewer, "gender", &Value::str("M")).unwrap();
+        let q = SelectionQuery::from_preds(vec![f, m]);
+        assert!(db.select_group(Entity::Reviewer, &q).is_empty());
+        assert!(db.rating_group(&q, 0).is_empty());
+    }
+
+    #[test]
+    fn describe_query_renders_names() {
+        let db = figure2_db();
+        let young = db.pred(Entity::Reviewer, "age_group", &Value::str("Young")).unwrap();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let q = SelectionQuery::from_preds(vec![young, nyc]);
+        let s = db.describe_query(&q);
+        assert!(s.contains("reviewer.age_group = Young"), "{s}");
+        assert!(s.contains("item.city = NYC"), "{s}");
+        assert_eq!(db.describe_query(&SelectionQuery::all()), "*");
+    }
+
+    #[test]
+    fn pred_resolution_failures() {
+        let db = figure2_db();
+        assert!(db.pred(Entity::Reviewer, "nope", &Value::str("x")).is_none());
+        assert!(db
+            .pred(Entity::Reviewer, "gender", &Value::str("X"))
+            .is_none());
+    }
+
+    #[test]
+    fn attribute_summaries_are_dropdown_ready() {
+        let db = figure2_db();
+        let summaries = db.attribute_summaries(Entity::Reviewer);
+        assert_eq!(summaries.len(), 3);
+        let gender = summaries.iter().find(|s| s.name == "gender").unwrap();
+        assert!(!gender.multi_valued);
+        assert_eq!(gender.values.len(), 2);
+        // Counts are correct and sorted descending (F and M both 2 here).
+        assert!(gender.values.iter().all(|(_, n)| *n == 2));
+
+        let item_summaries = db.attribute_summaries(Entity::Item);
+        let cuisine = item_summaries.iter().find(|s| s.name == "cuisine").unwrap();
+        assert!(cuisine.multi_valued);
+        let total: usize = cuisine.values.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 7, "each carried value counts once per row");
+        for w in cuisine.values.windows(2) {
+            assert!(w[0].1 >= w[1].1, "most frequent first");
+        }
+    }
+
+    #[test]
+    fn rating_group_is_seeded_permutation() {
+        let db = figure2_db();
+        let q = SelectionQuery::all();
+        let a = db.rating_group(&q, 5);
+        let b = db.rating_group(&q, 5);
+        assert_eq!(a.records(), b.records());
+    }
+}

@@ -1,0 +1,194 @@
+//! Reviewer groups, item groups, and rating groups.
+//!
+//! A reviewer/item group is the set of rows matching a description (a set of
+//! attribute–value pairs); the rating group for `(g_U, g_I)` contains every
+//! rating record whose reviewer is in `g_U` and item in `g_I` (Section 3.1).
+//!
+//! Rating groups also own the *phase order*: the phase-based execution
+//! framework (Algorithm 1) consumes the group in `n` equal fractions of a
+//! uniformly random permutation, which is what makes the running criterion
+//! estimates samples-without-replacement and the Hoeffding–Serfling bound
+//! applicable.
+
+use crate::bitset::BitSet;
+use crate::ratings::RecordId;
+use crate::schema::Entity;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A set of reviewer or item rows selected by a description.
+#[derive(Debug, Clone)]
+pub struct EntityGroup {
+    entity: Entity,
+    members: BitSet,
+}
+
+impl EntityGroup {
+    /// Wraps a member bitset.
+    pub fn new(entity: Entity, members: BitSet) -> Self {
+        Self { entity, members }
+    }
+
+    /// Which entity table this group selects from.
+    pub fn entity(&self) -> Entity {
+        self.entity
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, row: u32) -> bool {
+        self.members.contains(row)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The underlying bitset.
+    pub fn members(&self) -> &BitSet {
+        &self.members
+    }
+
+    /// Member rows in ascending order.
+    pub fn rows(&self) -> Vec<u32> {
+        self.members.to_vec()
+    }
+}
+
+/// A materialized rating group: the record ids linking a reviewer group to
+/// an item group, in a deterministic shuffled order.
+#[derive(Debug, Clone)]
+pub struct RatingGroup {
+    records: Vec<RecordId>,
+}
+
+impl RatingGroup {
+    /// Creates a rating group and fixes its phase order by shuffling with
+    /// the given seed. The shuffle is what turns phase-by-phase consumption
+    /// into sampling without replacement.
+    pub fn new(mut records: Vec<RecordId>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        records.shuffle(&mut rng);
+        Self { records }
+    }
+
+    /// Creates a rating group preserving the given order (tests, replays).
+    pub fn with_order(records: Vec<RecordId>) -> Self {
+        Self { records }
+    }
+
+    /// All records in phase order.
+    pub fn records(&self) -> &[RecordId] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Splits the group into `n` near-equal consecutive fractions — the
+    /// `D_i` of Algorithm 1. Earlier fractions are never smaller than later
+    /// ones by more than one record; empty trailing fractions occur when
+    /// `n > len`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn phases(&self, n: usize) -> Vec<&[RecordId]> {
+        assert!(n > 0, "at least one phase");
+        let len = self.records.len();
+        let base = len / n;
+        let extra = len % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            out.push(&self.records[start..start + size]);
+            start += size;
+        }
+        debug_assert_eq!(start, len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_group_basics() {
+        let g = EntityGroup::new(Entity::Reviewer, BitSet::from_ids(10, &[1, 3, 7]));
+        assert_eq!(g.entity(), Entity::Reviewer);
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(3));
+        assert!(!g.contains(2));
+        assert_eq!(g.rows(), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let a = RatingGroup::new((0..100).collect(), 7);
+        let b = RatingGroup::new((0..100).collect(), 7);
+        let c = RatingGroup::new((0..100).collect(), 8);
+        assert_eq!(a.records(), b.records());
+        assert_ne!(a.records(), c.records(), "different seed, different order");
+        let mut sorted = a.records().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "permutation");
+    }
+
+    #[test]
+    fn phases_partition_everything() {
+        let g = RatingGroup::new((0..103).collect(), 1);
+        let phases = g.phases(10);
+        assert_eq!(phases.len(), 10);
+        let total: usize = phases.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 103);
+        // Sizes differ by at most one and are non-increasing.
+        let sizes: Vec<usize> = phases.iter().map(|p| p.len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert!(sizes[0] - sizes[9] <= 1);
+    }
+
+    #[test]
+    fn phases_more_than_records() {
+        let g = RatingGroup::new(vec![5, 6], 1);
+        let phases = g.phases(5);
+        let total: usize = phases.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 2);
+        assert_eq!(phases.iter().filter(|p| p.is_empty()).count(), 3);
+    }
+
+    #[test]
+    fn empty_group_phases() {
+        let g = RatingGroup::new(vec![], 1);
+        assert!(g.is_empty());
+        let phases = g.phases(10);
+        assert!(phases.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn zero_phases_panics() {
+        let g = RatingGroup::new(vec![1], 1);
+        let _ = g.phases(0);
+    }
+
+    #[test]
+    fn with_order_preserves() {
+        let g = RatingGroup::with_order(vec![9, 1, 5]);
+        assert_eq!(g.records(), &[9, 1, 5]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Inverted indexes over entity tables.
+//!
+//! For every (attribute, value) pair the index stores the sorted list of
+//! rows carrying that value, so a conjunctive selection touches only the
+//! posting lists of its predicates instead of scanning the table.
+
+use crate::schema::AttrId;
+use crate::table::EntityTable;
+use crate::value::ValueId;
+
+/// Inverted index of one entity table: `postings[attr][value] = sorted rows`.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<Vec<u32>>>,
+    rows: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index by one pass over every column.
+    pub fn build(table: &EntityTable) -> Self {
+        let rows = table.len();
+        let mut postings: Vec<Vec<Vec<u32>>> = table
+            .schema()
+            .attr_ids()
+            .map(|attr| vec![Vec::new(); table.dictionary(attr).len()])
+            .collect();
+        for attr in table.schema().attr_ids() {
+            let lists = &mut postings[attr.index()];
+            let col = table.column(attr);
+            for row in 0..rows as u32 {
+                for &v in col.values(row) {
+                    lists[v.index()].push(row);
+                }
+            }
+        }
+        Self { postings, rows }
+    }
+
+    /// Number of rows in the indexed table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The sorted rows carrying `value` for `attr`. Out-of-range values
+    /// yield an empty slice (a predicate on an unseen value selects
+    /// nothing).
+    pub fn postings(&self, attr: AttrId, value: ValueId) -> &[u32] {
+        self.postings
+            .get(attr.index())
+            .and_then(|lists| lists.get(value.index()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Selectivity of a predicate: fraction of rows matched.
+    pub fn selectivity(&self, attr: AttrId, value: ValueId) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.postings(attr, value).len() as f64 / self.rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::{Cell, EntityTableBuilder};
+    use crate::value::Value;
+
+    fn table() -> EntityTable {
+        let mut schema = Schema::new();
+        schema.add("city", false);
+        schema.add("cuisine", true);
+        let mut b = EntityTableBuilder::new(schema);
+        b.push_row(vec!["NYC".into(), Cell::Many(vec![Value::str("Pizza"), Value::str("Italian")])]);
+        b.push_row(vec!["NYC".into(), Cell::Many(vec![Value::str("Sushi")])]);
+        b.push_row(vec!["Austin".into(), Cell::Many(vec![Value::str("Pizza")])]);
+        b.build()
+    }
+
+    #[test]
+    fn postings_per_value() {
+        let t = table();
+        let idx = InvertedIndex::build(&t);
+        let city = t.schema().attr_by_name("city").unwrap();
+        let nyc = t.dictionary(city).code(&Value::str("NYC")).unwrap();
+        let austin = t.dictionary(city).code(&Value::str("Austin")).unwrap();
+        assert_eq!(idx.postings(city, nyc), &[0, 1]);
+        assert_eq!(idx.postings(city, austin), &[2]);
+    }
+
+    #[test]
+    fn multi_valued_postings() {
+        let t = table();
+        let idx = InvertedIndex::build(&t);
+        let cuisine = t.schema().attr_by_name("cuisine").unwrap();
+        let pizza = t.dictionary(cuisine).code(&Value::str("Pizza")).unwrap();
+        assert_eq!(idx.postings(cuisine, pizza), &[0, 2]);
+    }
+
+    #[test]
+    fn unseen_value_is_empty() {
+        let t = table();
+        let idx = InvertedIndex::build(&t);
+        let city = t.schema().attr_by_name("city").unwrap();
+        assert_eq!(idx.postings(city, ValueId(99)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn selectivity() {
+        let t = table();
+        let idx = InvertedIndex::build(&t);
+        let city = t.schema().attr_by_name("city").unwrap();
+        let nyc = t.dictionary(city).code(&Value::str("NYC")).unwrap();
+        assert!((idx.selectivity(city, nyc) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! # subdex-store
+//!
+//! Columnar storage and query substrate for subjective databases
+//! (Section 3.1 of the paper).
+//!
+//! A subjective database `D = ⟨I, U, R⟩` holds an item table, a reviewer
+//! table — both with *objective* attributes, possibly multi-valued — and a
+//! rating-record table whose *subjective* attributes are the per-dimension
+//! scores reviewers assigned to items.
+//!
+//! Layout decisions (see `DESIGN.md`):
+//!
+//! * every objective attribute is dictionary-encoded ([`value::Dictionary`]);
+//!   rows store `u32` codes, so scans touch only dense code vectors;
+//! * multi-valued attributes (e.g. `cuisine = {Burgers, Barbeque}`) use a
+//!   CSR (offsets + codes) layout ([`column::Column`]);
+//! * the rating table is struct-of-arrays: one contiguous `Vec<u8>` per
+//!   rating dimension ([`ratings::RatingTable`]);
+//! * per attribute-value inverted indexes plus bitset intersection answer
+//!   conjunctive selections ([`index`], [`bitset::BitSet`]);
+//! * rating groups materialize as record-id vectors with a deterministic
+//!   shuffle, providing the without-replacement sample order required by the
+//!   phase-based execution framework ([`group::RatingGroup::phases`]).
+
+pub mod bitset;
+pub mod column;
+pub mod csv;
+pub mod database;
+pub mod group;
+pub mod index;
+pub mod parse;
+pub mod predicate;
+pub mod ratings;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::{AttributeSummary, DbStats, SubjectiveDb};
+pub use group::{EntityGroup, RatingGroup};
+pub use parse::{parse_query, ParseError};
+pub use predicate::{AttrValue, SelectionQuery};
+pub use ratings::{DimId, RatingTable, RatingTableBuilder, RecordId};
+pub use schema::{AttrId, Entity, Schema};
+pub use table::{Cell, EntityTable, EntityTableBuilder};
+pub use value::{Dictionary, Value, ValueId};

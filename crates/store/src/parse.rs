@@ -1,0 +1,305 @@
+//! Textual selection queries — the "advanced screen" of the paper's UI,
+//! where users type SQL-style predicates instead of using drop-downs.
+//!
+//! Grammar (case-insensitive keywords, whitespace-tolerant):
+//!
+//! ```text
+//! query  := '*' | pred ( 'AND' pred )*
+//! pred   := side '.' attr '=' value
+//! side   := 'reviewer' | 'item'
+//! value  := bareword | 'quoted string' | integer
+//! ```
+//!
+//! The format round-trips with [`SubjectiveDb::describe_query`], so logs
+//! and replays are human-readable.
+
+use crate::database::SubjectiveDb;
+use crate::predicate::SelectionQuery;
+use crate::schema::Entity;
+use crate::value::Value;
+
+/// Errors from parsing a textual query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A predicate was not of the form `side.attr = value`.
+    Malformed {
+        /// The offending fragment.
+        fragment: String,
+    },
+    /// The entity prefix was neither `reviewer` nor `item`.
+    BadEntity {
+        /// The offending prefix.
+        prefix: String,
+    },
+    /// The named attribute does not exist on that entity.
+    UnknownAttribute {
+        /// Entity searched.
+        entity: Entity,
+        /// Attribute name.
+        name: String,
+    },
+    /// The value does not occur in the attribute's dictionary.
+    UnknownValue {
+        /// Attribute name.
+        attr: String,
+        /// Value text.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { fragment } => {
+                write!(f, "malformed predicate: '{fragment}' (expected side.attr = value)")
+            }
+            ParseError::BadEntity { prefix } => {
+                write!(f, "unknown entity '{prefix}' (expected reviewer or item)")
+            }
+            ParseError::UnknownAttribute { entity, name } => {
+                write!(f, "no attribute '{name}' on the {entity} table")
+            }
+            ParseError::UnknownValue { attr, value } => {
+                write!(f, "value '{value}' never occurs for attribute '{attr}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one value token: quoted → string, integer-looking → `Int`,
+/// otherwise bare string.
+fn parse_value(token: &str) -> Value {
+    let t = token.trim();
+    if t.len() >= 2 && (t.starts_with('\'') && t.ends_with('\'')
+        || t.starts_with('"') && t.ends_with('"'))
+    {
+        return Value::str(&t[1..t.len() - 1]);
+    }
+    match t.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::str(t),
+    }
+}
+
+/// Parses a textual query against a database (attribute and value names
+/// are resolved through its schemas and dictionaries).
+///
+/// ```
+/// use subdex_store::{parse_query, Cell, EntityTableBuilder, RatingTableBuilder, Schema, SubjectiveDb};
+/// let mut us = Schema::new();
+/// us.add("age_group", false);
+/// let mut ub = EntityTableBuilder::new(us);
+/// ub.push_row(vec![Cell::from("young")]);
+/// let mut is = Schema::new();
+/// is.add("city", false);
+/// let mut ib = EntityTableBuilder::new(is);
+/// ib.push_row(vec![Cell::from("NYC")]);
+/// let mut rb = RatingTableBuilder::new(vec!["overall".into()], 5);
+/// rb.push(0, 0, &[4]);
+/// let db = SubjectiveDb::new(ub.build(), ib.build(), rb.build(1, 1));
+///
+/// let q = parse_query(&db, "reviewer.age_group = young AND item.city = NYC").unwrap();
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(db.describe_query(&q), "reviewer.age_group = young AND item.city = NYC");
+/// ```
+pub fn parse_query(db: &SubjectiveDb, text: &str) -> Result<SelectionQuery, ParseError> {
+    let text = text.trim();
+    if text.is_empty() || text == "*" {
+        return Ok(SelectionQuery::all());
+    }
+    let mut query = SelectionQuery::all();
+    // Split on AND, case-insensitively, outside quotes (values in this
+    // grammar cannot contain the word AND surrounded by spaces unless
+    // quoted — good enough for the UI's predicates).
+    for fragment in split_and(text) {
+        let fragment = fragment.trim();
+        let Some((lhs, rhs)) = fragment.split_once('=') else {
+            return Err(ParseError::Malformed {
+                fragment: fragment.to_owned(),
+            });
+        };
+        let lhs = lhs.trim();
+        let Some((prefix, attr_name)) = lhs.split_once('.') else {
+            return Err(ParseError::Malformed {
+                fragment: fragment.to_owned(),
+            });
+        };
+        let entity = match prefix.trim().to_ascii_lowercase().as_str() {
+            "reviewer" | "user" | "u" => Entity::Reviewer,
+            "item" | "i" => Entity::Item,
+            other => {
+                return Err(ParseError::BadEntity {
+                    prefix: other.to_owned(),
+                })
+            }
+        };
+        let attr_name = attr_name.trim();
+        let table = db.table(entity);
+        let Some(attr) = table.schema().attr_by_name(attr_name) else {
+            return Err(ParseError::UnknownAttribute {
+                entity,
+                name: attr_name.to_owned(),
+            });
+        };
+        let value = parse_value(rhs);
+        let Some(code) = table.dictionary(attr).code(&value) else {
+            return Err(ParseError::UnknownValue {
+                attr: attr_name.to_owned(),
+                value: value.to_string(),
+            });
+        };
+        query.add(crate::predicate::AttrValue::new(entity, attr, code));
+    }
+    Ok(query)
+}
+
+/// Splits on the keyword AND outside quotes.
+fn split_and(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote: Option<char> = None;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match in_quote {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    in_quote = None;
+                }
+                i += 1;
+            }
+            None => {
+                if c == '\'' || c == '"' {
+                    in_quote = Some(c);
+                    cur.push(c);
+                    i += 1;
+                } else if (c == 'a' || c == 'A')
+                    && i + 3 <= chars.len()
+                    && chars[i..i + 3]
+                        .iter()
+                        .collect::<String>()
+                        .eq_ignore_ascii_case("and")
+                    && (i == 0 || chars[i - 1].is_whitespace())
+                    && (i + 3 == chars.len() || chars[i + 3].is_whitespace())
+                {
+                    parts.push(std::mem::take(&mut cur));
+                    i += 3;
+                } else {
+                    cur.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratings::RatingTableBuilder;
+    use crate::schema::Schema;
+    use crate::table::{Cell, EntityTableBuilder};
+
+    fn db() -> SubjectiveDb {
+        let mut us = Schema::new();
+        us.add("age_group", false);
+        let mut ub = EntityTableBuilder::new(us);
+        ub.push_row(vec![Cell::from("young")]);
+        ub.push_row(vec![Cell::from("old")]);
+        let mut is = Schema::new();
+        is.add("city", false);
+        is.add("year", false);
+        let mut ib = EntityTableBuilder::new(is);
+        ib.push_row(vec![Cell::from("New York, NY"), Cell::from(1999i64)]);
+        ib.push_row(vec![Cell::from("SF"), Cell::from(2005i64)]);
+        let mut rb = RatingTableBuilder::new(vec!["overall".into()], 5);
+        rb.push(0, 0, &[5]);
+        rb.push(1, 1, &[2]);
+        SubjectiveDb::new(ub.build(), ib.build(), rb.build(2, 2))
+    }
+
+    #[test]
+    fn star_parses_to_all() {
+        let db = db();
+        assert_eq!(parse_query(&db, "*").unwrap(), SelectionQuery::all());
+        assert_eq!(parse_query(&db, "  ").unwrap(), SelectionQuery::all());
+    }
+
+    #[test]
+    fn single_predicate() {
+        let db = db();
+        let q = parse_query(&db, "reviewer.age_group = young").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(db.rating_group(&q, 0).len(), 1);
+    }
+
+    #[test]
+    fn conjunction_and_case_insensitivity() {
+        let db = db();
+        let q = parse_query(&db, "reviewer.age_group = young AnD item.year = 1999").unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(db.rating_group(&q, 0).len(), 1);
+    }
+
+    #[test]
+    fn quoted_values_with_spaces_and_commas() {
+        let db = db();
+        let q = parse_query(&db, "item.city = 'New York, NY'").unwrap();
+        assert_eq!(q.len(), 1);
+        let g = db.select_group(Entity::Item, &q);
+        assert_eq!(g.rows(), vec![0]);
+    }
+
+    #[test]
+    fn integers_resolve_typed() {
+        let db = db();
+        let q = parse_query(&db, "item.year = 2005").unwrap();
+        assert_eq!(db.select_group(Entity::Item, &q).rows(), vec![1]);
+    }
+
+    #[test]
+    fn round_trips_with_describe_query() {
+        let db = db();
+        let q = parse_query(&db, "reviewer.age_group = young AND item.year = 1999").unwrap();
+        let text = db.describe_query(&q);
+        let q2 = parse_query(&db, &text).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn entity_aliases() {
+        let db = db();
+        assert!(parse_query(&db, "user.age_group = young").is_ok());
+        assert!(parse_query(&db, "i.city = SF").is_ok());
+    }
+
+    #[test]
+    fn error_cases() {
+        let db = db();
+        assert!(matches!(
+            parse_query(&db, "nonsense"),
+            Err(ParseError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_query(&db, "restaurant.city = SF"),
+            Err(ParseError::BadEntity { .. })
+        ));
+        assert!(matches!(
+            parse_query(&db, "item.nope = SF"),
+            Err(ParseError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            parse_query(&db, "item.city = Atlantis"),
+            Err(ParseError::UnknownValue { .. })
+        ));
+        // Display impls render something useful.
+        let e = parse_query(&db, "item.city = Atlantis").unwrap_err();
+        assert!(e.to_string().contains("Atlantis"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Selection predicates and queries.
+//!
+//! A reviewer/item group is described by a set of attribute–value pairs
+//! (Section 3.1); an exploration operation is a selection query — the union
+//! of the reviewer-group and item-group descriptions (Section 4.3). Queries
+//! support the edit operations the Recommendation Builder enumerates: add a
+//! pair, remove a pair, change a pair's value.
+
+use crate::schema::{AttrId, Entity};
+use crate::value::ValueId;
+use serde::{Deserialize, Serialize};
+
+/// One attribute–value predicate, e.g. `⟨city, NYC⟩` on the item side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrValue {
+    /// Which entity table the attribute belongs to.
+    pub entity: Entity,
+    /// The attribute.
+    pub attr: AttrId,
+    /// The (dictionary-encoded) value. For multi-valued attributes the
+    /// predicate is set-membership.
+    pub value: ValueId,
+}
+
+impl AttrValue {
+    /// Creates a predicate.
+    pub fn new(entity: Entity, attr: AttrId, value: ValueId) -> Self {
+        Self { entity, attr, value }
+    }
+}
+
+/// A conjunctive selection query over both entity tables.
+///
+/// The predicate list is kept sorted and duplicate-free, so queries have a
+/// canonical form: two queries are equal iff they select the same groups.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SelectionQuery {
+    preds: Vec<AttrValue>,
+}
+
+impl SelectionQuery {
+    /// The empty query (selects everything).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Builds a query from predicates (deduplicated, canonicalized).
+    pub fn from_preds(preds: impl IntoIterator<Item = AttrValue>) -> Self {
+        let mut q = Self::default();
+        for p in preds {
+            q.add(p);
+        }
+        q
+    }
+
+    /// All predicates in canonical order.
+    pub fn preds(&self) -> &[AttrValue] {
+        &self.preds
+    }
+
+    /// Predicates restricted to one entity.
+    pub fn preds_of(&self, entity: Entity) -> impl Iterator<Item = &AttrValue> {
+        self.preds.iter().filter(move |p| p.entity == entity)
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the query selects everything.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Whether the query contains this exact predicate.
+    pub fn contains(&self, p: &AttrValue) -> bool {
+        self.preds.binary_search(p).is_ok()
+    }
+
+    /// Whether the query constrains `(entity, attr)` (with any value).
+    pub fn constrains(&self, entity: Entity, attr: AttrId) -> bool {
+        self.preds
+            .iter()
+            .any(|p| p.entity == entity && p.attr == attr)
+    }
+
+    /// The value this query pins `(entity, attr)` to, if any.
+    pub fn value_of(&self, entity: Entity, attr: AttrId) -> Option<ValueId> {
+        self.preds
+            .iter()
+            .find(|p| p.entity == entity && p.attr == attr)
+            .map(|p| p.value)
+    }
+
+    /// Adds a predicate in place (no-op if already present).
+    pub fn add(&mut self, p: AttrValue) {
+        if let Err(pos) = self.preds.binary_search(&p) {
+            self.preds.insert(pos, p);
+        }
+    }
+
+    /// Removes a predicate in place (no-op if absent).
+    pub fn remove(&mut self, p: &AttrValue) {
+        if let Ok(pos) = self.preds.binary_search(p) {
+            self.preds.remove(pos);
+        }
+    }
+
+    /// Returns a copy with `p` added (a *filter* / drill-down edit).
+    pub fn with_added(&self, p: AttrValue) -> Self {
+        let mut q = self.clone();
+        q.add(p);
+        q
+    }
+
+    /// Returns a copy with `p` removed (a *generalize* / roll-up edit).
+    pub fn with_removed(&self, p: &AttrValue) -> Self {
+        let mut q = self.clone();
+        q.remove(p);
+        q
+    }
+
+    /// Returns a copy with the value of `(entity, attr)` changed to
+    /// `new_value` (a *change* edit, counting as two diffs: one removal plus
+    /// one addition).
+    ///
+    /// Returns `None` if the query does not constrain `(entity, attr)`.
+    pub fn with_changed(&self, entity: Entity, attr: AttrId, new_value: ValueId) -> Option<Self> {
+        let old = self
+            .preds
+            .iter()
+            .find(|p| p.entity == entity && p.attr == attr)
+            .copied()?;
+        let mut q = self.clone();
+        q.remove(&old);
+        q.add(AttrValue::new(entity, attr, new_value));
+        Some(q)
+    }
+
+    /// Size of the symmetric difference of the two predicate sets — the
+    /// paper's measure of how far a candidate operation strays from the
+    /// current query ("differ in at most 2 attribute-value pairs").
+    pub fn diff_size(&self, other: &Self) -> usize {
+        let mut diff = 0;
+        for p in &self.preds {
+            if !other.contains(p) {
+                diff += 1;
+            }
+        }
+        for p in &other.preds {
+            if !self.contains(p) {
+                diff += 1;
+            }
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(entity: Entity, attr: u16, value: u32) -> AttrValue {
+        AttrValue::new(entity, AttrId(attr), ValueId(value))
+    }
+
+    #[test]
+    fn canonical_form() {
+        let a = SelectionQuery::from_preds(vec![
+            p(Entity::Item, 1, 2),
+            p(Entity::Reviewer, 0, 0),
+            p(Entity::Item, 1, 2), // dup
+        ]);
+        let b = SelectionQuery::from_preds(vec![
+            p(Entity::Reviewer, 0, 0),
+            p(Entity::Item, 1, 2),
+        ]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn contains_and_constrains() {
+        let q = SelectionQuery::from_preds(vec![p(Entity::Item, 1, 2)]);
+        assert!(q.contains(&p(Entity::Item, 1, 2)));
+        assert!(!q.contains(&p(Entity::Item, 1, 3)));
+        assert!(q.constrains(Entity::Item, AttrId(1)));
+        assert!(!q.constrains(Entity::Reviewer, AttrId(1)));
+        assert_eq!(q.value_of(Entity::Item, AttrId(1)), Some(ValueId(2)));
+    }
+
+    #[test]
+    fn edit_operations() {
+        let q = SelectionQuery::from_preds(vec![p(Entity::Item, 0, 0)]);
+        let added = q.with_added(p(Entity::Reviewer, 1, 5));
+        assert_eq!(added.len(), 2);
+        assert_eq!(q.diff_size(&added), 1);
+
+        let removed = q.with_removed(&p(Entity::Item, 0, 0));
+        assert!(removed.is_empty());
+        assert_eq!(q.diff_size(&removed), 1);
+
+        let changed = q.with_changed(Entity::Item, AttrId(0), ValueId(9)).unwrap();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(q.diff_size(&changed), 2, "change counts as two diffs");
+
+        assert!(q.with_changed(Entity::Reviewer, AttrId(0), ValueId(1)).is_none());
+    }
+
+    #[test]
+    fn diff_size_symmetric() {
+        let a = SelectionQuery::from_preds(vec![p(Entity::Item, 0, 0), p(Entity::Item, 1, 1)]);
+        let b = SelectionQuery::from_preds(vec![p(Entity::Item, 0, 0), p(Entity::Item, 2, 2)]);
+        assert_eq!(a.diff_size(&b), 2);
+        assert_eq!(b.diff_size(&a), 2);
+        assert_eq!(a.diff_size(&a), 0);
+    }
+
+    #[test]
+    fn preds_of_filters_entity() {
+        let q = SelectionQuery::from_preds(vec![
+            p(Entity::Item, 0, 0),
+            p(Entity::Reviewer, 0, 1),
+            p(Entity::Item, 2, 2),
+        ]);
+        assert_eq!(q.preds_of(Entity::Item).count(), 2);
+        assert_eq!(q.preds_of(Entity::Reviewer).count(), 1);
+    }
+
+    #[test]
+    fn add_remove_idempotent() {
+        let mut q = SelectionQuery::all();
+        q.add(p(Entity::Item, 0, 0));
+        q.add(p(Entity::Item, 0, 0));
+        assert_eq!(q.len(), 1);
+        q.remove(&p(Entity::Item, 0, 0));
+        q.remove(&p(Entity::Item, 0, 0));
+        assert!(q.is_empty());
+    }
+}

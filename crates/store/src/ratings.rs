@@ -1,0 +1,362 @@
+//! The rating-record table.
+//!
+//! Each rating record is `⟨i, u, s₁ … s_t⟩` (Section 3.1): a reviewer, an
+//! item, and one score per rating dimension on the scale `1..=m`. Storage is
+//! struct-of-arrays — parallel `Vec<u32>` reviewer/item columns and one
+//! dense `Vec<u8>` per dimension — so a phase scan over one dimension is a
+//! contiguous byte walk. CSR adjacency (reviewer → records, item → records)
+//! supports fast rating-group materialization when one side of the
+//! selection is small.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a rating record in the rating table.
+pub type RecordId = u32;
+
+/// Index of a rating dimension (`overall`, `food`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DimId(pub u16);
+
+impl DimId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The rating table `R`.
+#[derive(Debug, Clone)]
+pub struct RatingTable {
+    dim_names: Vec<String>,
+    scale: u8,
+    reviewers: Vec<u32>,
+    items: Vec<u32>,
+    /// `scores[d][rec]` — score of record `rec` on dimension `d`.
+    scores: Vec<Vec<u8>>,
+    /// CSR reviewer → record ids.
+    by_reviewer: Csr,
+    /// CSR item → record ids.
+    by_item: Csr,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    records: Vec<RecordId>,
+}
+
+impl Csr {
+    fn build(keys: &[u32], key_count: usize) -> Self {
+        let mut counts = vec![0u32; key_count + 1];
+        for &k in keys {
+            counts[k as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut records = vec![0u32; keys.len()];
+        for (rec, &k) in keys.iter().enumerate() {
+            records[cursor[k as usize] as usize] = rec as u32;
+            cursor[k as usize] += 1;
+        }
+        Self { offsets, records }
+    }
+
+    fn records_of(&self, key: u32) -> &[RecordId] {
+        let k = key as usize;
+        &self.records[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+}
+
+impl RatingTable {
+    /// Number of rating records.
+    pub fn len(&self) -> usize {
+        self.reviewers.len()
+    }
+
+    /// Whether the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.reviewers.is_empty()
+    }
+
+    /// The rating scale `m` (scores are `1..=m`).
+    pub fn scale(&self) -> u8 {
+        self.scale
+    }
+
+    /// Number of rating dimensions `t`.
+    pub fn dim_count(&self) -> usize {
+        self.dim_names.len()
+    }
+
+    /// Dimension names in id order.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// Resolves a dimension by name.
+    pub fn dim_by_name(&self, name: &str) -> Option<DimId> {
+        self.dim_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| DimId(i as u16))
+    }
+
+    /// The name of one dimension.
+    pub fn dim_name(&self, dim: DimId) -> &str {
+        &self.dim_names[dim.index()]
+    }
+
+    /// All dimension ids.
+    pub fn dims(&self) -> impl Iterator<Item = DimId> + '_ {
+        (0..self.dim_names.len()).map(|i| DimId(i as u16))
+    }
+
+    /// The reviewer of a record.
+    #[inline]
+    pub fn reviewer_of(&self, rec: RecordId) -> u32 {
+        self.reviewers[rec as usize]
+    }
+
+    /// The item of a record.
+    #[inline]
+    pub fn item_of(&self, rec: RecordId) -> u32 {
+        self.items[rec as usize]
+    }
+
+    /// The score of a record on one dimension.
+    #[inline]
+    pub fn score(&self, rec: RecordId, dim: DimId) -> u8 {
+        self.scores[dim.index()][rec as usize]
+    }
+
+    /// The full score column of a dimension (for vectorized scans).
+    #[inline]
+    pub fn score_column(&self, dim: DimId) -> &[u8] {
+        &self.scores[dim.index()]
+    }
+
+    /// The reviewer-id column.
+    pub fn reviewer_column(&self) -> &[u32] {
+        &self.reviewers
+    }
+
+    /// The item-id column.
+    pub fn item_column(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Record ids rated by `reviewer`.
+    pub fn records_of_reviewer(&self, reviewer: u32) -> &[RecordId] {
+        self.by_reviewer.records_of(reviewer)
+    }
+
+    /// Record ids rating `item`.
+    pub fn records_of_item(&self, item: u32) -> &[RecordId] {
+        self.by_item.records_of(item)
+    }
+}
+
+/// Builder for [`RatingTable`].
+#[derive(Debug, Clone)]
+pub struct RatingTableBuilder {
+    dim_names: Vec<String>,
+    scale: u8,
+    reviewers: Vec<u32>,
+    items: Vec<u32>,
+    scores: Vec<Vec<u8>>,
+}
+
+impl RatingTableBuilder {
+    /// Creates a builder for the given dimensions and scale.
+    ///
+    /// # Panics
+    /// Panics if no dimensions are given or `scale == 0`.
+    pub fn new(dim_names: Vec<String>, scale: u8) -> Self {
+        assert!(!dim_names.is_empty(), "at least one rating dimension");
+        assert!(scale > 0, "scale must be at least 1");
+        let t = dim_names.len();
+        Self {
+            dim_names,
+            scale,
+            reviewers: Vec::new(),
+            items: Vec::new(),
+            scores: vec![Vec::new(); t],
+        }
+    }
+
+    /// Appends a record. `scores` must have one entry per dimension, each in
+    /// `1..=scale`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or out-of-scale scores.
+    pub fn push(&mut self, reviewer: u32, item: u32, scores: &[u8]) -> RecordId {
+        assert_eq!(scores.len(), self.dim_names.len(), "score arity mismatch");
+        for &s in scores {
+            assert!(
+                s >= 1 && s <= self.scale,
+                "score {s} outside scale 1..={}",
+                self.scale
+            );
+        }
+        let rec = self.reviewers.len() as u32;
+        self.reviewers.push(reviewer);
+        self.items.push(item);
+        for (col, &s) in self.scores.iter_mut().zip(scores) {
+            col.push(s);
+        }
+        rec
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.reviewers.len()
+    }
+
+    /// Whether no records were appended.
+    pub fn is_empty(&self) -> bool {
+        self.reviewers.is_empty()
+    }
+
+    /// Overwrites the score of an existing record (used by the irregular-
+    /// group injection workload, which forces chosen records to a score).
+    ///
+    /// # Panics
+    /// Panics if the record or dimension is out of range, or the score is
+    /// outside the scale.
+    pub fn set_score(&mut self, rec: RecordId, dim: DimId, score: u8) {
+        assert!(score >= 1 && score <= self.scale);
+        self.scores[dim.index()][rec as usize] = score;
+    }
+
+    /// The reviewer ids of records appended so far (index = record id).
+    pub fn reviewer_column(&self) -> &[u32] {
+        &self.reviewers
+    }
+
+    /// The item ids of records appended so far (index = record id).
+    pub fn item_column(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Finalizes the table, building both adjacency indexes.
+    ///
+    /// `reviewer_count` / `item_count` are the entity-table sizes; all
+    /// referenced ids must be below them.
+    ///
+    /// # Panics
+    /// Panics if any record references an out-of-range reviewer or item.
+    pub fn build(self, reviewer_count: usize, item_count: usize) -> RatingTable {
+        for &r in &self.reviewers {
+            assert!((r as usize) < reviewer_count, "reviewer id {r} out of range");
+        }
+        for &i in &self.items {
+            assert!((i as usize) < item_count, "item id {i} out of range");
+        }
+        let by_reviewer = Csr::build(&self.reviewers, reviewer_count);
+        let by_item = Csr::build(&self.items, item_count);
+        RatingTable {
+            dim_names: self.dim_names,
+            scale: self.scale,
+            reviewers: self.reviewers,
+            items: self.items,
+            scores: self.scores,
+            by_reviewer,
+            by_item,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RatingTable {
+        // Mirrors Figure 2's rating-record table (4 dimensions).
+        let dims = vec![
+            "overall".to_owned(),
+            "food".to_owned(),
+            "service".to_owned(),
+            "ambiance".to_owned(),
+        ];
+        let mut b = RatingTableBuilder::new(dims, 5);
+        b.push(0, 3, &[4, 3, 5, 4]);
+        b.push(1, 0, &[4, 4, 3, 5]);
+        b.push(1, 1, &[3, 4, 3, 3]);
+        b.push(2, 3, &[5, 5, 5, 4]);
+        b.build(3, 4)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dim_count(), 4);
+        assert_eq!(t.scale(), 5);
+        assert_eq!(t.reviewer_of(0), 0);
+        assert_eq!(t.item_of(0), 3);
+        let food = t.dim_by_name("food").unwrap();
+        assert_eq!(t.score(0, food), 3);
+        assert_eq!(t.dim_name(food), "food");
+        assert_eq!(t.score_column(food), &[3, 4, 4, 5]);
+    }
+
+    #[test]
+    fn adjacency_indexes() {
+        let t = sample();
+        assert_eq!(t.records_of_reviewer(1), &[1, 2]);
+        assert_eq!(t.records_of_reviewer(0), &[0]);
+        assert_eq!(t.records_of_item(3), &[0, 3]);
+        assert_eq!(t.records_of_item(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn dims_iterator() {
+        let t = sample();
+        let names: Vec<_> = t.dims().map(|d| t.dim_name(d).to_owned()).collect();
+        assert_eq!(names, vec!["overall", "food", "service", "ambiance"]);
+        assert!(t.dim_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn set_score_overwrites() {
+        let dims = vec!["overall".to_owned()];
+        let mut b = RatingTableBuilder::new(dims, 5);
+        let rec = b.push(0, 0, &[5]);
+        b.set_score(rec, DimId(0), 1);
+        let t = b.build(1, 1);
+        assert_eq!(t.score(rec, DimId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside scale")]
+    fn out_of_scale_score_panics() {
+        let mut b = RatingTableBuilder::new(vec!["overall".to_owned()], 5);
+        b.push(0, 0, &[6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside scale")]
+    fn zero_score_panics() {
+        let mut b = RatingTableBuilder::new(vec!["overall".to_owned()], 5);
+        b.push(0, 0, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut b = RatingTableBuilder::new(vec!["a".to_owned(), "b".to_owned()], 5);
+        b.push(0, 0, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_reviewer_panics() {
+        let mut b = RatingTableBuilder::new(vec!["overall".to_owned()], 5);
+        b.push(7, 0, &[3]);
+        let _ = b.build(3, 4);
+    }
+}

@@ -1,0 +1,294 @@
+//! Entity tables (reviewers and items).
+//!
+//! An [`EntityTable`] owns its [`Schema`], one [`Dictionary`] per attribute,
+//! and one [`Column`] per attribute. Rows are appended through
+//! [`EntityTableBuilder`], which interns values and enforces the schema
+//! (single- vs multi-valued arity).
+
+use crate::column::{Column, CsrColumn};
+use crate::schema::{AttrId, Schema};
+use crate::value::{Dictionary, Value, ValueId};
+
+/// One cell of an input row: a single value or a value set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cell {
+    /// Atomic value for a single-valued attribute.
+    One(Value),
+    /// Value set for a multi-valued attribute.
+    Many(Vec<Value>),
+}
+
+impl From<Value> for Cell {
+    fn from(v: Value) -> Self {
+        Cell::One(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::One(Value::str(s))
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::One(Value::int(v))
+    }
+}
+
+impl From<Vec<Value>> for Cell {
+    fn from(vs: Vec<Value>) -> Self {
+        Cell::Many(vs)
+    }
+}
+
+/// A fully built, immutable entity table.
+#[derive(Debug, Clone)]
+pub struct EntityTable {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl EntityTable {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The dictionary of one attribute.
+    pub fn dictionary(&self, attr: AttrId) -> &Dictionary {
+        &self.dicts[attr.index()]
+    }
+
+    /// The column of one attribute.
+    pub fn column(&self, attr: AttrId) -> &Column {
+        &self.columns[attr.index()]
+    }
+
+    /// The encoded values of `row` for `attr` (slice of length 1 for
+    /// single-valued attributes).
+    #[inline]
+    pub fn values(&self, row: u32, attr: AttrId) -> &[ValueId] {
+        self.columns[attr.index()].values(row)
+    }
+
+    /// Decodes the values of `row` for `attr` into owned [`Value`]s.
+    pub fn decoded_values(&self, row: u32, attr: AttrId) -> Vec<Value> {
+        let dict = self.dictionary(attr);
+        self.values(row, attr)
+            .iter()
+            .map(|&id| dict.value(id).clone())
+            .collect()
+    }
+
+    /// Whether `row` carries `value` for `attr`.
+    pub fn row_has(&self, row: u32, attr: AttrId, value: ValueId) -> bool {
+        self.columns[attr.index()].contains(row, value)
+    }
+}
+
+/// Builder for [`EntityTable`].
+#[derive(Debug, Clone)]
+pub struct EntityTableBuilder {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    single: Vec<Option<Vec<ValueId>>>,
+    multi: Vec<Option<Vec<Vec<ValueId>>>>,
+    rows: usize,
+}
+
+impl EntityTableBuilder {
+    /// Creates a builder for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.len();
+        let mut single: Vec<Option<Vec<ValueId>>> = Vec::with_capacity(n);
+        let mut multi: Vec<Option<Vec<Vec<ValueId>>>> = Vec::with_capacity(n);
+        for (_, def) in schema.iter() {
+            if def.multi_valued {
+                single.push(None);
+                multi.push(Some(Vec::new()));
+            } else {
+                single.push(Some(Vec::new()));
+                multi.push(None);
+            }
+        }
+        Self {
+            dicts: vec![Dictionary::new(); n],
+            schema,
+            single,
+            multi,
+            rows: 0,
+        }
+    }
+
+    /// Appends one row. `cells` must have one entry per schema attribute, in
+    /// schema order.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch, or when a `Many` cell targets a
+    /// single-valued attribute (and vice versa; a `One` cell on a
+    /// multi-valued attribute is accepted as a singleton set).
+    pub fn push_row(&mut self, cells: Vec<Cell>) -> u32 {
+        assert_eq!(
+            cells.len(),
+            self.schema.len(),
+            "row arity does not match schema"
+        );
+        for (i, cell) in cells.into_iter().enumerate() {
+            let def = self.schema.attr(AttrId(i as u16));
+            let dict = &mut self.dicts[i];
+            match (cell, def.multi_valued) {
+                (Cell::One(v), false) => {
+                    let id = dict.intern(v);
+                    self.single[i].as_mut().expect("single column").push(id);
+                }
+                (Cell::One(v), true) => {
+                    let id = dict.intern(v);
+                    self.multi[i].as_mut().expect("multi column").push(vec![id]);
+                }
+                (Cell::Many(vs), true) => {
+                    let ids: Vec<ValueId> = vs.into_iter().map(|v| dict.intern(v)).collect();
+                    self.multi[i].as_mut().expect("multi column").push(ids);
+                }
+                (Cell::Many(_), false) => {
+                    panic!(
+                        "attribute {:?} is single-valued but got a value set",
+                        def.name
+                    );
+                }
+            }
+        }
+        let row = self.rows as u32;
+        self.rows += 1;
+        row
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows were appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Finalizes the table.
+    pub fn build(self) -> EntityTable {
+        let columns: Vec<Column> = self
+            .single
+            .into_iter()
+            .zip(self.multi)
+            .map(|(s, m)| match (s, m) {
+                (Some(v), None) => Column::Single(v),
+                (None, Some(rows)) => Column::Multi(CsrColumn::from_rows(rows)),
+                _ => unreachable!("builder invariant"),
+            })
+            .collect();
+        EntityTable {
+            schema: self.schema,
+            dicts: self.dicts,
+            columns,
+            rows: self.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn restaurant_table() -> EntityTable {
+        // Mirrors Figure 2's restaurant table.
+        let mut schema = Schema::new();
+        schema.add("cuisine", true);
+        schema.add("state", false);
+        schema.add("city", false);
+        let mut b = EntityTableBuilder::new(schema);
+        b.push_row(vec![
+            Cell::Many(vec![Value::str("Burgers"), Value::str("Barbeque")]),
+            "North Carolina".into(),
+            "Charlotte".into(),
+        ]);
+        b.push_row(vec![
+            Cell::Many(vec![Value::str("Japanese"), Value::str("Sushi")]),
+            "Texas".into(),
+            "Austin".into(),
+        ]);
+        b.push_row(vec![
+            Cell::One(Value::str("Mexican")),
+            "Michigan".into(),
+            "Detroit".into(),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let t = restaurant_table();
+        assert_eq!(t.len(), 3);
+        let cuisine = t.schema().attr_by_name("cuisine").unwrap();
+        let city = t.schema().attr_by_name("city").unwrap();
+        assert_eq!(t.values(0, cuisine).len(), 2);
+        assert_eq!(t.values(2, cuisine).len(), 1, "One on multi = singleton");
+        assert_eq!(
+            t.decoded_values(1, city),
+            vec![Value::str("Austin")]
+        );
+    }
+
+    #[test]
+    fn row_has_checks_membership() {
+        let t = restaurant_table();
+        let cuisine = t.schema().attr_by_name("cuisine").unwrap();
+        let sushi = t.dictionary(cuisine).code(&Value::str("Sushi")).unwrap();
+        assert!(t.row_has(1, cuisine, sushi));
+        assert!(!t.row_has(0, cuisine, sushi));
+    }
+
+    #[test]
+    fn dictionaries_are_per_attribute() {
+        let t = restaurant_table();
+        let state = t.schema().attr_by_name("state").unwrap();
+        let city = t.schema().attr_by_name("city").unwrap();
+        assert_eq!(t.dictionary(state).len(), 3);
+        assert_eq!(t.dictionary(city).len(), 3);
+        assert!(t.dictionary(city).code(&Value::str("Texas")).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut schema = Schema::new();
+        schema.add("a", false);
+        let mut b = EntityTableBuilder::new(schema);
+        b.push_row(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-valued")]
+    fn set_on_single_attr_panics() {
+        let mut schema = Schema::new();
+        schema.add("a", false);
+        let mut b = EntityTableBuilder::new(schema);
+        b.push_row(vec![Cell::Many(vec![Value::int(1), Value::int(2)])]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = EntityTableBuilder::new(Schema::new()).build();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: one exploration step over a Yelp-like subjective database.
+//!
+//! Builds a small dataset, runs a single SubDEx step on the full data, and
+//! prints the k diverse rating maps plus the top-o next-step
+//! recommendations — the content of one screen of the paper's UI.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+use subdex::prelude::*;
+
+fn main() {
+    // A scaled-down Yelp-like dataset (full scale: 150 318 reviewers).
+    let ds = subdex::data::yelp::dataset(GenParams::new(3_000, 93, 20_000, 42));
+    let db = Arc::new(ds.db);
+    let stats = db.stats();
+    println!(
+        "Loaded Yelp-like subjective database: {} reviewers, {} restaurants, \
+         {} rating records, {} attributes, {} rating dimensions\n",
+        stats.reviewer_count,
+        stats.item_count,
+        stats.rating_count,
+        stats.attr_count,
+        stats.dim_count
+    );
+
+    let mut engine = SdeEngine::new(db.clone(), EngineConfig::default());
+    let query = SelectionQuery::all();
+    let result = engine.step(&query);
+
+    println!(
+        "Step 0 over `{}` ({} rating records) took {:?}; \
+         {} candidate maps considered, {} pruned (CI), {} pruned (MAB)\n",
+        db.describe_query(&query),
+        result.group_size,
+        result.elapsed,
+        result.generator_stats.0,
+        result.generator_stats.1,
+        result.generator_stats.2,
+    );
+
+    println!("=== The {} most useful & diverse rating maps ===\n", result.maps.len());
+    for (i, sm) in result.maps.iter().enumerate() {
+        println!(
+            "--- map #{} (utility {:.3}, DW utility {:.3}) ---",
+            i + 1,
+            sm.utility,
+            sm.dw_utility
+        );
+        print!("{}", sm.map.render(&db));
+        println!(
+            "criteria: conc {:.2}  agr {:.2}  pec_self {:.2}  pec_glob {:.2}\n",
+            sm.criteria.conciseness,
+            sm.criteria.agreement,
+            sm.criteria.self_peculiarity,
+            sm.criteria.global_peculiarity
+        );
+    }
+
+    println!("=== Top-{} next-step recommendations ===\n", result.recommendations.len());
+    for (i, rec) in result.recommendations.iter().enumerate() {
+        println!(
+            "{}. {}   (utility {:.3}, {} records)",
+            i + 1,
+            db.describe_query(&rec.query),
+            rec.utility,
+            rec.group_size
+        );
+    }
+}

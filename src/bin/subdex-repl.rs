@@ -1,0 +1,220 @@
+//! Interactive SubDEx exploration in the terminal — the library's
+//! stand-in for the paper's HTML UI (Figure 5).
+//!
+//! ```text
+//! cargo run --release --bin subdex-repl -- [movielens|yelp|hotels] [--scale F]
+//! ```
+//!
+//! Commands at the prompt:
+//!
+//! ```text
+//! select <pred> [AND <pred>]   apply a selection (e.g. reviewer.age_group = young)
+//! rec <n>                      apply recommendation n of the last step
+//! back                         undo the last operation
+//! show                         redisplay the current step
+//! narrate                      natural-language summary of the current step
+//! save <file> / load <file>    persist / replay the session log
+//! help, quit
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use subdex::core::explain::narrate_step;
+use subdex::core::render::render_map;
+use subdex::core::sessionlog::{OpSource, SessionLog};
+use subdex::prelude::*;
+use subdex::store::parse_query;
+
+struct Repl {
+    db: Arc<SubjectiveDb>,
+    engine: SdeEngine,
+    log: SessionLog,
+    history: Vec<SelectionQuery>,
+    last: Option<StepResult>,
+}
+
+impl Repl {
+    fn new(db: Arc<SubjectiveDb>) -> Self {
+        let engine = SdeEngine::new(db.clone(), EngineConfig::default());
+        Self {
+            db,
+            engine,
+            log: SessionLog::new(),
+            history: Vec::new(),
+            last: None,
+        }
+    }
+
+    fn apply(&mut self, query: SelectionQuery, source: OpSource) {
+        let res = self.engine.step(&query);
+        self.display(&res);
+        self.log.record(source, query.clone());
+        self.history.push(query);
+        self.last = Some(res);
+    }
+
+    fn display(&self, res: &StepResult) {
+        println!(
+            "\n── {} · {} records · {:?} ──",
+            self.db.describe_query(&res.query),
+            res.group_size,
+            res.elapsed
+        );
+        for (i, sm) in res.maps.iter().enumerate() {
+            println!("\n[map {}]  utility {:.3} (DW {:.3})", i + 1, sm.utility, sm.dw_utility);
+            print!("{}", render_map(&self.db, &sm.map));
+        }
+        if !res.recommendations.is_empty() {
+            println!("\nRecommendations:");
+            for (i, rec) in res.recommendations.iter().enumerate() {
+                println!(
+                    "  rec {} → {}  (utility {:.3}, {} records)",
+                    i + 1,
+                    self.db.describe_query(&rec.query),
+                    rec.utility,
+                    rec.group_size
+                );
+            }
+        }
+    }
+
+    fn handle(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "quit" | "exit" | "q" => return false,
+            "help" | "?" => {
+                println!(
+                    "commands: select <preds> | rec <n> | back | show | narrate | \
+                     save <file> | load <file> | quit"
+                );
+            }
+            "select" | "s" => match parse_query(&self.db, rest) {
+                Ok(q) => self.apply(q, OpSource::User),
+                Err(e) => println!("error: {e}"),
+            },
+            "rec" | "r" => {
+                let idx: usize = match rest.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => n - 1,
+                    _ => {
+                        println!("usage: rec <n>");
+                        return true;
+                    }
+                };
+                let Some(q) = self
+                    .last
+                    .as_ref()
+                    .and_then(|s| s.recommendations.get(idx))
+                    .map(|r| r.query.clone())
+                else {
+                    println!("no such recommendation");
+                    return true;
+                };
+                self.apply(q, OpSource::Recommendation);
+            }
+            "back" | "b" => {
+                if self.history.len() < 2 {
+                    println!("nothing to go back to");
+                } else {
+                    self.history.pop();
+                    let q = self.history.pop().expect("checked length");
+                    self.apply(q, OpSource::User);
+                }
+            }
+            "show" => match &self.last {
+                Some(res) => self.display(res),
+                None => println!("no step yet — try `select *`"),
+            },
+            "narrate" | "n" => match &self.last {
+                Some(res) => print!("{}", narrate_step(&self.db, res)),
+                None => println!("no step yet"),
+            },
+            "save" => {
+                let path = rest.trim();
+                if path.is_empty() {
+                    println!("usage: save <file>");
+                } else {
+                    match std::fs::write(path, self.log.serialize(&self.db)) {
+                        Ok(()) => println!("saved {} operations to {path}", self.log.len()),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+            }
+            "load" => {
+                let path = rest.trim();
+                match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| {
+                        SessionLog::deserialize(&self.db, &text).map_err(|e| e.to_string())
+                    }) {
+                    Ok(loaded) => {
+                        println!("replaying {} operations…", loaded.len());
+                        for entry in loaded.entries().to_vec() {
+                            self.apply(entry.query, entry.source);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            other => println!("unknown command '{other}' — try `help`"),
+        }
+        true
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("yelp");
+    let scale: f64 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+
+    println!("Generating {dataset} dataset (scale {scale})…");
+    let ds = match dataset {
+        "movielens" => {
+            subdex::data::movielens::dataset(subdex::data::movielens::default_params().scaled(scale))
+        }
+        "hotels" => {
+            subdex::data::hotels::dataset(subdex::data::hotels::default_params().scaled(scale))
+        }
+        _ => {
+            let mut p = subdex::data::yelp::default_params().scaled(scale);
+            p.items = 93;
+            subdex::data::yelp::dataset(p)
+        }
+    };
+    let db = Arc::new(ds.db);
+    let s = db.stats();
+    println!(
+        "{} reviewers · {} items · {} ratings · {} dimensions. Type `help` for commands.",
+        s.reviewer_count, s.item_count, s.rating_count, s.dim_count
+    );
+
+    let mut repl = Repl::new(db);
+    repl.apply(SelectionQuery::all(), OpSource::User);
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("subdex> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !repl.handle(&line) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    println!("bye.");
+}
