@@ -205,10 +205,14 @@ mod tests {
         // gender F covers 6×4 = 24 of 40; NYC covers 10×2 = 20.
         let f_cover = mined
             .iter()
-            .find(|(p, _)| p.specificity() == 1 && {
-                let pr = p.preds[0];
-                pr.entity == Entity::Reviewer
-            } && db.describe_pred(&p.preds[0]).contains("= F"))
+            .find(|(p, _)| {
+                p.specificity() == 1
+                    && {
+                        let pr = p.preds[0];
+                        pr.entity == Entity::Reviewer
+                    }
+                    && db.describe_pred(&p.preds[0]).contains("= F")
+            })
             .map(|(_, c)| c.len());
         assert_eq!(f_cover, Some(24));
     }
@@ -262,8 +266,12 @@ mod tests {
     #[test]
     fn pattern_distance_and_query() {
         let db = db();
-        let f = db.pred(Entity::Reviewer, "gender", &subdex_store::Value::str("F")).unwrap();
-        let nyc = db.pred(Entity::Item, "city", &subdex_store::Value::str("NYC")).unwrap();
+        let f = db
+            .pred(Entity::Reviewer, "gender", &subdex_store::Value::str("F"))
+            .unwrap();
+        let nyc = db
+            .pred(Entity::Item, "city", &subdex_store::Value::str("NYC"))
+            .unwrap();
         let a = Pattern::single(f);
         let b = Pattern::pair(f, nyc);
         assert_eq!(a.distance(&b), 1);

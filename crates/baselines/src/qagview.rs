@@ -89,10 +89,7 @@ pub fn qagview(
         }
     }
 
-    chosen
-        .into_iter()
-        .map(|(p, _)| p.to_query(query))
-        .collect()
+    chosen.into_iter().map(|(p, _)| p.to_query(query)).collect()
 }
 
 #[cfg(test)]
@@ -174,7 +171,9 @@ mod tests {
     #[test]
     fn all_ops_are_drilldowns() {
         let db = db();
-        let f = db.pred(Entity::Reviewer, "gender", &Value::str("F")).unwrap();
+        let f = db
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap();
         let q = SelectionQuery::from_preds(vec![f]);
         for op in qagview(&db, &q, 3, &QagConfig::default()) {
             assert!(op.contains(&f));
@@ -186,8 +185,12 @@ mod tests {
     fn empty_inputs() {
         let db = db();
         assert!(qagview(&db, &SelectionQuery::all(), 0, &QagConfig::default()).is_empty());
-        let s = db.pred(Entity::Reviewer, "gender", &Value::str("F")).unwrap();
-        let m = db.pred(Entity::Reviewer, "gender", &Value::str("M")).unwrap();
+        let s = db
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap();
+        let m = db
+            .pred(Entity::Reviewer, "gender", &Value::str("M"))
+            .unwrap();
         let contradiction = SelectionQuery::from_preds(vec![s, m]);
         assert!(qagview(&db, &contradiction, 3, &QagConfig::default()).is_empty());
     }

@@ -161,8 +161,12 @@ mod tests {
     #[test]
     fn empty_group_returns_nothing() {
         let db = db();
-        let s = db.pred(Entity::Reviewer, "occupation", &Value::str("student")).unwrap();
-        let a = db.pred(Entity::Reviewer, "occupation", &Value::str("artist")).unwrap();
+        let s = db
+            .pred(Entity::Reviewer, "occupation", &Value::str("student"))
+            .unwrap();
+        let a = db
+            .pred(Entity::Reviewer, "occupation", &Value::str("artist"))
+            .unwrap();
         let q = SelectionQuery::from_preds(vec![s, a]);
         assert!(smart_drill_down(&db, &q, 3, &SddConfig::default()).is_empty());
         assert!(smart_drill_down(&db, &SelectionQuery::all(), 0, &SddConfig::default()).is_empty());

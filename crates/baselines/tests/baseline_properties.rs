@@ -52,7 +52,11 @@ fn build(s: &Spec) -> SubjectiveDb {
     for &(r, i) in &s.ratings {
         rb.push(u32::from(r), u32::from(i), &[3]);
     }
-    SubjectiveDb::new(ub.build(), ib.build(), rb.build(s.reviewers.len(), s.items.len()))
+    SubjectiveDb::new(
+        ub.build(),
+        ib.build(),
+        rb.build(s.reviewers.len(), s.items.len()),
+    )
 }
 
 proptest! {

@@ -64,5 +64,10 @@ fn bench_value_count(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_db_size, bench_attribute_count, bench_value_count);
+criterion_group!(
+    benches,
+    bench_db_size,
+    bench_attribute_count,
+    bench_value_count
+);
 criterion_main!(benches);

@@ -19,7 +19,11 @@ fn bench_rating_group(c: &mut Criterion) {
     let db = ds.db;
     let q_all = SelectionQuery::all();
     let young = db
-        .pred(Entity::Reviewer, "age_group", &subdex_store::Value::str("young"))
+        .pred(
+            Entity::Reviewer,
+            "age_group",
+            &subdex_store::Value::str("young"),
+        )
         .unwrap();
     let q_young = SelectionQuery::from_preds(vec![young]);
     let mut group = c.benchmark_group("rating_group");
@@ -132,8 +136,8 @@ fn bench_pruning(c: &mut Criterion) {
 }
 
 fn bench_normalizers(c: &mut Criterion) {
-    use subdex_stats::normalize::{Normalizer, ScoreNormalizer};
     use subdex_stats::normalize::NormalizerKind;
+    use subdex_stats::normalize::{Normalizer, ScoreNormalizer};
     for (name, kind) in [
         ("zlogistic", NormalizerKind::ZLogistic),
         ("minmax", NormalizerKind::MinMax),

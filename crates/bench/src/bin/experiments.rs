@@ -68,7 +68,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let ctx = if quick { Ctx::quick() } else { Ctx::standard() };
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let what = which.first().copied().unwrap_or("all");
 
     let t0 = std::time::Instant::now();
@@ -124,7 +128,10 @@ fn main() {
     if run("fig11c") {
         fig11(&ctx, 'c');
     }
-    eprintln!("\n[experiments finished in {:.1}s]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[experiments finished in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn header(title: &str) {
@@ -149,8 +156,13 @@ fn table2(_ctx: &Ctx) {
         let s = ds.db.stats();
         println!(
             "{:<14} {:>7} {:>14} {:>8} {:>9} {:>9} {:>6}",
-            name, s.attr_count, s.max_values, s.dim_count, s.rating_count,
-            s.reviewer_count, s.item_count
+            name,
+            s.attr_count,
+            s.max_values,
+            s.dim_count,
+            s.rating_count,
+            s.reviewer_count,
+            s.item_count
         );
     }
 }
@@ -174,13 +186,13 @@ fn fig7(ctx: &Ctx) {
         let s1b = scenario1_workload(dataset, ctx.study_scale, 41);
         let s2a = scenario2_workload(dataset, ctx.study_scale);
         let s2b = subdex_bench::harness::scenario2_workload_seeded(dataset, ctx.study_scale, 1);
-        for (scen_name, wa, wb) in [
-            ("Scenario I", &s1a, &s1b),
-            ("Scenario II", &s2a, &s2b),
-        ] {
+        for (scen_name, wa, wb) in [("Scenario I", &s1a, &s1b), ("Scenario II", &s2a, &s2b)] {
             let res = subdex_sim::study::run_study_pair(wa, wb, &cfg);
             let workload = wa;
-            println!("\n--- {dataset} / {scen_name} (targets: {}) ---", workload.target_count());
+            println!(
+                "\n--- {dataset} / {scen_name} (targets: {}) ---",
+                workload.target_count()
+            );
             println!(
                 "{:<22} {:>24} {:>24}",
                 "", "High Domain Knowledge", "Low Domain Knowledge"
@@ -252,8 +264,14 @@ fn fig8(ctx: &Ctx) {
     let max_steps = if ctx.subjects_per_cell <= 6 { 6 } else { 12 };
     let subjects = ctx.subjects_per_cell;
     for (scen_name, w) in [
-        ("Scenario I", scenario1_workload("movielens", ctx.study_scale, 41)),
-        ("Scenario II", scenario2_workload("movielens", ctx.study_scale)),
+        (
+            "Scenario I",
+            scenario1_workload("movielens", ctx.study_scale, 41),
+        ),
+        (
+            "Scenario II",
+            scenario2_workload("movielens", ctx.study_scale),
+        ),
     ] {
         println!("\n--- {scen_name} ---");
         print!("{:<26}", "steps:");
@@ -302,10 +320,7 @@ fn table4(ctx: &Ctx) {
 
 fn table5(ctx: &Ctx) {
     header("Table 5: Utility vs diversity as l varies (Fully-Automated paths)");
-    println!(
-        "{:<16} {:>22} {:>22}",
-        "Variant", "Movielens", "Yelp"
-    );
+    println!("{:<16} {:>22} {:>22}", "Variant", "Movielens", "Yelp");
     let variants: Vec<(&str, EngineConfig)> = vec![
         ("Utility-Only", ctx.study_engine().with_l(1)),
         ("l = 2", ctx.study_engine().with_l(2)),
@@ -343,7 +358,10 @@ fn table5(ctx: &Ctx) {
 
 fn table6(ctx: &Ctx) {
     header("Table 6: Avg #identified irregular groups, utility-only vs diversity-only");
-    println!("{:<10} {:>14} {:>16}", "Dataset", "Utility-only", "Diversity-only");
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "Dataset", "Utility-only", "Diversity-only"
+    );
     for dataset in ["movielens", "yelp"] {
         let mut cols = Vec::new();
         for diversity_only in [false, true] {
@@ -357,7 +375,11 @@ fn table6(ctx: &Ctx) {
             for i in 0..ctx.subjects_per_cell as u64 {
                 let w = scenario1_workload(dataset, ctx.study_scale, 200 + i % ctx.injection_seeds);
                 let profile = SubjectProfile::new(
-                    if i % 2 == 0 { CsExpertise::High } else { CsExpertise::Low },
+                    if i % 2 == 0 {
+                        CsExpertise::High
+                    } else {
+                        CsExpertise::Low
+                    },
                     DomainKnowledge::Low,
                     900 + i,
                 );
@@ -407,12 +429,27 @@ fn ablation(ctx: &Ctx) {
     let variants: Vec<(&str, UtilityCombiner)> = vec![
         ("max (paper)", UtilityCombiner::Max),
         ("average", UtilityCombiner::Average),
-        ("conciseness only", UtilityCombiner::Single(Criterion::Conciseness)),
-        ("agreement only", UtilityCombiner::Single(Criterion::Agreement)),
-        ("self-pec only", UtilityCombiner::Single(Criterion::SelfPeculiarity)),
-        ("global-pec only", UtilityCombiner::Single(Criterion::GlobalPeculiarity)),
+        (
+            "conciseness only",
+            UtilityCombiner::Single(Criterion::Conciseness),
+        ),
+        (
+            "agreement only",
+            UtilityCombiner::Single(Criterion::Agreement),
+        ),
+        (
+            "self-pec only",
+            UtilityCombiner::Single(Criterion::SelfPeculiarity),
+        ),
+        (
+            "global-pec only",
+            UtilityCombiner::Single(Criterion::GlobalPeculiarity),
+        ),
     ];
-    println!("{:<18} {:>10} {:>10}", "Utility variant", "Movielens", "Yelp");
+    println!(
+        "{:<18} {:>10} {:>10}",
+        "Utility variant", "Movielens", "Yelp"
+    );
     for (name, combiner) in variants {
         let mut cols = Vec::new();
         for dataset in ["movielens", "yelp"] {
@@ -506,7 +543,11 @@ fn hotels_trends(ctx: &Ctx) {
             let stats = run_auto_path(&w, source, ctx.path_steps, &cfg);
             scores.push(stats.irregulars_shown.len() as f64);
         }
-        println!("  {:<10} {:.1}", source.to_string(), summarize(&scores).expect("scores").mean);
+        println!(
+            "  {:<10} {:.1}",
+            source.to_string(),
+            summarize(&scores).expect("scores").mean
+        );
     }
     println!("Dimension balance with vs without DW:");
     let w = scenario1_workload("hotels", ctx.study_scale, 701);
@@ -517,7 +558,11 @@ fn hotels_trends(ctx: &Ctx) {
         let stats = run_fixed_path(&w, &queries, &c);
         let max = *stats.maps_per_dimension.iter().max().unwrap_or(&0);
         let min = *stats.maps_per_dimension.iter().min().unwrap_or(&0);
-        println!("  {label:<12} per-dim counts {:?} (spread {})", stats.maps_per_dimension, max - min);
+        println!(
+            "  {label:<12} per-dim counts {:?} (spread {})",
+            stats.maps_per_dimension,
+            max - min
+        );
     }
 }
 
@@ -591,9 +636,18 @@ fn fig10c(ctx: &Ctx) {
 
 fn fig11(ctx: &Ctx, which: char) {
     let (title, values): (&str, Vec<usize>) = match which {
-        'a' => ("Figure 11(a): Runtime vs k (#rating maps)", vec![1, 2, 3, 4, 5]),
-        'b' => ("Figure 11(b): Runtime vs o (#recommendations)", vec![1, 2, 3, 4, 5]),
-        _ => ("Figure 11(c): Runtime vs l (pruning-diversity factor)", vec![1, 2, 3, 4, 5]),
+        'a' => (
+            "Figure 11(a): Runtime vs k (#rating maps)",
+            vec![1, 2, 3, 4, 5],
+        ),
+        'b' => (
+            "Figure 11(b): Runtime vs o (#recommendations)",
+            vec![1, 2, 3, 4, 5],
+        ),
+        _ => (
+            "Figure 11(c): Runtime vs l (pruning-diversity factor)",
+            vec![1, 2, 3, 4, 5],
+        ),
     };
     header(title);
     let w = perf_workload(ctx);

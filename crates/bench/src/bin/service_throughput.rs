@@ -1,0 +1,142 @@
+//! Service throughput: aggregate steps/sec of the multi-session server as
+//! a function of worker-pool size and the shared group cache.
+//!
+//! ```text
+//! service_throughput [--quick]
+//! ```
+//!
+//! For every cell of workers {1, 2, 4} × cache {off, on}, the benchmark
+//! starts a fresh `SubdexService` over the same Yelp-like database, drives
+//! 16 recommendation-powered sessions (overlapping scripts, so the cache
+//! has real sharing to exploit) from 8 client threads, and reports
+//! steps/sec plus the observed cache hit rate. The `--quick` flag shrinks
+//! the dataset and step count for smoke runs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use subdex_bench::harness::{yelp_at, Scale};
+use subdex_core::{EngineConfig, ExplorationMode};
+use subdex_service::{ServiceConfig, ServiceError, SessionId, StepRequest, SubdexService};
+use subdex_store::{SelectionQuery, SubjectiveDb};
+
+const CLIENT_THREADS: usize = 8;
+const SESSIONS: usize = 16;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, steps) = if quick {
+        (Scale::Smoke, 3)
+    } else {
+        (Scale::Study, 5)
+    };
+    let db = Arc::new(yelp_at(scale).db);
+    let stats = db.stats();
+    println!(
+        "# Service throughput — {} sessions x {} steps, {} client threads",
+        SESSIONS, steps, CLIENT_THREADS
+    );
+    println!(
+        "# Yelp-like db: {} reviewers, {} items, {} ratings\n",
+        stats.reviewer_count, stats.item_count, stats.rating_count
+    );
+    println!(
+        "| {:>7} | {:>5} | {:>9} | {:>9} | {:>8} | {:>8} |",
+        "workers", "cache", "steps/sec", "hit rate", "rejects", "q hwm"
+    );
+    println!("|---------|-------|-----------|-----------|----------|----------|");
+
+    for &workers in &[1usize, 2, 4] {
+        for &cache_enabled in &[false, true] {
+            let cell = run_cell(&db, workers, cache_enabled, steps);
+            println!(
+                "| {:>7} | {:>5} | {:>9.1} | {:>9} | {:>8} | {:>8} |",
+                workers,
+                if cache_enabled { "on" } else { "off" },
+                cell.steps_per_sec,
+                cell.hit_rate
+                    .map(|r| format!("{:.1}%", 100.0 * r))
+                    .unwrap_or_else(|| "—".into()),
+                cell.rejected,
+                cell.queue_hwm,
+            );
+        }
+    }
+}
+
+struct Cell {
+    steps_per_sec: f64,
+    hit_rate: Option<f64>,
+    rejected: u64,
+    queue_hwm: usize,
+}
+
+fn run_cell(db: &Arc<SubjectiveDb>, workers: usize, cache_enabled: bool, steps: usize) -> Cell {
+    let config = ServiceConfig {
+        workers,
+        queue_capacity: 8,
+        cache_enabled,
+        engine: EngineConfig {
+            parallel: false, // the worker pool is the parallelism axis here
+            max_candidates: 8,
+            ..EngineConfig::default()
+        },
+        mode: ExplorationMode::RecommendationPowered,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(SubdexService::start(Arc::clone(db), config));
+    let sessions: Vec<SessionId> = (0..SESSIONS).map(|_| service.create_session()).collect();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let mine: Vec<(usize, SessionId)> = sessions
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| idx % CLIENT_THREADS == t)
+                .map(|(idx, &id)| (idx, id))
+                .collect();
+            std::thread::spawn(move || {
+                for (idx, id) in mine {
+                    drive_session(&service, id, idx, steps);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread must not panic");
+    }
+    let elapsed = started.elapsed();
+
+    let m = service.metrics();
+    assert_eq!(m.requests_served, (SESSIONS * steps) as u64);
+    service.shutdown();
+    Cell {
+        steps_per_sec: (SESSIONS * steps) as f64 / elapsed.as_secs_f64(),
+        hit_rate: m.cache.map(|c| c.hit_rate()),
+        rejected: m.requests_rejected,
+        queue_hwm: m.queue_depth_hwm,
+    }
+}
+
+/// The same deterministic script the stress test uses: start wide, then
+/// follow recommendation `(session_idx + step) % n`. Rejections retry.
+fn drive_session(service: &SubdexService, id: SessionId, session_idx: usize, steps: usize) {
+    let run = |request: StepRequest| loop {
+        match service.run_step(id, request.clone()) {
+            Ok(step) => break step,
+            Err(ServiceError::Rejected { .. }) => std::thread::sleep(Duration::from_micros(200)),
+            Err(e) => panic!("session {id}: {e}"),
+        }
+    };
+    let mut last = run(StepRequest::Operation(SelectionQuery::all()));
+    for step in 1..steps {
+        let n = last.recommendations.len();
+        last = if n == 0 {
+            run(StepRequest::Operation(SelectionQuery::all()))
+        } else {
+            run(StepRequest::Recommendation((session_idx + step) % n))
+        };
+    }
+}

@@ -63,9 +63,17 @@ pub fn hotels_at(scale: Scale) -> Dataset {
 /// histogram, which is not the situation the paper's subjects faced.
 pub fn scenario1_workload(dataset: &str, scale: Scale, seed: u64) -> Workload {
     let reviewers = match dataset {
-        "movielens" => movielens::default_params().scaled(scale_factor(scale)).reviewers,
+        "movielens" => {
+            movielens::default_params()
+                .scaled(scale_factor(scale))
+                .reviewers
+        }
         "yelp" => yelp::default_params().scaled(scale_factor(scale)).reviewers,
-        _ => hotels::default_params().scaled(scale_factor(scale)).reviewers,
+        _ => {
+            hotels::default_params()
+                .scaled(scale_factor(scale))
+                .reviewers
+        }
     };
     let spec = IrregularSpec {
         reviewer_groups: 1,
@@ -100,7 +108,9 @@ pub fn scenario2_workload_seeded(dataset: &str, scale: Scale, seed_offset: u64) 
         p
     };
     let ds = match dataset {
-        "movielens" => movielens::dataset(with_seed(movielens::default_params().scaled(scale.factor()))),
+        "movielens" => movielens::dataset(with_seed(
+            movielens::default_params().scaled(scale.factor()),
+        )),
         "yelp" => {
             let mut p = with_seed(yelp::default_params().scaled(scale.factor()));
             p.items = 93;
@@ -168,7 +178,14 @@ mod tests {
         let names: Vec<&str> = engine_variants().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["SubDEx", "No-Pruning", "CI Pruning", "MAB Pruning", "No Parallelism", "Naive"]
+            vec![
+                "SubDEx",
+                "No-Pruning",
+                "CI Pruning",
+                "MAB Pruning",
+                "No Parallelism",
+                "Naive"
+            ]
         );
     }
 

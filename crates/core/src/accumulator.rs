@@ -125,7 +125,10 @@ impl FamilyAccumulator {
     pub fn distributions(
         &self,
         dim_pos: usize,
-    ) -> (Vec<(subdex_store::ValueId, RatingDistribution)>, RatingDistribution) {
+    ) -> (
+        Vec<(subdex_store::ValueId, RatingDistribution)>,
+        RatingDistribution,
+    ) {
         let counts = &self.counts[dim_pos];
         let mut subs = Vec::new();
         let mut overall = RatingDistribution::new(self.scale);
@@ -228,7 +231,10 @@ mod tests {
             is.add("city", false);
             is.add("tags", true);
             let mut ib = subdex_store::table::EntityTableBuilder::new(is);
-            ib.push_row(vec![Cell::from("NYC"), Cell::Many(vec![Value::str("a"), Value::str("b")])]);
+            ib.push_row(vec![
+                Cell::from("NYC"),
+                Cell::Many(vec![Value::str("a"), Value::str("b")]),
+            ]);
             ib.push_row(vec![Cell::from("NYC"), Cell::Many(vec![Value::str("a")])]);
             ib.push_row(vec![Cell::from("SF"), Cell::Many(vec![Value::str("b")])]);
             ib.push_row(vec![Cell::from("SF"), Cell::Many(vec![])]);
@@ -335,7 +341,10 @@ mod tests {
         let map = fam.to_rating_map(0);
         assert_eq!(map.key, MapKey::new(Entity::Item, city, DimId(0)));
         assert_eq!(map.subgroup_count(), 2);
-        assert!(map.top_subgroup().unwrap().avg_score.unwrap() >= map.bottom_subgroup().unwrap().avg_score.unwrap());
+        assert!(
+            map.top_subgroup().unwrap().avg_score.unwrap()
+                >= map.bottom_subgroup().unwrap().avg_score.unwrap()
+        );
     }
 
     #[test]

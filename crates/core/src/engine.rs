@@ -13,13 +13,13 @@
 use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
 use crate::pruning::PruningStrategy;
 use crate::ratingmap::ScoredRatingMap;
-use crate::recommend::{self, Recommendation, RecommendConfig};
+use crate::recommend::{self, RecommendConfig, Recommendation};
 use crate::selector::{select_diverse, SelectionStrategy};
 use crate::utility::UtilityCombiner;
 use std::sync::Arc;
 use std::time::Duration;
 use subdex_stats::normalize::NormalizerKind;
-use subdex_store::{SelectionQuery, SubjectiveDb};
+use subdex_store::{GroupCache, SelectionQuery, SubjectiveDb};
 
 /// Full engine configuration (defaults follow Table 3 of the paper).
 #[derive(Debug, Clone, Copy)]
@@ -210,6 +210,7 @@ pub struct SdeEngine {
     seen: SeenContext,
     normalizers: CriterionNormalizers,
     step_counter: usize,
+    group_cache: Option<Arc<GroupCache>>,
 }
 
 impl SdeEngine {
@@ -222,7 +223,28 @@ impl SdeEngine {
             normalizers: CriterionNormalizers::new(config.normalizer),
             config,
             step_counter: 0,
+            group_cache: None,
         }
+    }
+
+    /// Attaches a shared rating-group cache: group materialization (both
+    /// the stepped query and every recommendation candidate) is looked up
+    /// there first. Results are byte-identical with or without a cache —
+    /// the cache stores pre-shuffle record lists, and the per-step seed is
+    /// applied after lookup (see [`SubjectiveDb::group_for_query_cached`]).
+    pub fn with_group_cache(mut self, cache: Arc<GroupCache>) -> Self {
+        self.group_cache = Some(cache);
+        self
+    }
+
+    /// Attaches or detaches the shared rating-group cache in place.
+    pub fn set_group_cache(&mut self, cache: Option<Arc<GroupCache>>) {
+        self.group_cache = cache;
+    }
+
+    /// The attached rating-group cache, if any.
+    pub fn group_cache(&self) -> Option<&Arc<GroupCache>> {
+        self.group_cache.as_ref()
     }
 
     /// The underlying database.
@@ -258,7 +280,10 @@ impl SdeEngine {
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(step as u64);
-        let group = self.db.rating_group(query, seed);
+        let group = match &self.group_cache {
+            Some(cache) => self.db.group_for_query_cached(query, seed, cache),
+            None => self.db.rating_group(query, seed),
+        };
         let gen_cfg = self.config.generator_config();
         let out = generator::generate(
             &self.db,
@@ -269,7 +294,10 @@ impl SdeEngine {
             &gen_cfg,
         );
         let (total, ci, mab) = (out.candidates_total, out.pruned_ci, out.pruned_mab);
-        let pool_size = self.config.selection.pool_size(self.config.k, out.pool.len());
+        let pool_size = self
+            .config
+            .selection
+            .pool_size(self.config.k, out.pool.len());
         let pool: Vec<ScoredRatingMap> = out
             .pool
             .into_iter()
@@ -297,6 +325,7 @@ impl SdeEngine {
                 &gen_cfg,
                 &self.config.recommend_config(),
                 seed,
+                self.group_cache.as_deref(),
             )
         } else {
             Vec::new()
@@ -339,7 +368,11 @@ mod tests {
         let mut rb = RatingTableBuilder::new(vec!["overall".into(), "food".into()], 5);
         for r in 0..10u32 {
             for i in 0..4u32 {
-                rb.push(r, i, &[1 + ((r + i) % 5) as u8, 1 + ((r * 3 + i) % 5) as u8]);
+                rb.push(
+                    r,
+                    i,
+                    &[1 + ((r + i) % 5) as u8, 1 + ((r * 3 + i) % 5) as u8],
+                );
             }
         }
         Arc::new(SubjectiveDb::new(ub.build(), ib.build(), rb.build(10, 4)))
@@ -383,6 +416,43 @@ mod tests {
             (keys, recs)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cached_steps_match_uncached_byte_for_byte() {
+        use subdex_store::GroupCache;
+        let db = db();
+        let cfg = EngineConfig {
+            parallel: false,
+            ..EngineConfig::default()
+        };
+        let queries = [
+            SelectionQuery::all(),
+            SelectionQuery::from_preds(vec![db
+                .pred(Entity::Item, "city", &Value::str("NYC"))
+                .unwrap()]),
+            SelectionQuery::all(), // revisit: must hit the cache
+        ];
+        let run = |cache: Option<Arc<GroupCache>>| {
+            let mut engine = SdeEngine::new(db.clone(), cfg);
+            engine.set_group_cache(cache);
+            queries
+                .iter()
+                .map(|q| {
+                    let r = engine.step(q);
+                    let keys: Vec<_> = r.maps.iter().map(|m| m.map.key).collect();
+                    let utils: Vec<_> = r.maps.iter().map(|m| m.dw_utility.to_bits()).collect();
+                    let recs: Vec<_> = r.recommendations.iter().map(|x| x.query.clone()).collect();
+                    (r.group_size, keys, utils, recs)
+                })
+                .collect::<Vec<_>>()
+        };
+        let cache = Arc::new(GroupCache::new(1 << 20));
+        let cached = run(Some(cache.clone()));
+        let uncached = run(None);
+        assert_eq!(cached, uncached);
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "revisited queries must hit: {stats:?}");
     }
 
     #[test]

@@ -81,7 +81,12 @@ pub fn narrate_step(db: &SubjectiveDb, step: &StepResult) -> String {
         step.group_size
     );
     for sm in &step.maps {
-        let _ = writeln!(out, "  • {} — {}.", headline(db, &sm.map), why_interesting(sm));
+        let _ = writeln!(
+            out,
+            "  • {} — {}.",
+            headline(db, &sm.map),
+            why_interesting(sm)
+        );
     }
     if step.recommendations.is_empty() {
         let _ = writeln!(out, "  (no next-step recommendations)");
@@ -116,8 +121,8 @@ mod tests {
     use std::sync::Arc;
     use subdex_stats::RatingDistribution;
     use subdex_store::{
-        Cell, DimId, Entity, EntityTableBuilder, RatingTableBuilder, Schema,
-        SelectionQuery, SubjectiveDb, ValueId,
+        Cell, DimId, Entity, EntityTableBuilder, RatingTableBuilder, Schema, SelectionQuery,
+        SubjectiveDb, ValueId,
     };
 
     fn db() -> SubjectiveDb {
@@ -206,11 +211,7 @@ mod tests {
             5,
         );
         assert!(headline(&db, &single).contains("all records share"));
-        let empty = RatingMap::from_subgroups(
-            MapKey::new(Entity::Item, city, DimId(0)),
-            vec![],
-            5,
-        );
+        let empty = RatingMap::from_subgroups(MapKey::new(Entity::Item, city, DimId(0)), vec![], 5);
         assert!(headline(&db, &empty).contains("no records"));
     }
 

@@ -288,7 +288,11 @@ pub fn generate(
                             .into_iter()
                             .map(|s| hs.interval(s, records_seen))
                             .collect();
-                        let w = if cfg.use_dw { weights.dw_factor(c.dim) } else { 1.0 };
+                        let w = if cfg.use_dw {
+                            weights.dw_factor(c.dim)
+                        } else {
+                            1.0
+                        };
                         utility_envelope(&intervals, w)
                     })
                     .collect();
@@ -370,7 +374,9 @@ fn scan_phase(
         return;
     }
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         cfg.threads
     };
@@ -540,13 +546,22 @@ mod tests {
     fn empty_group_yields_empty_pool() {
         let db = build_db(true);
         let q = SelectionQuery::from_preds(vec![
-            db.pred(subdex_store::Entity::Reviewer, "gender", &Value::str("F")).unwrap(),
-            db.pred(subdex_store::Entity::Reviewer, "gender", &Value::str("M")).unwrap(),
+            db.pred(subdex_store::Entity::Reviewer, "gender", &Value::str("F"))
+                .unwrap(),
+            db.pred(subdex_store::Entity::Reviewer, "gender", &Value::str("M"))
+                .unwrap(),
         ]);
         let group = db.rating_group(&q, 0);
         let seen = SeenContext::new(2);
         let mut norms = CriterionNormalizers::new(NormalizerKind::ZLogistic);
-        let out = generate(&db, &group, &q, &seen, &mut norms, &GeneratorConfig::default());
+        let out = generate(
+            &db,
+            &group,
+            &q,
+            &seen,
+            &mut norms,
+            &GeneratorConfig::default(),
+        );
         assert!(out.pool.is_empty());
     }
 
@@ -559,7 +574,11 @@ mod tests {
         // Pretend dim 0 was shown many times.
         for _ in 0..5 {
             let fake = RatingMap::from_subgroups(
-                crate::ratingmap::MapKey::new(subdex_store::Entity::Item, subdex_store::AttrId(0), DimId(0)),
+                crate::ratingmap::MapKey::new(
+                    subdex_store::Entity::Item,
+                    subdex_store::AttrId(0),
+                    DimId(0),
+                ),
                 vec![],
                 5,
             );
@@ -574,7 +593,10 @@ mod tests {
         let out = generate(&db, &group, &q, &seen, &mut norms, &cfg);
         // Every dim-0 candidate has weight 0 → dw 0; dim-1 candidates rank first.
         let first_dims: Vec<u16> = out.pool.iter().take(4).map(|m| m.map.key.dim.0).collect();
-        assert!(first_dims.iter().all(|&d| d == 1), "dim 1 promoted: {first_dims:?}");
+        assert!(
+            first_dims.iter().all(|&d| d == 1),
+            "dim 1 promoted: {first_dims:?}"
+        );
     }
 
     #[test]
@@ -596,7 +618,10 @@ mod tests {
             );
             seen.record_displayed(&map);
         }
-        assert_eq!(seen.seen_distributions().len(), SeenContext::DEFAULT_MAX_KEPT);
+        assert_eq!(
+            seen.seen_distributions().len(),
+            SeenContext::DEFAULT_MAX_KEPT
+        );
         assert_eq!(
             seen.total_displayed(),
             (SeenContext::DEFAULT_MAX_KEPT + 10) as u64

@@ -118,10 +118,7 @@ pub fn agreement_raw(subgroups: &[RatingDistribution]) -> f64 {
 
 /// Raw self peculiarity: the maximum TVD between any subgroup's
 /// distribution and the whole group's distribution. No subgroups ⇒ 0.
-pub fn self_peculiarity_raw(
-    subgroups: &[RatingDistribution],
-    overall: &RatingDistribution,
-) -> f64 {
+pub fn self_peculiarity_raw(subgroups: &[RatingDistribution], overall: &RatingDistribution) -> f64 {
     self_peculiarity_with(subgroups, overall, PeculiarityMeasure::TotalVariation)
 }
 
@@ -141,10 +138,7 @@ pub fn self_peculiarity_with(
 /// Raw global peculiarity: the maximum TVD between this map's overall
 /// distribution and each previously displayed map's distribution.
 /// Nothing seen yet ⇒ 0 (there is no facet to differ from).
-pub fn global_peculiarity_raw(
-    overall: &RatingDistribution,
-    seen: &[RatingDistribution],
-) -> f64 {
+pub fn global_peculiarity_raw(overall: &RatingDistribution, seen: &[RatingDistribution]) -> f64 {
     global_peculiarity_with(overall, seen, PeculiarityMeasure::TotalVariation)
 }
 

@@ -60,6 +60,6 @@ pub use generator::SeenContext;
 pub use pruning::PruningStrategy;
 pub use ratingmap::{MapKey, RatingMap, ScoredRatingMap};
 pub use recommend::Recommendation;
-pub use session::{ExplorationMode, ExplorationSession};
+pub use session::{ExplorationMode, ExplorationSession, SessionError};
 pub use sessionlog::SessionLog;
 pub use utility::{CriterionScores, UtilityCombiner};

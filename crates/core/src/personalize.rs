@@ -183,10 +183,7 @@ mod tests {
         let mut b = SessionLog::new();
         b.record(
             OpSource::Auto,
-            SelectionQuery::from_preds(vec![
-                av(Entity::Reviewer, 0, 2),
-                av(Entity::Item, 3, 0),
-            ]),
+            SelectionQuery::from_preds(vec![av(Entity::Reviewer, 0, 2), av(Entity::Item, 3, 0)]),
         );
         let h = OperationHistory::from_logs([&a, &b]);
         assert_eq!(h.total(), 3);

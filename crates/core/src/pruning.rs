@@ -36,7 +36,10 @@ pub enum PruningStrategy {
 impl PruningStrategy {
     /// Whether CI pruning is active.
     pub fn uses_ci(self) -> bool {
-        matches!(self, PruningStrategy::ConfidenceInterval | PruningStrategy::Both)
+        matches!(
+            self,
+            PruningStrategy::ConfidenceInterval | PruningStrategy::Both
+        )
     }
 
     /// Whether MAB pruning is active.
@@ -274,8 +277,7 @@ mod tests {
     fn sar_sequence_converges_to_topk() {
         // Repeatedly applying decisions must isolate the true top-2.
         let mut s = SarState::new(2);
-        let mut active: Vec<(usize, f64)> =
-            vec![(0, 0.9), (1, 0.85), (2, 0.3), (3, 0.2), (4, 0.1)];
+        let mut active: Vec<(usize, f64)> = vec![(0, 0.9), (1, 0.85), (2, 0.3), (3, 0.2), (4, 0.1)];
         let mut accepted = Vec::new();
         loop {
             match s.decide(&active) {
@@ -287,8 +289,10 @@ mod tests {
                 SarDecision::Nothing => break,
             }
         }
-        let mut survivors: Vec<usize> =
-            accepted.into_iter().chain(active.iter().map(|&(i, _)| i)).collect();
+        let mut survivors: Vec<usize> = accepted
+            .into_iter()
+            .chain(active.iter().map(|&(i, _)| i))
+            .collect();
         survivors.sort_unstable();
         assert_eq!(survivors, vec![0, 1]);
     }

@@ -150,7 +150,11 @@ impl RatingMap {
         let dim = db.ratings().dim_name(self.key.dim);
         let mut out = String::new();
         let _ = writeln!(out, "rm: GROUPBY {attr}, aggregated by {dim} score");
-        let _ = writeln!(out, "{:<20} {:>9}  {:<28} {:>9}", attr, "# records", "rating distribution", "avg score");
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9}  {:<28} {:>9}",
+            attr, "# records", "rating distribution", "avg score"
+        );
         for s in &self.subgroups {
             let _ = writeln!(
                 out,

@@ -16,7 +16,8 @@
 use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
 use crate::ratingmap::ScoredRatingMap;
 use crate::selector::{select_diverse, SelectionStrategy};
-use subdex_store::{AttrValue, Entity, SelectionQuery, SubjectiveDb};
+use std::collections::HashSet;
+use subdex_store::{AttrValue, Entity, GroupCache, SelectionQuery, SubjectiveDb};
 
 /// One recommended next-step operation.
 #[derive(Debug, Clone)]
@@ -117,26 +118,31 @@ pub fn enumerate_candidates(
     // Build per-kind lists, then interleave under the cap so every
     // operation class survives: a budget spent entirely on drill-downs
     // could never recommend the roll-ups SubDEx is distinguished by
-    // (Table 4's whole point).
+    // (Table 4's whole point). Deduplication is hash-based throughout:
+    // combo enumeration is quadratic in the edit lists, so linear scans
+    // here would make the whole enumeration O(n²) in the candidate count.
     let mut drill: Vec<SelectionQuery> = Vec::new();
     let mut rollup: Vec<SelectionQuery> = Vec::new();
     let mut change_ops: Vec<SelectionQuery> = Vec::new();
     let mut combos: Vec<SelectionQuery> = Vec::new();
-    let push = |q: SelectionQuery, out: &mut Vec<SelectionQuery>| {
-        if &q != query && !out.contains(&q) {
-            out.push(q);
-        }
-    };
+    let mut per_kind_seen: [HashSet<SelectionQuery>; 4] = Default::default();
+    let push =
+        |q: SelectionQuery, out: &mut Vec<SelectionQuery>, seen: &mut HashSet<SelectionQuery>| {
+            if &q != query && seen.insert(q.clone()) {
+                out.push(q);
+            }
+        };
 
+    let [seen_drill, seen_rollup, seen_change, seen_combo] = &mut per_kind_seen;
     for &a in &adds {
-        push(query.with_added(a), &mut drill);
+        push(query.with_added(a), &mut drill, seen_drill);
     }
     for r in &removes {
-        push(query.with_removed(r), &mut rollup);
+        push(query.with_removed(r), &mut rollup, seen_rollup);
     }
     for (p, v) in &changes {
         if let Some(q) = query.with_changed(p.entity, p.attr, *v) {
-            push(q, &mut change_ops);
+            push(q, &mut change_ops, seen_change);
         }
     }
     'outer: for &a in &adds {
@@ -144,7 +150,7 @@ pub fn enumerate_candidates(
             if r.entity == a.entity && r.attr == a.attr {
                 continue; // that combination is a change, handled above
             }
-            push(query.with_removed(r).with_added(a), &mut combos);
+            push(query.with_removed(r).with_added(a), &mut combos, seen_combo);
             if combos.len() >= cfg.max_candidates {
                 break 'outer;
             }
@@ -154,7 +160,7 @@ pub fn enumerate_candidates(
                 continue;
             }
             if let Some(q) = query.with_changed(p.entity, p.attr, *v) {
-                push(q.with_added(a), &mut combos);
+                push(q.with_added(a), &mut combos, seen_combo);
             }
             if combos.len() >= cfg.max_candidates {
                 break 'outer;
@@ -165,6 +171,7 @@ pub fn enumerate_candidates(
     // Round-robin across kinds until the cap: drill-downs, roll-ups,
     // changes, then combinations.
     let mut out: Vec<SelectionQuery> = Vec::new();
+    let mut emitted: HashSet<SelectionQuery> = HashSet::new();
     let mut lists = [
         drill.into_iter(),
         rollup.into_iter(),
@@ -180,7 +187,7 @@ pub fn enumerate_candidates(
             }
             if let Some(q) = list.next() {
                 exhausted = false;
-                if !out.contains(&q) {
+                if emitted.insert(q.clone()) {
                     out.push(q);
                 }
             }
@@ -193,6 +200,11 @@ pub fn enumerate_candidates(
 /// (Problem 2). Candidates run concurrently when `cfg.parallel` — the
 /// engine-level "recommendation builder in parallel" optimization whose
 /// absence is the paper's *No-Parallelism* baseline.
+///
+/// When `cache` is given, candidate rating groups are looked up in the
+/// shared [`GroupCache`] first; candidate queries recur heavily across
+/// sessions (everyone exploring the same region is offered the same
+/// drill-downs), which is where the cache earns most of its hits.
 #[allow(clippy::too_many_arguments)]
 pub fn recommend(
     db: &SubjectiveDb,
@@ -203,6 +215,7 @@ pub fn recommend(
     gen_cfg: &GeneratorConfig,
     cfg: &RecommendConfig,
     seed: u64,
+    cache: Option<&GroupCache>,
 ) -> Vec<Recommendation> {
     let candidates = enumerate_candidates(db, query, displayed, cfg);
     if candidates.is_empty() {
@@ -210,7 +223,11 @@ pub fn recommend(
     }
 
     let evaluate = |q: &SelectionQuery| -> Recommendation {
-        let group = db.rating_group(q, seed ^ fxhash(q));
+        let group_seed = seed ^ fxhash(q);
+        let group = match cache {
+            Some(c) => db.group_for_query_cached(q, group_seed, c),
+            None => db.rating_group(q, group_seed),
+        };
         let mut norms = normalizers.clone();
         let out = generator::generate(db, &group, q, seen, &mut norms, gen_cfg);
         let pool_size = cfg.selection.pool_size(cfg.k, out.pool.len());
@@ -226,7 +243,9 @@ pub fn recommend(
     };
 
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         cfg.threads
     };
@@ -329,7 +348,9 @@ mod tests {
     fn candidates_respect_edit_budget() {
         let db = db();
         let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
-        let young = db.pred(Entity::Reviewer, "age", &Value::str("young")).unwrap();
+        let young = db
+            .pred(Entity::Reviewer, "age", &Value::str("young"))
+            .unwrap();
         let q = SelectionQuery::from_preds(vec![nyc, young]);
         let maps = displayed(&db, &q);
         let cands = enumerate_candidates(&db, &q, &maps, &RecommendConfig::default());
@@ -339,7 +360,11 @@ mod tests {
             // add=1, remove=1, change=2, add+remove=2, add+change=3 diffs,
             // but "change" is one conceptual edit; the raw symmetric diff is
             // therefore at most 3.
-            assert!(q.diff_size(c) <= 3, "diff too large: {}", db.describe_query(c));
+            assert!(
+                q.diff_size(c) <= 3,
+                "diff too large: {}",
+                db.describe_query(c)
+            );
         }
         // Dedup holds.
         let unique: std::collections::HashSet<_> = cands.iter().collect();
@@ -390,7 +415,7 @@ mod tests {
             parallel: false,
             ..Default::default()
         };
-        let recs = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &cfg, 11);
+        let recs = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &cfg, 11, None);
         assert!(recs.len() <= 3 && !recs.is_empty());
         for w in recs.windows(2) {
             assert!(w[0].utility >= w[1].utility);
@@ -413,10 +438,17 @@ mod tests {
             parallel: false,
             ..Default::default()
         };
-        let seq_cfg = RecommendConfig { parallel: false, ..Default::default() };
-        let par_cfg = RecommendConfig { parallel: true, threads: 4, ..Default::default() };
-        let a = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &seq_cfg, 7);
-        let b = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &par_cfg, 7);
+        let seq_cfg = RecommendConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let par_cfg = RecommendConfig {
+            parallel: true,
+            threads: 4,
+            ..Default::default()
+        };
+        let a = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &seq_cfg, 7, None);
+        let b = recommend(&db, &q, &maps, &seen, &norms, &gen_cfg, &par_cfg, 7, None);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.query, y.query);
@@ -430,6 +462,9 @@ mod tests {
         let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
         let q = SelectionQuery::from_preds(vec![nyc]);
         let cands = enumerate_candidates(&db, &q, &[], &RecommendConfig::default());
-        assert!(cands.iter().any(|c| c.is_empty()), "roll-up still available");
+        assert!(
+            cands.iter().any(|c| c.is_empty()),
+            "roll-up still available"
+        );
     }
 }

@@ -46,7 +46,11 @@ impl SelectionStrategy {
 /// For [`SelectionStrategy::UtilityOnly`] this is the prefix; otherwise
 /// GMM runs over the pool. Returns at most `k` maps (fewer when the pool is
 /// smaller).
-pub fn select_diverse(pool: Vec<ScoredRatingMap>, k: usize, strategy: SelectionStrategy) -> Vec<ScoredRatingMap> {
+pub fn select_diverse(
+    pool: Vec<ScoredRatingMap>,
+    k: usize,
+    strategy: SelectionStrategy,
+) -> Vec<ScoredRatingMap> {
     if pool.len() <= k || k == 0 {
         return pool.into_iter().take(k).collect();
     }

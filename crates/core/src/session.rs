@@ -71,8 +71,16 @@ impl ExplorationSession {
         if mode == ExplorationMode::UserDriven {
             config.recommendations = false;
         }
+        Self::with_engine(SdeEngine::new(db, config), mode)
+    }
+
+    /// Wraps a prebuilt engine — the hook the service layer uses to attach
+    /// a shared group cache ([`SdeEngine::with_group_cache`]) before the
+    /// session starts. The User-Driven recommendation skip is *not*
+    /// re-applied here; the caller owns the final configuration.
+    pub fn with_engine(engine: SdeEngine, mode: ExplorationMode) -> Self {
         Self {
-            engine: SdeEngine::new(db, config),
+            engine,
             mode,
             path: Vec::new(),
         }
@@ -96,6 +104,47 @@ impl ExplorationSession {
     /// The engine (for inspecting seen-context etc.).
     pub fn engine(&self) -> &SdeEngine {
         &self.engine
+    }
+
+    /// A deterministic digest of everything semantically meaningful the
+    /// session has produced: per step, the query, group size, the displayed
+    /// maps (key, subgroup values, utility bits), and the recommendations
+    /// (query, utility bits, group size). Wall-clock fields are excluded.
+    ///
+    /// Two sessions over the same database, configuration, and operation
+    /// sequence must produce equal signatures — regardless of thread
+    /// interleaving or whether a group cache was attached. The service's
+    /// stress test holds exactly this line.
+    pub fn path_signature(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for step in &self.path {
+            mix(step.step as u64);
+            mix(step.query.fingerprint());
+            mix(step.group_size as u64);
+            mix(step.maps.len() as u64);
+            for m in &step.maps {
+                mix(matches!(m.map.key.entity, subdex_store::Entity::Item) as u64);
+                mix(u64::from(m.map.key.attr.0));
+                mix(u64::from(m.map.key.dim.0));
+                mix(m.utility.to_bits());
+                mix(m.dw_utility.to_bits());
+                for sg in &m.map.subgroups {
+                    mix(u64::from(sg.value.0));
+                }
+            }
+            mix(step.recommendations.len() as u64);
+            for r in &step.recommendations {
+                mix(r.query.fingerprint());
+                mix(r.utility.to_bits());
+                mix(r.group_size as u64);
+            }
+        }
+        h
     }
 
     /// Starts (or continues) the session with an explicit operation — the
@@ -175,7 +224,11 @@ mod tests {
         let mut rb = RatingTableBuilder::new(vec!["overall".into(), "food".into()], 5);
         for r in 0..8u32 {
             for i in 0..4u32 {
-                rb.push(r, i, &[1 + ((r * 2 + i) % 5) as u8, 1 + ((r + i * 3) % 5) as u8]);
+                rb.push(
+                    r,
+                    i,
+                    &[1 + ((r * 2 + i) % 5) as u8, 1 + ((r + i * 3) % 5) as u8],
+                );
             }
         }
         Arc::new(SubjectiveDb::new(ub.build(), ib.build(), rb.build(8, 4)))
@@ -245,12 +298,45 @@ mod tests {
     }
 
     #[test]
+    fn path_signature_is_deterministic_and_discriminating() {
+        let run = |steps: usize| {
+            let mut s = ExplorationSession::new(db(), quick_cfg(), ExplorationMode::FullyAutomated);
+            s.auto_run(&SelectionQuery::all(), steps);
+            s.path_signature()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(2), run(3), "different paths, different signatures");
+        assert_eq!(
+            ExplorationSession::new(db(), quick_cfg(), ExplorationMode::UserDriven)
+                .path_signature(),
+            ExplorationSession::new(db(), quick_cfg(), ExplorationMode::UserDriven)
+                .path_signature(),
+            "empty paths agree"
+        );
+    }
+
+    #[test]
+    fn with_engine_attaches_cache() {
+        use crate::engine::SdeEngine;
+        use subdex_store::GroupCache;
+        let db = db();
+        let cache = std::sync::Arc::new(GroupCache::new(1 << 20));
+        let engine = SdeEngine::new(db, quick_cfg()).with_group_cache(cache.clone());
+        let mut s = ExplorationSession::with_engine(engine, ExplorationMode::UserDriven);
+        s.apply_operation(&SelectionQuery::all());
+        assert!(cache.stats().misses > 0, "session populated shared cache");
+    }
+
+    #[test]
     fn mode_display() {
         assert_eq!(ExplorationMode::UserDriven.to_string(), "User-Driven");
         assert_eq!(
             ExplorationMode::RecommendationPowered.to_string(),
             "Recommendation-Powered"
         );
-        assert_eq!(ExplorationMode::FullyAutomated.to_string(), "Fully-Automated");
+        assert_eq!(
+            ExplorationMode::FullyAutomated.to_string(),
+            "Fully-Automated"
+        );
     }
 }

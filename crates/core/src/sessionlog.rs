@@ -160,8 +160,10 @@ impl SessionLog {
             let Some(source) = OpSource::from_tag(tag.trim()) else {
                 return Err(LogError::BadLine { line: line_no });
             };
-            let query = parse_query(db, query_text)
-                .map_err(|error| LogError::BadQuery { line: line_no, error })?;
+            let query = parse_query(db, query_text).map_err(|error| LogError::BadQuery {
+                line: line_no,
+                error,
+            })?;
             log.record(source, query);
         }
         Ok(log)
@@ -176,10 +178,7 @@ impl SessionLog {
         config: EngineConfig,
     ) -> Vec<StepResult> {
         let mut engine = SdeEngine::new(db, config);
-        self.entries
-            .iter()
-            .map(|e| engine.step(&e.query))
-            .collect()
+        self.entries.iter().map(|e| engine.step(&e.query)).collect()
     }
 }
 
@@ -205,7 +204,11 @@ mod tests {
         let mut rb = RatingTableBuilder::new(vec!["overall".into(), "food".into()], 5);
         for r in 0..6u32 {
             for i in 0..4u32 {
-                rb.push(r, i, &[1 + ((r + i) % 5) as u8, 1 + ((r * 2 + i) % 5) as u8]);
+                rb.push(
+                    r,
+                    i,
+                    &[1 + ((r + i) % 5) as u8, 1 + ((r * 2 + i) % 5) as u8],
+                );
             }
         }
         Arc::new(SubjectiveDb::new(ub.build(), ib.build(), rb.build(6, 4)))
@@ -214,13 +217,15 @@ mod tests {
     fn sample_log(db: &SubjectiveDb) -> SessionLog {
         let mut log = SessionLog::new();
         log.record(OpSource::User, SelectionQuery::all());
-        let young = db.pred(Entity::Reviewer, "age", &Value::str("young")).unwrap();
-        log.record(OpSource::Recommendation, SelectionQuery::from_preds(vec![young]));
-        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let young = db
+            .pred(Entity::Reviewer, "age", &Value::str("young"))
+            .unwrap();
         log.record(
-            OpSource::Auto,
-            SelectionQuery::from_preds(vec![young, nyc]),
+            OpSource::Recommendation,
+            SelectionQuery::from_preds(vec![young]),
         );
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        log.record(OpSource::Auto, SelectionQuery::from_preds(vec![young, nyc]));
         log
     }
 

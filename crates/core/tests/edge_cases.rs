@@ -21,10 +21,18 @@ fn tiny_db(rows: usize, identical_scores: bool) -> Arc<SubjectiveDb> {
     ib.push_row(vec![Cell::from("only")]);
     let mut rb = RatingTableBuilder::new(vec!["overall".into()], 5);
     for r in 0..rows.max(1) as u32 {
-        let s = if identical_scores { 3 } else { 1 + (r % 5) as u8 };
+        let s = if identical_scores {
+            3
+        } else {
+            1 + (r % 5) as u8
+        };
         rb.push(r, 0, &[s]);
     }
-    Arc::new(SubjectiveDb::new(ub.build(), ib.build(), rb.build(rows.max(1), 1)))
+    Arc::new(SubjectiveDb::new(
+        ub.build(),
+        ib.build(),
+        rb.build(rows.max(1), 1),
+    ))
 }
 
 #[test]

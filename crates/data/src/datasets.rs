@@ -279,15 +279,48 @@ pub mod movielens {
     }
 
     const OCCUPATIONS: [&str; 21] = [
-        "administrator", "artist", "doctor", "educator", "engineer", "entertainment",
-        "executive", "healthcare", "homemaker", "lawyer", "librarian", "marketing",
-        "none", "other", "programmer", "retired", "salesman", "scientist", "student",
-        "technician", "writer",
+        "administrator",
+        "artist",
+        "doctor",
+        "educator",
+        "engineer",
+        "entertainment",
+        "executive",
+        "healthcare",
+        "homemaker",
+        "lawyer",
+        "librarian",
+        "marketing",
+        "none",
+        "other",
+        "programmer",
+        "retired",
+        "salesman",
+        "scientist",
+        "student",
+        "technician",
+        "writer",
     ];
     const GENRES: [&str; 19] = [
-        "Action", "Adventure", "Animation", "Children", "Comedy", "Crime",
-        "Documentary", "Drama", "Fantasy", "FilmNoir", "Horror", "Musical",
-        "Mystery", "Romance", "SciFi", "Thriller", "War", "Western", "Unknown",
+        "Action",
+        "Adventure",
+        "Animation",
+        "Children",
+        "Comedy",
+        "Crime",
+        "Documentary",
+        "Drama",
+        "Fantasy",
+        "FilmNoir",
+        "Horror",
+        "Musical",
+        "Mystery",
+        "Romance",
+        "SciFi",
+        "Thriller",
+        "War",
+        "Western",
+        "Unknown",
     ];
 
     fn reviewer_specs() -> Vec<AttrSpec> {
@@ -295,7 +328,9 @@ pub mod movielens {
             AttrSpec::single("gender", &["M", "F"], 0.3),
             AttrSpec::single(
                 "age_group",
-                &["under18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+"],
+                &[
+                    "under18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+",
+                ],
                 0.5,
             ),
             AttrSpec::single("occupation", &OCCUPATIONS, 0.6),
@@ -310,11 +345,17 @@ pub mod movielens {
             AttrSpec::multi("genre", &GENRES, 0.7, 3),
             AttrSpec::single(
                 "decade",
-                &["1920s", "1930s", "1940s", "1950s", "1960s", "1970s", "1980s", "1990s"],
+                &[
+                    "1920s", "1930s", "1940s", "1950s", "1960s", "1970s", "1980s", "1990s",
+                ],
                 1.2,
             ),
             AttrSpec::single("era", &["classic", "golden", "modern"], 0.6),
-            AttrSpec::single("popularity", &["blockbuster", "popular", "niche", "obscure"], 0.3),
+            AttrSpec::single(
+                "popularity",
+                &["blockbuster", "popular", "niche", "obscure"],
+                0.3,
+            ),
             AttrSpec::single("length", &["short", "medium", "long"], 0.3),
             AttrSpec::single_gen("country", "country_", 10, 1.0),
         ]
@@ -331,22 +372,90 @@ pub mod movielens {
         // Planted biases ↔ insights (genre indexes: Documentary 6,
         // Horror 10; occupation: retired 15; age under18 0; era classic 0).
         let biases = vec![
-            Bias { entity: Entity::Item, attr: 0, value: 6, dim: 0, delta: 1.0 },
-            Bias { entity: Entity::Item, attr: 0, value: 10, dim: 0, delta: -1.0 },
-            Bias { entity: Entity::Item, attr: 2, value: 0, dim: 0, delta: 0.55 },
-            Bias { entity: Entity::Reviewer, attr: 2, value: 15, dim: 0, delta: 0.65 },
-            Bias { entity: Entity::Reviewer, attr: 1, value: 0, dim: 0, delta: -0.65 },
+            Bias {
+                entity: Entity::Item,
+                attr: 0,
+                value: 6,
+                dim: 0,
+                delta: 1.0,
+            },
+            Bias {
+                entity: Entity::Item,
+                attr: 0,
+                value: 10,
+                dim: 0,
+                delta: -1.0,
+            },
+            Bias {
+                entity: Entity::Item,
+                attr: 2,
+                value: 0,
+                dim: 0,
+                delta: 0.55,
+            },
+            Bias {
+                entity: Entity::Reviewer,
+                attr: 2,
+                value: 15,
+                dim: 0,
+                delta: 0.65,
+            },
+            Bias {
+                entity: Entity::Reviewer,
+                attr: 1,
+                value: 0,
+                dim: 0,
+                delta: -0.65,
+            },
         ];
         let dims = ["overall"];
-        let ratings = generate_ratings(
-            &mut rng, &params, &dims, 3.5, 0.9, &r_raw, &i_raw, &biases,
-        );
+        let ratings = generate_ratings(&mut rng, &params, &dims, 3.5, 0.9, &r_raw, &i_raw, &biases);
         let insights = vec![
-            insight(0, Entity::Item, "genre", "Documentary", "overall", Polarity::Highest, "Documentaries"),
-            insight(1, Entity::Item, "genre", "Horror", "overall", Polarity::Lowest, "Horror movies"),
-            insight(2, Entity::Item, "era", "classic", "overall", Polarity::Highest, "Classic-era movies"),
-            insight(3, Entity::Reviewer, "occupation", "retired", "overall", Polarity::Highest, "Retired reviewers"),
-            insight(4, Entity::Reviewer, "age_group", "under18", "overall", Polarity::Lowest, "Under-18 reviewers"),
+            insight(
+                0,
+                Entity::Item,
+                "genre",
+                "Documentary",
+                "overall",
+                Polarity::Highest,
+                "Documentaries",
+            ),
+            insight(
+                1,
+                Entity::Item,
+                "genre",
+                "Horror",
+                "overall",
+                Polarity::Lowest,
+                "Horror movies",
+            ),
+            insight(
+                2,
+                Entity::Item,
+                "era",
+                "classic",
+                "overall",
+                Polarity::Highest,
+                "Classic-era movies",
+            ),
+            insight(
+                3,
+                Entity::Reviewer,
+                "occupation",
+                "retired",
+                "overall",
+                Polarity::Highest,
+                "Retired reviewers",
+            ),
+            insight(
+                4,
+                Entity::Reviewer,
+                "age_group",
+                "under18",
+                "overall",
+                Polarity::Lowest,
+                "Under-18 reviewers",
+            ),
         ];
         RawTables {
             reviewers,
@@ -374,28 +483,55 @@ pub mod yelp {
     }
 
     const CUISINES: [&str; 13] = [
-        "American", "Barbeque", "Burgers", "Chinese", "FastFood", "French",
-        "Indian", "Italian", "Japanese", "Mexican", "Pizza", "Sushi", "Thai",
+        "American", "Barbeque", "Burgers", "Chinese", "FastFood", "French", "Indian", "Italian",
+        "Japanese", "Mexican", "Pizza", "Sushi", "Thai",
     ];
     const NEIGHBORHOODS: [&str; 10] = [
-        "Williamsburg", "SoHo", "KipsBay", "Tribeca", "Chelsea", "Midtown",
-        "Harlem", "Astoria", "Bushwick", "GreenwichVillage",
+        "Williamsburg",
+        "SoHo",
+        "KipsBay",
+        "Tribeca",
+        "Chelsea",
+        "Midtown",
+        "Harlem",
+        "Astoria",
+        "Bushwick",
+        "GreenwichVillage",
     ];
     const OCCUPATIONS: [&str; 13] = [
-        "student", "programmer", "teacher", "nurse", "chef", "driver", "artist",
-        "lawyer", "manager", "clerk", "scientist", "retired", "other",
+        "student",
+        "programmer",
+        "teacher",
+        "nurse",
+        "chef",
+        "driver",
+        "artist",
+        "lawyer",
+        "manager",
+        "clerk",
+        "scientist",
+        "retired",
+        "other",
     ];
 
     fn reviewer_specs() -> Vec<AttrSpec> {
         vec![
             AttrSpec::single("gender", &["male", "female", "unspecified"], 0.3),
-            AttrSpec::single("age_group", &["young", "adult", "middle_aged", "senior", "unknown"], 0.4),
+            AttrSpec::single(
+                "age_group",
+                &["young", "adult", "middle_aged", "senior", "unknown"],
+                0.4,
+            ),
             AttrSpec::single("occupation", &OCCUPATIONS, 0.6),
             AttrSpec::single_gen("home_state", "st_", 10, 0.9),
             AttrSpec::single_gen("yelping_since", "y", 8, 0.5),
             AttrSpec::single("elite", &["yes", "no"], 0.8),
             AttrSpec::single("fans", &["none", "few", "some", "many"], 0.9),
-            AttrSpec::single("review_count", &["1-10", "11-50", "51-200", "201-500", "500+"], 0.8),
+            AttrSpec::single(
+                "review_count",
+                &["1-10", "11-50", "51-200", "201-500", "500+"],
+                0.8,
+            ),
             AttrSpec::single("avg_stars", &["1-2", "2-3", "3-4", "4-4.5", "4.5-5"], 0.4),
             AttrSpec::single("friends", &["none", "few", "some", "many"], 0.6),
             AttrSpec::single("compliments", &["none", "few", "some", "many"], 0.7),
@@ -432,22 +568,90 @@ pub mod yelp {
         // Insight biases: Japanese(8) service+, FastFood(4) food−,
         // Williamsburg(0) food+, young(0) ambiance−, $$$$ (3) overall+.
         let biases = vec![
-            Bias { entity: Entity::Item, attr: 0, value: 8, dim: 2, delta: 1.0 },
-            Bias { entity: Entity::Item, attr: 0, value: 4, dim: 1, delta: -1.0 },
-            Bias { entity: Entity::Item, attr: 1, value: 0, dim: 1, delta: 0.8 },
-            Bias { entity: Entity::Reviewer, attr: 1, value: 0, dim: 3, delta: -0.7 },
-            Bias { entity: Entity::Item, attr: 2, value: 3, dim: 0, delta: 0.8 },
+            Bias {
+                entity: Entity::Item,
+                attr: 0,
+                value: 8,
+                dim: 2,
+                delta: 1.0,
+            },
+            Bias {
+                entity: Entity::Item,
+                attr: 0,
+                value: 4,
+                dim: 1,
+                delta: -1.0,
+            },
+            Bias {
+                entity: Entity::Item,
+                attr: 1,
+                value: 0,
+                dim: 1,
+                delta: 0.8,
+            },
+            Bias {
+                entity: Entity::Reviewer,
+                attr: 1,
+                value: 0,
+                dim: 3,
+                delta: -0.7,
+            },
+            Bias {
+                entity: Entity::Item,
+                attr: 2,
+                value: 3,
+                dim: 0,
+                delta: 0.8,
+            },
         ];
         let dims = ["overall", "food", "service", "ambiance"];
-        let ratings = generate_ratings(
-            &mut rng, &params, &dims, 3.4, 0.9, &r_raw, &i_raw, &biases,
-        );
+        let ratings = generate_ratings(&mut rng, &params, &dims, 3.4, 0.9, &r_raw, &i_raw, &biases);
         let insights = vec![
-            insight(0, Entity::Item, "cuisine", "Japanese", "service", Polarity::Highest, "Japanese restaurants"),
-            insight(1, Entity::Item, "cuisine", "FastFood", "food", Polarity::Lowest, "Fast-food restaurants"),
-            insight(2, Entity::Item, "neighborhood", "Williamsburg", "food", Polarity::Highest, "Williamsburg restaurants"),
-            insight(3, Entity::Reviewer, "age_group", "young", "ambiance", Polarity::Lowest, "Young reviewers"),
-            insight(4, Entity::Item, "price_range", "$$$$", "overall", Polarity::Highest, "Top-price restaurants"),
+            insight(
+                0,
+                Entity::Item,
+                "cuisine",
+                "Japanese",
+                "service",
+                Polarity::Highest,
+                "Japanese restaurants",
+            ),
+            insight(
+                1,
+                Entity::Item,
+                "cuisine",
+                "FastFood",
+                "food",
+                Polarity::Lowest,
+                "Fast-food restaurants",
+            ),
+            insight(
+                2,
+                Entity::Item,
+                "neighborhood",
+                "Williamsburg",
+                "food",
+                Polarity::Highest,
+                "Williamsburg restaurants",
+            ),
+            insight(
+                3,
+                Entity::Reviewer,
+                "age_group",
+                "young",
+                "ambiance",
+                Polarity::Lowest,
+                "Young reviewers",
+            ),
+            insight(
+                4,
+                Entity::Item,
+                "price_range",
+                "$$$$",
+                "overall",
+                Polarity::Highest,
+                "Top-price restaurants",
+            ),
         ];
         RawTables {
             reviewers,
@@ -481,7 +685,11 @@ pub mod hotels {
                 &["business", "couple", "family", "solo", "group"],
                 0.4,
             ),
-            AttrSpec::single("age_group", &["young", "adult", "middle_aged", "senior", "unknown"], 0.4),
+            AttrSpec::single(
+                "age_group",
+                &["young", "adult", "middle_aged", "senior", "unknown"],
+                0.4,
+            ),
             AttrSpec::single("membership", &["none", "silver", "gold", "platinum"], 0.8),
         ]
     }
@@ -493,8 +701,18 @@ pub mod hotels {
             AttrSpec::single_gen("chain", "chain_", 12, 0.7),
             AttrSpec::multi(
                 "amenities",
-                &["pool", "spa", "gym", "wifi", "parking", "bar", "restaurant",
-                  "shuttle", "pets", "laundry"],
+                &[
+                    "pool",
+                    "spa",
+                    "gym",
+                    "wifi",
+                    "parking",
+                    "bar",
+                    "restaurant",
+                    "shuttle",
+                    "pets",
+                    "laundry",
+                ],
                 0.4,
                 4,
             ),
@@ -513,22 +731,90 @@ pub mod hotels {
         // Biases: 5-star hotels cleanliness+, 1-star comfort−, spa (amenity
         // 1) comfort+, business travelers food−, platinum members overall+.
         let biases = vec![
-            Bias { entity: Entity::Item, attr: 1, value: 4, dim: 1, delta: 0.9 },
-            Bias { entity: Entity::Item, attr: 1, value: 0, dim: 3, delta: -0.9 },
-            Bias { entity: Entity::Item, attr: 3, value: 1, dim: 3, delta: 0.7 },
-            Bias { entity: Entity::Reviewer, attr: 1, value: 0, dim: 2, delta: -0.7 },
-            Bias { entity: Entity::Reviewer, attr: 3, value: 3, dim: 0, delta: 0.8 },
+            Bias {
+                entity: Entity::Item,
+                attr: 1,
+                value: 4,
+                dim: 1,
+                delta: 0.9,
+            },
+            Bias {
+                entity: Entity::Item,
+                attr: 1,
+                value: 0,
+                dim: 3,
+                delta: -0.9,
+            },
+            Bias {
+                entity: Entity::Item,
+                attr: 3,
+                value: 1,
+                dim: 3,
+                delta: 0.7,
+            },
+            Bias {
+                entity: Entity::Reviewer,
+                attr: 1,
+                value: 0,
+                dim: 2,
+                delta: -0.7,
+            },
+            Bias {
+                entity: Entity::Reviewer,
+                attr: 3,
+                value: 3,
+                dim: 0,
+                delta: 0.8,
+            },
         ];
         let dims = ["overall", "cleanliness", "food", "comfort"];
-        let ratings = generate_ratings(
-            &mut rng, &params, &dims, 3.6, 0.9, &r_raw, &i_raw, &biases,
-        );
+        let ratings = generate_ratings(&mut rng, &params, &dims, 3.6, 0.9, &r_raw, &i_raw, &biases);
         let insights = vec![
-            insight(0, Entity::Item, "stars", "5", "cleanliness", Polarity::Highest, "Five-star hotels"),
-            insight(1, Entity::Item, "stars", "1", "comfort", Polarity::Lowest, "One-star hotels"),
-            insight(2, Entity::Item, "amenities", "spa", "comfort", Polarity::Highest, "Spa hotels"),
-            insight(3, Entity::Reviewer, "traveler_type", "business", "food", Polarity::Lowest, "Business travelers"),
-            insight(4, Entity::Reviewer, "membership", "platinum", "overall", Polarity::Highest, "Platinum members"),
+            insight(
+                0,
+                Entity::Item,
+                "stars",
+                "5",
+                "cleanliness",
+                Polarity::Highest,
+                "Five-star hotels",
+            ),
+            insight(
+                1,
+                Entity::Item,
+                "stars",
+                "1",
+                "comfort",
+                Polarity::Lowest,
+                "One-star hotels",
+            ),
+            insight(
+                2,
+                Entity::Item,
+                "amenities",
+                "spa",
+                "comfort",
+                Polarity::Highest,
+                "Spa hotels",
+            ),
+            insight(
+                3,
+                Entity::Reviewer,
+                "traveler_type",
+                "business",
+                "food",
+                Polarity::Lowest,
+                "Business travelers",
+            ),
+            insight(
+                4,
+                Entity::Reviewer,
+                "membership",
+                "platinum",
+                "overall",
+                Polarity::Highest,
+                "Platinum members",
+            ),
         ];
         RawTables {
             reviewers,
@@ -596,7 +882,10 @@ mod tests {
         let a = yelp::dataset(GenParams::new(500, 93, 2000, 42));
         let b = yelp::dataset(GenParams::new(500, 93, 2000, 42));
         for rec in [0u32, 100, 1999] {
-            assert_eq!(a.db.ratings().reviewer_of(rec), b.db.ratings().reviewer_of(rec));
+            assert_eq!(
+                a.db.ratings().reviewer_of(rec),
+                b.db.ratings().reviewer_of(rec)
+            );
             for d in a.db.ratings().dims() {
                 assert_eq!(a.db.ratings().score(rec, d), b.db.ratings().score(rec, d));
             }
@@ -607,7 +896,12 @@ mod tests {
     fn movielens_insights_verify_on_generated_data() {
         let ds = movielens::dataset(GenParams::new(943, 600, 40_000, 7));
         for ins in &ds.insights {
-            assert!(ins.verify(&ds.db), "insight {} fails: {}", ins.id, ins.description);
+            assert!(
+                ins.verify(&ds.db),
+                "insight {} fails: {}",
+                ins.id,
+                ins.description
+            );
         }
     }
 
@@ -615,7 +909,12 @@ mod tests {
     fn yelp_insights_verify_on_generated_data() {
         let ds = yelp::dataset(GenParams::new(3000, 93, 30_000, 7));
         for ins in &ds.insights {
-            assert!(ins.verify(&ds.db), "insight {} fails: {}", ins.id, ins.description);
+            assert!(
+                ins.verify(&ds.db),
+                "insight {} fails: {}",
+                ins.id,
+                ins.description
+            );
         }
     }
 
@@ -623,7 +922,12 @@ mod tests {
     fn hotels_insights_verify_on_generated_data() {
         let ds = hotels::dataset(GenParams::new(4000, 300, 30_000, 7));
         for ins in &ds.insights {
-            assert!(ins.verify(&ds.db), "insight {} fails: {}", ins.id, ins.description);
+            assert!(
+                ins.verify(&ds.db),
+                "insight {} fails: {}",
+                ins.id,
+                ins.description
+            );
         }
     }
 

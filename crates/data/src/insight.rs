@@ -122,9 +122,7 @@ mod tests {
     use super::*;
     use subdex_core::ratingmap::{MapKey, Subgroup};
     use subdex_stats::RatingDistribution;
-    use subdex_store::{
-        Cell, DimId, EntityTableBuilder, RatingTableBuilder, Schema, ValueId,
-    };
+    use subdex_store::{Cell, DimId, EntityTableBuilder, RatingTableBuilder, Schema, ValueId};
 
     fn db() -> SubjectiveDb {
         let mut us = Schema::new();
@@ -177,11 +175,7 @@ mod tests {
             distribution: RatingDistribution::from_counts(vec![5, 5, 0, 0, 0]),
             avg_score: None,
         };
-        RatingMap::from_subgroups(
-            MapKey::new(Entity::Item, attr, DimId(0)),
-            vec![nyc, sf],
-            5,
-        )
+        RatingMap::from_subgroups(MapKey::new(Entity::Item, attr, DimId(0)), vec![nyc, sf], 5)
     }
 
     #[test]
@@ -238,11 +232,7 @@ mod tests {
             distribution: RatingDistribution::from_counts(vec![0, 0, 0, 0, 10]),
             avg_score: None,
         };
-        let m = RatingMap::from_subgroups(
-            MapKey::new(Entity::Item, attr, DimId(0)),
-            vec![only],
-            5,
-        );
+        let m = RatingMap::from_subgroups(MapKey::new(Entity::Item, attr, DimId(0)), vec![only], 5);
         assert!(!nyc_insight().revealed_by(&db, &m), "no comparison basis");
     }
 

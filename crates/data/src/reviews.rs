@@ -17,11 +17,36 @@ pub const WINDOW: usize = 5;
 
 /// Phrase fragments by latent score (1..=5), reusable for any dimension.
 const FRAGMENTS: [&[&str]; 5] = [
-    &["was absolutely awful", "was disgusting and terrible", "was horrible", "was inedible honestly"],
-    &["was pretty bad", "was disappointing", "felt poor overall", "was stale and cold"],
-    &["was okay i guess", "was average nothing special", "was fine", "was decent but forgettable"],
-    &["was really good", "was tasty and fresh", "was nice overall", "was very good"],
-    &["was extremely delicious", "was absolutely amazing", "was fantastic", "was perfect truly"],
+    &[
+        "was absolutely awful",
+        "was disgusting and terrible",
+        "was horrible",
+        "was inedible honestly",
+    ],
+    &[
+        "was pretty bad",
+        "was disappointing",
+        "felt poor overall",
+        "was stale and cold",
+    ],
+    &[
+        "was okay i guess",
+        "was average nothing special",
+        "was fine",
+        "was decent but forgettable",
+    ],
+    &[
+        "was really good",
+        "was tasty and fresh",
+        "was nice overall",
+        "was very good",
+    ],
+    &[
+        "was extremely delicious",
+        "was absolutely amazing",
+        "was fantastic",
+        "was perfect truly",
+    ],
 ];
 
 const FILLER: &[&str] = &[
@@ -78,24 +103,23 @@ pub fn extract_score(text: &str, keyword: &str, scale: u8) -> Option<u8> {
     if phrases.is_empty() {
         return None;
     }
-    let avg: f64 =
-        phrases.iter().map(|p| score_phrase(p)).sum::<f64>() / phrases.len() as f64;
+    let avg: f64 = phrases.iter().map(|p| score_phrase(p)).sum::<f64>() / phrases.len() as f64;
     Some(sentiment_to_score(avg, scale))
 }
 
 /// Convenience: generate a corpus of `n` reviews for the given dimension
 /// keywords with random latent scores, returning
 /// `(text, latent_scores)` pairs.
-pub fn generate_corpus(
-    n: usize,
-    keywords: &[&str],
-    seed: u64,
-) -> Vec<(String, Vec<u8>)> {
+pub fn generate_corpus(n: usize, keywords: &[&str], seed: u64) -> Vec<(String, Vec<u8>)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let latents: Vec<u8> = keywords.iter().map(|_| rng.random_range(1..=5)).collect();
-            let dims: Vec<(&str, u8)> = keywords.iter().copied().zip(latents.iter().copied()).collect();
+            let dims: Vec<(&str, u8)> = keywords
+                .iter()
+                .copied()
+                .zip(latents.iter().copied())
+                .collect();
             (generate_review(&mut rng, &dims), latents)
         })
         .collect()

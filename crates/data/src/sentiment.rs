@@ -11,18 +11,52 @@
 /// Valence lexicon entries (word, valence). Magnitudes follow VADER's
 /// −4..+4 convention.
 const LEXICON: &[(&str, f64)] = &[
-    ("amazing", 3.2), ("awesome", 3.1), ("excellent", 3.2), ("fantastic", 3.3),
-    ("great", 2.8), ("good", 1.9), ("nice", 1.8), ("lovely", 2.6),
-    ("delicious", 3.0), ("tasty", 2.4), ("fresh", 1.7), ("friendly", 2.2),
-    ("attentive", 2.1), ("fast", 1.5), ("cozy", 2.0), ("charming", 2.4),
-    ("clean", 1.8), ("comfortable", 2.1), ("perfect", 3.4), ("wonderful", 3.0),
-    ("superb", 3.2), ("decent", 1.2), ("okay", 0.6), ("fine", 0.9),
-    ("average", 0.1), ("mediocre", -1.3), ("bland", -1.8), ("stale", -2.2),
-    ("slow", -1.6), ("rude", -2.8), ("dirty", -2.6), ("noisy", -1.9),
-    ("bad", -2.5), ("poor", -2.3), ("terrible", -3.2), ("awful", -3.3),
-    ("horrible", -3.3), ("disgusting", -3.5), ("cold", -1.4), ("greasy", -1.7),
-    ("overpriced", -2.0), ("cramped", -1.8), ("disappointing", -2.4),
-    ("inedible", -3.4), ("unfriendly", -2.4), ("filthy", -3.1),
+    ("amazing", 3.2),
+    ("awesome", 3.1),
+    ("excellent", 3.2),
+    ("fantastic", 3.3),
+    ("great", 2.8),
+    ("good", 1.9),
+    ("nice", 1.8),
+    ("lovely", 2.6),
+    ("delicious", 3.0),
+    ("tasty", 2.4),
+    ("fresh", 1.7),
+    ("friendly", 2.2),
+    ("attentive", 2.1),
+    ("fast", 1.5),
+    ("cozy", 2.0),
+    ("charming", 2.4),
+    ("clean", 1.8),
+    ("comfortable", 2.1),
+    ("perfect", 3.4),
+    ("wonderful", 3.0),
+    ("superb", 3.2),
+    ("decent", 1.2),
+    ("okay", 0.6),
+    ("fine", 0.9),
+    ("average", 0.1),
+    ("mediocre", -1.3),
+    ("bland", -1.8),
+    ("stale", -2.2),
+    ("slow", -1.6),
+    ("rude", -2.8),
+    ("dirty", -2.6),
+    ("noisy", -1.9),
+    ("bad", -2.5),
+    ("poor", -2.3),
+    ("terrible", -3.2),
+    ("awful", -3.3),
+    ("horrible", -3.3),
+    ("disgusting", -3.5),
+    ("cold", -1.4),
+    ("greasy", -1.7),
+    ("overpriced", -2.0),
+    ("cramped", -1.8),
+    ("disappointing", -2.4),
+    ("inedible", -3.4),
+    ("unfriendly", -2.4),
+    ("filthy", -3.1),
 ];
 
 /// Degree boosters (word, multiplier applied to the following valence word).
@@ -43,17 +77,11 @@ const NEGATIONS: &[&str] = &["not", "never", "no", "hardly", "isnt", "wasnt"];
 const ALPHA: f64 = 15.0;
 
 fn lookup_valence(word: &str) -> Option<f64> {
-    LEXICON
-        .iter()
-        .find(|(w, _)| *w == word)
-        .map(|&(_, v)| v)
+    LEXICON.iter().find(|(w, _)| *w == word).map(|&(_, v)| v)
 }
 
 fn lookup_booster(word: &str) -> Option<f64> {
-    BOOSTERS
-        .iter()
-        .find(|(w, _)| *w == word)
-        .map(|&(_, m)| m)
+    BOOSTERS.iter().find(|(w, _)| *w == word).map(|&(_, m)| m)
 }
 
 /// Lower-cases and strips non-alphabetic characters from a token.

@@ -98,7 +98,10 @@ pub fn sample_reviewers(db: &SubjectiveDb, fraction: f64, seed: u64) -> Subjecti
         }
         ratings.push(new_rev, r.item_of(rec), &scores);
     }
-    let items = project_entity(db.items(), &db.items().schema().attr_ids().collect::<Vec<_>>());
+    let items = project_entity(
+        db.items(),
+        &db.items().schema().attr_ids().collect::<Vec<_>>(),
+    );
     let item_count = items.len();
     let reviewer_count = reviewers.len();
     SubjectiveDb::new(reviewers, items, ratings.build(reviewer_count, item_count))
@@ -131,7 +134,10 @@ pub fn drop_attributes(db: &SubjectiveDb, keep_total: usize, seed: u64) -> Subje
     let mut kept: Vec<(Entity, AttrId)> = Vec::with_capacity(keep_total);
     // Guarantee one per side first.
     for side in [Entity::Reviewer, Entity::Item] {
-        let pos = tagged.iter().position(|&(e, _)| e == side).expect("side present");
+        let pos = tagged
+            .iter()
+            .position(|&(e, _)| e == side)
+            .expect("side present");
         kept.push(tagged.remove(pos));
     }
     for t in tagged {
@@ -327,9 +333,16 @@ mod tests {
         let best = (0..db.reviewers().dictionary(orig_attr).len() as u32)
             .max_by_key(|&v| idx.postings(orig_attr, subdex_store::ValueId(v)).len())
             .unwrap();
-        let best_val = db.reviewers().dictionary(orig_attr).value(subdex_store::ValueId(best));
+        let best_val = db
+            .reviewers()
+            .dictionary(orig_attr)
+            .value(subdex_store::ValueId(best));
         let new_attr = capped.reviewers().schema().attr_by_name("gender").unwrap();
-        assert!(capped.reviewers().dictionary(new_attr).code(best_val).is_some());
+        assert!(capped
+            .reviewers()
+            .dictionary(new_attr)
+            .code(best_val)
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,16 @@
+//! `subdex-service`: a concurrent multi-session exploration server.
+//!
+//! Hosts many [`subdex_core::ExplorationSession`]s behind a thread-safe
+//! registry, executes exploration steps on a bounded worker pool with
+//! explicit backpressure, and shares materialized rating groups across
+//! sessions through [`subdex_store::GroupCache`].
+
+pub mod metrics;
+pub mod registry;
+pub mod service;
+
+pub use metrics::{MetricsSnapshot, ServiceMetrics, LATENCY_BUCKETS_US};
+pub use registry::{SessionId, SessionRegistry};
+pub use service::{
+    ServiceConfig, ServiceError, StepRequest, StepTicket, SubdexService, SubmitError,
+};

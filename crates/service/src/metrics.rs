@@ -1,0 +1,181 @@
+//! Service-level metrics: lock-free counters updated on the hot path and a
+//! consistent [`MetricsSnapshot`] for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use subdex_store::CacheStats;
+
+/// Upper bounds (inclusive, microseconds) of the step-latency histogram
+/// buckets; the last bucket is unbounded.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [
+    250,
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    u64::MAX,
+];
+
+/// Shared atomic counters; every method is safe to call concurrently.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+}
+
+impl ServiceMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed step and its service latency (queue wait plus
+    /// execution).
+    pub fn record_served(&self, latency: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .expect("last bucket is unbounded");
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one submission rejected by backpressure.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds an observed queue depth into the high-water mark.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_depth_hwm
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the counters; `cache` carries the shared group cache's
+    /// statistics when the service runs with caching enabled.
+    pub fn snapshot(&self, cache: Option<CacheStats>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_served: self.served.load(Ordering::Relaxed),
+            requests_rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed) as usize,
+            latency_buckets: LATENCY_BUCKETS_US
+                .iter()
+                .zip(&self.latency_buckets)
+                .map(|(&bound, count)| (bound, count.load(Ordering::Relaxed)))
+                .collect(),
+            cache,
+        }
+    }
+}
+
+/// Point-in-time view of service health; see [`ServiceMetrics::snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Steps executed to completion.
+    pub requests_served: u64,
+    /// Submissions refused because the queue was full.
+    pub requests_rejected: u64,
+    /// Deepest the submit queue has ever been.
+    pub queue_depth_hwm: usize,
+    /// `(upper bound in µs, count)` per latency bucket; the final bound is
+    /// `u64::MAX` (overflow bucket).
+    pub latency_buckets: Vec<(u64, u64)>,
+    /// Shared group-cache statistics (None when caching is disabled).
+    pub cache: Option<CacheStats>,
+}
+
+impl MetricsSnapshot {
+    /// Total latency observations (equals `requests_served`).
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} | rejected {} | queue hwm {}",
+            self.requests_served, self.requests_rejected, self.queue_depth_hwm
+        )?;
+        if let Some(c) = &self.cache {
+            writeln!(
+                f,
+                "cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes",
+                c.hits,
+                c.misses,
+                100.0 * c.hit_rate(),
+                c.entries,
+                c.resident_bytes
+            )?;
+        }
+        write!(f, "latency:")?;
+        for &(bound, count) in &self.latency_buckets {
+            if bound == u64::MAX {
+                write!(f, " inf:{count}")?;
+            } else {
+                write!(f, " ≤{bound}µs:{count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_lands_in_one_bucket() {
+        let m = ServiceMetrics::new();
+        m.record_served(Duration::from_micros(500));
+        m.record_served(Duration::from_secs(10)); // overflow bucket
+        let snap = m.snapshot(None);
+        assert_eq!(snap.requests_served, 2);
+        assert_eq!(snap.latency_count(), 2);
+        assert_eq!(snap.latency_buckets[1], (1_000, 1));
+        assert_eq!(snap.latency_buckets.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn queue_hwm_is_monotone() {
+        let m = ServiceMetrics::new();
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(9);
+        m.observe_queue_depth(5);
+        assert_eq!(m.snapshot(None).queue_depth_hwm, 9);
+    }
+
+    #[test]
+    fn rejections_count() {
+        let m = ServiceMetrics::new();
+        m.record_rejected();
+        m.record_rejected();
+        let snap = m.snapshot(None);
+        assert_eq!(snap.requests_rejected, 2);
+        assert_eq!(snap.requests_served, 0);
+    }
+
+    #[test]
+    fn display_renders_cache_line_only_when_present() {
+        let m = ServiceMetrics::new();
+        let without = m.snapshot(None).to_string();
+        assert!(!without.contains("cache:"));
+        let with = m
+            .snapshot(Some(CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                entries: 1,
+                resident_bytes: 64,
+            }))
+            .to_string();
+        assert!(with.contains("cache: 3 hits / 1 misses (75.0% hit rate)"));
+    }
+}

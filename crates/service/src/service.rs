@@ -1,0 +1,593 @@
+//! The exploration service: a worker pool with bounded queueing, explicit
+//! backpressure, and graceful shutdown.
+//!
+//! Clients [`submit`](SubdexService::submit) step requests and receive a
+//! [`StepTicket`] redeemable for the [`StepResult`]. The submit queue is a
+//! bounded crossbeam channel: when it is full, submission fails *fast* with
+//! [`SubmitError::Rejected`] carrying the observed queue depth, instead of
+//! blocking the caller — the service's load-shedding contract.
+//!
+//! Workers pull jobs off the shared queue (MPMC, so any worker may serve
+//! any session; per-session ordering is enforced by the registry's slot
+//! mutex, not by the queue). [`shutdown`](SubdexService::shutdown) closes
+//! the queue and joins the workers, draining every job already accepted —
+//! accepted work is never dropped.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::registry::{SessionId, SessionRegistry};
+use subdex_core::{
+    EngineConfig, ExplorationMode, ExplorationSession, SdeEngine, SessionError, StepResult,
+};
+use subdex_store::{GroupCache, SelectionQuery, SubjectiveDb};
+
+/// Service-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing steps.
+    pub workers: usize,
+    /// Bounded submit-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Idle time after which [`SubdexService::evict_idle`] drops a session.
+    pub session_ttl: Duration,
+    /// Byte budget of the shared group cache.
+    pub cache_capacity_bytes: usize,
+    /// Whether sessions share a group cache at all (off reproduces the
+    /// independent-sessions baseline the throughput benchmark compares
+    /// against).
+    pub cache_enabled: bool,
+    /// Engine configuration given to every new session.
+    pub engine: EngineConfig,
+    /// Exploration mode of new sessions.
+    pub mode: ExplorationMode,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            session_ttl: Duration::from_secs(300),
+            cache_capacity_bytes: 64 << 20,
+            cache_enabled: true,
+            engine: EngineConfig::default(),
+            mode: ExplorationMode::RecommendationPowered,
+        }
+    }
+}
+
+/// One step request against a session.
+#[derive(Debug, Clone)]
+pub enum StepRequest {
+    /// Apply an explicit selection query.
+    Operation(SelectionQuery),
+    /// Take the `idx`-th recommendation offered by the session's last step.
+    Recommendation(usize),
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue was full — backpressure. `queue_depth` is the
+    /// depth observed at rejection time (the configured capacity, unless
+    /// workers drained the queue in the meantime).
+    Rejected {
+        /// Observed queue depth at rejection.
+        queue_depth: usize,
+    },
+    /// The service is shutting down; no new work is accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected { queue_depth } => {
+                write!(f, "submit queue full (depth {queue_depth})")
+            }
+            SubmitError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted (or attempted) step did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The session id is not registered (never created, or evicted).
+    UnknownSession(SessionId),
+    /// The session itself refused the request.
+    Session(SessionError),
+    /// Rejected at submission (see [`SubmitError::Rejected`]).
+    Rejected {
+        /// Observed queue depth at rejection.
+        queue_depth: usize,
+    },
+    /// The service shut down before the step could run.
+    ShuttingDown,
+}
+
+impl From<SubmitError> for ServiceError {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::Rejected { queue_depth } => ServiceError::Rejected { queue_depth },
+            SubmitError::ShuttingDown => ServiceError::ShuttingDown,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::Session(e) => write!(f, "session error: {e}"),
+            ServiceError::Rejected { queue_depth } => {
+                write!(f, "submit queue full (depth {queue_depth})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Job {
+    session: SessionId,
+    request: StepRequest,
+    submitted: Instant,
+    reply: Sender<Result<StepResult, ServiceError>>,
+}
+
+/// Claim on an accepted step; redeem with [`wait`](StepTicket::wait).
+#[must_use = "an unredeemed ticket discards the step result"]
+pub struct StepTicket {
+    rx: Receiver<Result<StepResult, ServiceError>>,
+}
+
+impl StepTicket {
+    /// Blocks until the step completes.
+    pub fn wait(self) -> Result<StepResult, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the step is still queued or running.
+    pub fn try_wait(&self) -> Option<Result<StepResult, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A concurrent multi-session exploration server over one shared database.
+pub struct SubdexService {
+    db: Arc<SubjectiveDb>,
+    config: ServiceConfig,
+    registry: Arc<SessionRegistry>,
+    metrics: Arc<ServiceMetrics>,
+    cache: Option<Arc<GroupCache>>,
+    submit_tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SubdexService {
+    /// Starts the worker pool over `db`.
+    ///
+    /// # Panics
+    /// Panics if `config.workers == 0` or `config.queue_capacity == 0`.
+    pub fn start(db: Arc<SubjectiveDb>, config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need a nonzero queue");
+        let registry = Arc::new(SessionRegistry::new());
+        let metrics = Arc::new(ServiceMetrics::new());
+        let cache = config
+            .cache_enabled
+            .then(|| Arc::new(GroupCache::new(config.cache_capacity_bytes)));
+        let (tx, rx) = channel::bounded::<Job>(config.queue_capacity);
+        let workers = (0..config.workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(&rx, &registry, &metrics))
+            })
+            .collect();
+        Self {
+            db,
+            config,
+            registry,
+            metrics,
+            cache,
+            submit_tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The served database.
+    pub fn db(&self) -> &Arc<SubjectiveDb> {
+        &self.db
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The session registry (shared with the workers).
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// The shared group cache (None when caching is disabled).
+    pub fn cache(&self) -> Option<&Arc<GroupCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Creates a session with the service's engine configuration (and the
+    /// shared cache, when enabled), returning its handle.
+    pub fn create_session(&self) -> SessionId {
+        let mut engine_cfg = self.config.engine;
+        if self.config.mode == ExplorationMode::UserDriven {
+            // Mirrors ExplorationSession::new: User-Driven sessions never
+            // display recommendations, so don't compute them.
+            engine_cfg.recommendations = false;
+        }
+        let mut engine = SdeEngine::new(Arc::clone(&self.db), engine_cfg);
+        if let Some(cache) = &self.cache {
+            engine = engine.with_group_cache(Arc::clone(cache));
+        }
+        self.registry
+            .insert(ExplorationSession::with_engine(engine, self.config.mode))
+    }
+
+    /// Unregisters a session; an in-flight step on it completes normally.
+    pub fn remove_session(&self, id: SessionId) -> bool {
+        self.registry.remove(id)
+    }
+
+    /// Enqueues a step without blocking. `Err(Rejected {..})` is the
+    /// backpressure signal: the caller should retry later or shed load.
+    pub fn submit(
+        &self,
+        session: SessionId,
+        request: StepRequest,
+    ) -> Result<StepTicket, SubmitError> {
+        let guard = self.submit_tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let job = Job {
+            session,
+            request,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.metrics.observe_queue_depth(tx.len());
+                Ok(StepTicket { rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.record_rejected();
+                Err(SubmitError::Rejected {
+                    queue_depth: tx.len(),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submits and waits — the blocking convenience wrapper around
+    /// [`submit`](Self::submit) + [`StepTicket::wait`]. Backpressure is
+    /// surfaced as [`ServiceError::Rejected`], not absorbed by retrying.
+    pub fn run_step(
+        &self,
+        session: SessionId,
+        request: StepRequest,
+    ) -> Result<StepResult, ServiceError> {
+        let ticket = self.submit(session, request)?;
+        ticket.wait()
+    }
+
+    /// Evicts sessions idle past the configured TTL, returning their ids.
+    pub fn evict_idle(&self) -> Vec<SessionId> {
+        self.registry.evict_idle(self.config.session_ttl)
+    }
+
+    /// Current metrics, including cache statistics when caching is on.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.cache.as_ref().map(|c| c.stats()))
+    }
+
+    /// Stops accepting work, drains every accepted job, and joins the
+    /// workers. Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        // Dropping the only Sender closes the channel; workers finish the
+        // queued jobs (crossbeam receivers drain before disconnecting) and
+        // exit on RecvError.
+        drop(self.submit_tx.lock().take());
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SubdexService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Receiver<Job>, registry: &SessionRegistry, metrics: &ServiceMetrics) {
+    while let Ok(job) = rx.recv() {
+        let outcome = registry.with_session(job.session, |session| match &job.request {
+            StepRequest::Operation(query) => Ok(session.apply_operation(query).clone()),
+            StepRequest::Recommendation(idx) => session
+                .apply_recommendation(*idx)
+                .cloned()
+                .map_err(ServiceError::Session),
+        });
+        let result = match outcome {
+            None => Err(ServiceError::UnknownSession(job.session)),
+            Some(Ok(step)) => {
+                metrics.record_served(job.submitted.elapsed());
+                Ok(step)
+            }
+            Some(Err(e)) => Err(e),
+        };
+        // A client that dropped its ticket just doesn't read the result.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// The service is handed across threads wholesale (e.g. behind an `Arc`
+/// shared by client threads); prove at compile time that this is sound.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SubdexService>();
+    assert_send_sync::<SessionRegistry>();
+    assert_send_sync::<ServiceMetrics>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subdex_store::{Cell, EntityTableBuilder, RatingTableBuilder, Schema};
+
+    pub(crate) fn test_db() -> Arc<SubjectiveDb> {
+        let mut us = Schema::new();
+        us.add("gender", false);
+        us.add("age", false);
+        let mut ub = EntityTableBuilder::new(us);
+        for i in 0..10 {
+            ub.push_row(vec![
+                Cell::from(if i % 2 == 0 { "F" } else { "M" }),
+                Cell::from(["young", "old"][i % 2]),
+            ]);
+        }
+        let mut is = Schema::new();
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        for i in 0..4 {
+            ib.push_row(vec![Cell::from(if i < 2 { "NYC" } else { "SF" })]);
+        }
+        let mut rb = RatingTableBuilder::new(vec!["overall".into(), "food".into()], 5);
+        for r in 0..10u32 {
+            for i in 0..4u32 {
+                rb.push(
+                    r,
+                    i,
+                    &[1 + ((r + i) % 5) as u8, 1 + ((r * 3 + i) % 5) as u8],
+                );
+            }
+        }
+        Arc::new(SubjectiveDb::new(ub.build(), ib.build(), rb.build(10, 4)))
+    }
+
+    pub(crate) fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            engine: EngineConfig {
+                parallel: false,
+                max_candidates: 12,
+                ..EngineConfig::default()
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_step_and_metrics() {
+        let service = SubdexService::start(test_db(), quick_config());
+        let id = service.create_session();
+        let step = service
+            .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        assert_eq!(step.step, 0);
+        assert!(!step.recommendations.is_empty());
+
+        let step2 = service
+            .run_step(id, StepRequest::Recommendation(0))
+            .unwrap();
+        assert_eq!(step2.step, 1);
+
+        let m = service.metrics();
+        assert_eq!(m.requests_served, 2);
+        assert_eq!(m.requests_rejected, 0);
+        let cache = m.cache.expect("cache enabled by default");
+        assert!(cache.misses > 0);
+    }
+
+    #[test]
+    fn unknown_session_and_bad_recommendation() {
+        let service = SubdexService::start(test_db(), quick_config());
+        let id = service.create_session();
+        assert!(service.remove_session(id));
+        assert_eq!(
+            service
+                .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+                .unwrap_err(),
+            ServiceError::UnknownSession(id)
+        );
+
+        let id2 = service.create_session();
+        assert_eq!(
+            service
+                .run_step(id2, StepRequest::Recommendation(0))
+                .unwrap_err(),
+            ServiceError::Session(SessionError::NotStarted)
+        );
+    }
+
+    #[test]
+    fn full_queue_rejects_with_depth() {
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..quick_config()
+        };
+        let service = SubdexService::start(test_db(), config);
+        let blocker = service.create_session();
+        let victim = service.create_session();
+
+        // Hold the blocker session's slot lock so the single worker wedges
+        // on its first job, leaving the queue for us to fill.
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let registry = Arc::clone(service.registry());
+        let holder = std::thread::spawn(move || {
+            registry.with_session(blocker, |_| {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            });
+        });
+        started_rx.recv().unwrap();
+
+        // Job 1 is picked up by the worker and wedges; jobs 2-3 fill the
+        // queue; job 4 must be rejected with the observed depth.
+        let t1 = service
+            .submit(blocker, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        let mut tickets = Vec::new();
+        let mut rejected = None;
+        for _ in 0..8 {
+            match service.submit(victim, StepRequest::Operation(SelectionQuery::all())) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        match rejected.expect("bounded queue must eventually reject") {
+            SubmitError::Rejected { queue_depth } => assert!(queue_depth > 0),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert!(service.metrics().requests_rejected >= 1);
+        assert!(service.metrics().queue_depth_hwm >= 1);
+
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        t1.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..quick_config()
+        };
+        let service = SubdexService::start(test_db(), config);
+        let id = service.create_session();
+        let tickets: Vec<StepTicket> = (0..4)
+            .map(|_| {
+                service
+                    .submit(id, StepRequest::Operation(SelectionQuery::all()))
+                    .unwrap()
+            })
+            .collect();
+        service.shutdown();
+        // Every accepted job completed despite the shutdown racing them.
+        for (i, t) in tickets.into_iter().enumerate() {
+            let step = t.wait().unwrap_or_else(|e| panic!("job {i} dropped: {e}"));
+            assert_eq!(step.step, i);
+        }
+        // After shutdown, new submissions are refused.
+        assert_eq!(
+            service
+                .submit(id, StepRequest::Operation(SelectionQuery::all()))
+                .err(),
+            Some(SubmitError::ShuttingDown)
+        );
+        assert_eq!(service.metrics().requests_served, 4);
+    }
+
+    #[test]
+    fn idle_ttl_eviction_through_service() {
+        let config = ServiceConfig {
+            session_ttl: Duration::from_millis(20),
+            ..quick_config()
+        };
+        let service = SubdexService::start(test_db(), config);
+        let stale = service.create_session();
+        std::thread::sleep(Duration::from_millis(40));
+        let fresh = service.create_session();
+        let evicted = service.evict_idle();
+        assert_eq!(evicted, vec![stale]);
+        assert!(!service.registry().contains(stale));
+        assert!(service.registry().contains(fresh));
+        assert_eq!(
+            service
+                .run_step(stale, StepRequest::Operation(SelectionQuery::all()))
+                .unwrap_err(),
+            ServiceError::UnknownSession(stale)
+        );
+    }
+
+    #[test]
+    fn cache_disabled_service_has_no_cache_stats() {
+        let config = ServiceConfig {
+            cache_enabled: false,
+            ..quick_config()
+        };
+        let service = SubdexService::start(test_db(), config);
+        let id = service.create_session();
+        service
+            .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        assert!(service.cache().is_none());
+        assert!(service.metrics().cache.is_none());
+    }
+
+    #[test]
+    fn sessions_share_one_cache() {
+        let service = SubdexService::start(test_db(), quick_config());
+        let a = service.create_session();
+        let b = service.create_session();
+        service
+            .run_step(a, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        let misses_after_first = service.metrics().cache.unwrap().misses;
+        service
+            .run_step(b, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        let cache = service.metrics().cache.unwrap();
+        assert!(
+            cache.hits > 0,
+            "second session re-running the same query must hit: {cache:?}"
+        );
+        assert!(cache.misses >= misses_after_first, "counters monotone");
+    }
+}

@@ -179,11 +179,9 @@ pub fn run_auto_path(
                     .into_iter()
                     .next()
             }
-            OpSource::Qagview => {
-                subdex_baselines::qagview(&w.db, &query, 1, &QagConfig::default())
-                    .into_iter()
-                    .next()
-            }
+            OpSource::Qagview => subdex_baselines::qagview(&w.db, &query, 1, &QagConfig::default())
+                .into_iter()
+                .next(),
         };
         match next {
             Some(q) if q != query => query = q,

@@ -119,13 +119,12 @@ pub fn run_subject(
     // recognizes a revealed insight less reliably — the recommendations
     // are also what contextualize "this histogram is saying something".
     // Scenario I's forced-to-1 anomalies are unmissable in any mode.
-    let notice_factor = if mode == ExplorationMode::UserDriven
-        && w.scenario == Scenario::InsightExtraction
-    {
-        UD_INTERPRETATION_FACTOR
-    } else {
-        1.0
-    };
+    let notice_factor =
+        if mode == ExplorationMode::UserDriven && w.scenario == Scenario::InsightExtraction {
+            UD_INTERPRETATION_FACTOR
+        } else {
+            1.0
+        };
     let mut engine = SdeEngine::new(w.db.clone(), cfg);
     let mut rng = profile.rng();
     let mut outcome = RunOutcome::default();
@@ -172,24 +171,24 @@ pub fn run_subject(
         // Scenario I instructs subjects to find one reviewer-side and one
         // item-side group; once a side is done, interactive subjects hunt
         // the other side specifically.
-        let missing_side: Option<subdex_store::Entity> =
-            if w.scenario == Scenario::IrregularGroups {
-                let found_sides: HashSet<subdex_store::Entity> = found_set
-                    .iter()
-                    .chain(exclude.iter())
-                    .filter_map(|&t| w.irregulars.get(t).map(|g| g.entity))
-                    .collect();
-                match (
-                    found_sides.contains(&subdex_store::Entity::Reviewer),
-                    found_sides.contains(&subdex_store::Entity::Item),
-                ) {
-                    (true, false) => Some(subdex_store::Entity::Item),
-                    (false, true) => Some(subdex_store::Entity::Reviewer),
-                    _ => None,
-                }
-            } else {
-                None
-            };
+        let missing_side: Option<subdex_store::Entity> = if w.scenario == Scenario::IrregularGroups
+        {
+            let found_sides: HashSet<subdex_store::Entity> = found_set
+                .iter()
+                .chain(exclude.iter())
+                .filter_map(|&t| w.irregulars.get(t).map(|g| g.entity))
+                .collect();
+            match (
+                found_sides.contains(&subdex_store::Entity::Reviewer),
+                found_sides.contains(&subdex_store::Entity::Item),
+            ) {
+                (true, false) => Some(subdex_store::Entity::Item),
+                (false, true) => Some(subdex_store::Entity::Reviewer),
+                _ => None,
+            }
+        } else {
+            None
+        };
 
         // After identifying a target, an interactive analyst restarts the
         // hunt from the top: the remaining targets live elsewhere.
@@ -429,8 +428,14 @@ fn run_study_impl(w: &Workload, w2: Option<&Workload>, cfg: &StudyConfig) -> Stu
                 Some(other) => (w, Ok(other)),
                 None => (w, Err(())),
             };
-            let first =
-                run_subject(first_w, order[0], &profile, steps, &cfg.engine, &HashSet::new());
+            let first = run_subject(
+                first_w,
+                order[0],
+                &profile,
+                steps,
+                &cfg.engine,
+                &HashSet::new(),
+            );
             // Second run: the other instance when provided, otherwise the
             // same instance with the first run's finds excluded.
             let (second_w, exclude) = match second_source {
@@ -511,7 +516,11 @@ pub fn recall_curve(
     let outcomes: Vec<RunOutcome> = (0..subjects)
         .map(|i| {
             let profile = SubjectProfile::new(
-                if i % 2 == 0 { CsExpertise::High } else { CsExpertise::Low },
+                if i % 2 == 0 {
+                    CsExpertise::High
+                } else {
+                    CsExpertise::Low
+                },
                 DomainKnowledge::Low,
                 cfg.base_seed.wrapping_add(i as u64 * 977),
             );

@@ -139,9 +139,10 @@ pub fn choose_own_operation(
     let candidates: Vec<AttrValue> = maps
         .iter()
         .flat_map(|sm| {
-            sm.map.subgroups.iter().map(move |sg| {
-                AttrValue::new(sm.map.key.entity, sm.map.key.attr, sg.value)
-            })
+            sm.map
+                .subgroups
+                .iter()
+                .map(move |sg| AttrValue::new(sm.map.key.entity, sm.map.key.attr, sg.value))
         })
         .filter(|p| !query.contains(p))
         .collect();

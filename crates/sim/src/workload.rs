@@ -123,12 +123,15 @@ impl Workload {
             if irr.dim != map.key.dim {
                 continue;
             }
-            let irr_set: std::collections::HashSet<u32> =
-                irr.records.iter().copied().collect();
+            let irr_set: std::collections::HashSet<u32> = irr.records.iter().copied().collect();
             // Planted records still inside the current selection: scoping
             // the *other* entity (e.g. to young reviewers while hunting an
             // item group) does not change the group's identity.
-            let in_scope = group.records().iter().filter(|r| irr_set.contains(r)).count();
+            let in_scope = group
+                .records()
+                .iter()
+                .filter(|r| irr_set.contains(r))
+                .count();
             if (in_scope as u64) < SUSPICIOUS_SUPPORT {
                 continue;
             }
@@ -221,12 +224,11 @@ mod tests {
         let query = SelectionQuery::from_preds(preds);
         // Build the map grouped by the first description attribute over the
         // forced dimension, from actual data.
-        let attr = w
-            .db
-            .table(irr.entity)
-            .schema()
-            .attr_by_name(&irr.description[0].0)
-            .unwrap();
+        let attr =
+            w.db.table(irr.entity)
+                .schema()
+                .attr_by_name(&irr.description[0].0)
+                .unwrap();
         let group = w.db.rating_group(&query, 0);
         let mut fam = subdex_core::accumulator::FamilyAccumulator::new(
             &w.db,
@@ -237,30 +239,31 @@ mod tests {
         fam.update(&w.db, group.records());
         let map = fam.to_rating_map(0);
         let shown = w.irregular_shown(&query, &map);
-        assert!(shown.contains(&0), "planted group should be shown: {shown:?}");
+        assert!(
+            shown.contains(&0),
+            "planted group should be shown: {shown:?}"
+        );
     }
 
     #[test]
     fn irregular_not_shown_on_wrong_dimension() {
         let w = workload();
         let irr = &w.irregulars[0];
-        let other_dim = w
-            .db
-            .ratings()
-            .dims()
-            .find(|&d| d != irr.dim)
-            .expect("yelp has 4 dims");
+        let other_dim =
+            w.db.ratings()
+                .dims()
+                .find(|&d| d != irr.dim)
+                .expect("yelp has 4 dims");
         let preds: Vec<_> = irr.description[1..]
             .iter()
             .map(|(name, value)| w.db.pred(irr.entity, name, value).unwrap())
             .collect();
         let query = SelectionQuery::from_preds(preds);
-        let attr = w
-            .db
-            .table(irr.entity)
-            .schema()
-            .attr_by_name(&irr.description[0].0)
-            .unwrap();
+        let attr =
+            w.db.table(irr.entity)
+                .schema()
+                .attr_by_name(&irr.description[0].0)
+                .unwrap();
         let group = w.db.rating_group(&query, 0);
         let mut fam = subdex_core::accumulator::FamilyAccumulator::new(
             &w.db,

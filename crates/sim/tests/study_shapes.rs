@@ -112,7 +112,10 @@ fn interactive_subjects_have_personal_paths() {
 #[test]
 fn ud_interpretation_factor_is_a_handicap() {
     let f = UD_INTERPRETATION_FACTOR;
-    assert!((0.0..1.0).contains(&f), "handicap must be a proper fraction");
+    assert!(
+        (0.0..1.0).contains(&f),
+        "handicap must be a proper fraction"
+    );
 }
 
 #[test]

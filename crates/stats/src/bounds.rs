@@ -132,7 +132,11 @@ impl HoeffdingSerfling {
         let s = samples as f64;
         let n = self.population as f64;
         let f_s = (s - 1.0) / n;
-        let lnln = if samples >= 3 { s.ln().ln().max(0.0) } else { 0.0 };
+        let lnln = if samples >= 3 {
+            s.ln().ln().max(0.0)
+        } else {
+            0.0
+        };
         let tail = (std::f64::consts::PI.powi(2) / (3.0 * self.delta)).ln();
         (((1.0 - f_s) * (2.0 * lnln + tail)) / (2.0 * s)).sqrt()
     }
@@ -233,7 +237,9 @@ mod tests {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(42);
         let n = 2000usize;
-        let pop: Vec<f64> = (0..n).map(|_| if rng.random_bool(0.3) { 1.0 } else { 0.0 }).collect();
+        let pop: Vec<f64> = (0..n)
+            .map(|_| if rng.random_bool(0.3) { 1.0 } else { 0.0 })
+            .collect();
         let true_mean = pop.iter().sum::<f64>() / n as f64;
         let hs = HoeffdingSerfling::new(n as u64, 0.05);
         let mut violations = 0usize;

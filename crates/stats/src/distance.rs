@@ -16,11 +16,7 @@ pub fn total_variation(a: &RatingDistribution, b: &RatingDistribution) -> f64 {
     assert_eq!(a.scale(), b.scale(), "distributions must share a scale");
     let pa = a.probabilities();
     let pb = b.probabilities();
-    0.5 * pa
-        .iter()
-        .zip(&pb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>()
 }
 
 /// Kullback–Leibler divergence `KL(p ‖ q)` in nats, with additive smoothing

@@ -34,11 +34,17 @@ where
         "EMD requires non-empty point sets"
     );
     for &w in supplies.iter().chain(demands) {
-        assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weights must be finite and non-negative"
+        );
     }
     let total_s: f64 = supplies.iter().sum();
     let total_d: f64 = demands.iter().sum();
-    assert!(total_s > 0.0 && total_d > 0.0, "total mass must be positive");
+    assert!(
+        total_s > 0.0 && total_d > 0.0,
+        "total mass must be positive"
+    );
 
     let n = supplies.len();
     let m = demands.len();
@@ -50,7 +56,10 @@ where
     for i in 0..n {
         for j in 0..m {
             let v = cost(i, j);
-            assert!(v.is_finite() && v >= -EPS, "ground distances must be non-negative");
+            assert!(
+                v.is_finite() && v >= -EPS,
+                "ground distances must be non-negative"
+            );
             c[i * m + j] = v.max(0.0);
         }
     }
@@ -130,7 +139,10 @@ where
         let Some(t) = target else {
             // All remaining demand unreachable: only possible when the
             // remaining mass is numerical dust.
-            debug_assert!(remaining <= 1e-6, "unreachable demand with mass {remaining}");
+            debug_assert!(
+                remaining <= 1e-6,
+                "unreachable demand with mass {remaining}"
+            );
             break;
         };
 
@@ -234,9 +246,7 @@ mod tests {
 
     #[test]
     fn unnormalized_weights_are_normalized() {
-        let a = emd_transport(&[2.0, 2.0], &[1.0, 1.0], |i, j| {
-            (i as f64 - j as f64).abs()
-        });
+        let a = emd_transport(&[2.0, 2.0], &[1.0, 1.0], |i, j| (i as f64 - j as f64).abs());
         assert!(a.abs() < 1e-9);
     }
 

@@ -72,6 +72,10 @@ fn anova_reference() {
     let r = one_way_anova(&[&a, &b, &c]).unwrap();
     // Independently computed: F = 6.84968, p = 0.010365.
     assert!((r.f - 6.84968152866242).abs() < 1e-6, "F = {}", r.f);
-    assert!((r.p_value - 0.010364618417767923).abs() < 1e-6, "p = {}", r.p_value);
+    assert!(
+        (r.p_value - 0.010364618417767923).abs() < 1e-6,
+        "p = {}",
+        r.p_value
+    );
     assert!(r.significant_at(0.05));
 }

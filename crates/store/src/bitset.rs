@@ -65,7 +65,11 @@ impl BitSet {
     #[inline]
     pub fn insert(&mut self, id: u32) {
         let i = id as usize;
-        assert!(i < self.capacity, "id {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "id {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 

@@ -1,0 +1,312 @@
+//! Cross-session cache of materialized rating-group record lists.
+//!
+//! Materializing a rating group is the dominant per-step cost on large
+//! databases (an adjacency walk over every matching reviewer or item).
+//! Different exploration sessions frequently visit the same queries — the
+//! recommendation builder proposes the same drill-downs to everyone — so
+//! [`GroupCache`] shares the walk result across sessions.
+//!
+//! What is cached is the **pre-shuffle record list in deterministic walk
+//! order** ([`SubjectiveDb::collect_group_records`]), *not* the shuffled
+//! [`RatingGroup`]: the phase-order shuffle depends on the per-step seed,
+//! so caching after the shuffle would either leak one session's phase order
+//! into another or break seed determinism. Callers re-shuffle the shared
+//! list with their own seed, making the cached path byte-identical to the
+//! uncached one.
+//!
+//! Eviction is least-recently-used by resident bytes: each entry is costed
+//! at its record-vector size plus a fixed per-entry overhead, and inserts
+//! evict the least recently touched entries until the configured budget is
+//! respected again.
+//!
+//! [`SubjectiveDb::collect_group_records`]: crate::database::SubjectiveDb::collect_group_records
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::predicate::SelectionQuery;
+use crate::ratings::RecordId;
+
+/// Fixed per-entry bookkeeping cost (key, map slot, counters), added to the
+/// record payload when charging an entry against the byte budget.
+const ENTRY_OVERHEAD_BYTES: usize = 128;
+
+/// Counters describing cache effectiveness; see [`GroupCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to materialize the record list.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub resident_bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    records: Arc<Vec<RecordId>>,
+    /// Logical clock value of the most recent touch.
+    last_used: u64,
+    /// What this entry charges against the byte budget.
+    bytes: usize,
+}
+
+struct Inner {
+    map: HashMap<SelectionQuery, Entry>,
+    /// Monotonic logical clock; bumped on every touch.
+    tick: u64,
+    resident_bytes: usize,
+}
+
+/// A thread-safe LRU cache of rating-group record lists, keyed by
+/// canonicalized [`SelectionQuery`] and bounded by resident bytes.
+///
+/// Shared across sessions behind an [`Arc`]; all methods take `&self`.
+pub struct GroupCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for GroupCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("GroupCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl GroupCache {
+    /// Creates a cache bounded to roughly `capacity_bytes` of record data.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                resident_bytes: 0,
+            }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Returns the cached record list for `query`, materializing it with
+    /// `materialize` on a miss. The returned [`Arc`] stays valid even if the
+    /// entry is evicted while the caller holds it.
+    ///
+    /// `materialize` runs *outside* the cache lock, so a slow walk does not
+    /// block other sessions; if two sessions miss on the same query
+    /// concurrently, both materialize and one result wins.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `query` is not in canonical form (see
+    /// [`SelectionQuery::canonicalize`]); such a query would dodge cache
+    /// hits for its canonical twin.
+    pub fn get_or_insert_with(
+        &self,
+        query: &SelectionQuery,
+        materialize: impl FnOnce() -> Vec<RecordId>,
+    ) -> Arc<Vec<RecordId>> {
+        debug_assert!(query.is_canonical(), "cache key must be canonical");
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(query) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.records);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let records = Arc::new(materialize());
+        let bytes = records.len() * std::mem::size_of::<RecordId>() + ENTRY_OVERHEAD_BYTES;
+
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // A racing miss may have inserted meanwhile; keep the incumbent so
+        // concurrent callers converge on one allocation.
+        if let Some(entry) = inner.map.get_mut(query) {
+            entry.last_used = tick;
+            return Arc::clone(&entry.records);
+        }
+        inner.map.insert(
+            query.clone(),
+            Entry {
+                records: Arc::clone(&records),
+                last_used: tick,
+                bytes,
+            },
+        );
+        inner.resident_bytes += bytes;
+        self.evict_to_budget(&mut inner);
+        records
+    }
+
+    /// Evicts least-recently-used entries until the budget is respected.
+    /// An entry larger than the whole budget is evicted as soon as the next
+    /// insert happens, but callers keep their `Arc` to it.
+    fn evict_to_budget(&self, inner: &mut Inner) {
+        while inner.resident_bytes > self.capacity_bytes && !inner.map.is_empty() {
+            let (victim, bytes) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(q, e)| (q.clone(), e.bytes))
+                .expect("map checked non-empty");
+            inner.map.remove(&victim);
+            inner.resident_bytes -= bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `query` currently has a resident entry (does not touch LRU
+    /// state; intended for tests and introspection).
+    pub fn contains(&self, query: &SelectionQuery) -> bool {
+        self.inner.lock().map.contains_key(query)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.resident_bytes = 0;
+    }
+
+    /// A consistent snapshot of the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        let (entries, resident_bytes) = {
+            let inner = self.inner.lock();
+            (inner.map.len(), inner.resident_bytes)
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::AttrValue;
+    use crate::schema::{AttrId, Entity};
+    use crate::value::ValueId;
+
+    fn q(attr: u16, value: u32) -> SelectionQuery {
+        SelectionQuery::from_preds(vec![AttrValue::new(
+            Entity::Item,
+            AttrId(attr),
+            ValueId(value),
+        )])
+    }
+
+    /// Budget that fits `n` entries of `len` records each.
+    fn budget_for(n: usize, len: usize) -> usize {
+        n * (len * std::mem::size_of::<RecordId>() + ENTRY_OVERHEAD_BYTES)
+    }
+
+    #[test]
+    fn hit_returns_same_allocation() {
+        let cache = GroupCache::new(budget_for(4, 10));
+        let a = cache.get_or_insert_with(&q(0, 0), || (0..10).collect());
+        let b = cache.get_or_insert_with(&q(0, 0), || panic!("must not rematerialize"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = GroupCache::new(budget_for(2, 10));
+        cache.get_or_insert_with(&q(0, 0), || (0..10).collect());
+        cache.get_or_insert_with(&q(0, 1), || (0..10).collect());
+        // Touch (0,0) so (0,1) is the LRU entry.
+        cache.get_or_insert_with(&q(0, 0), || unreachable!());
+        cache.get_or_insert_with(&q(0, 2), || (0..10).collect());
+        assert!(cache.contains(&q(0, 0)), "recently used entry kept");
+        assert!(!cache.contains(&q(0, 1)), "LRU entry evicted");
+        assert!(cache.contains(&q(0, 2)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget_not_entry_count() {
+        // Budget fits four small entries or one big one.
+        let cache = GroupCache::new(budget_for(4, 10));
+        for v in 0..4 {
+            cache.get_or_insert_with(&q(0, v), || (0..10).collect());
+        }
+        assert_eq!(cache.len(), 4);
+        // One entry with 4x the records forces several evictions.
+        cache.get_or_insert_with(&q(1, 0), || (0..40).collect());
+        assert!(cache.stats().resident_bytes <= cache.capacity_bytes());
+        assert!(cache.contains(&q(1, 0)));
+    }
+
+    #[test]
+    fn oversized_entry_still_returned() {
+        let cache = GroupCache::new(16); // smaller than any entry
+        let records = cache.get_or_insert_with(&q(0, 0), || (0..100).collect());
+        assert_eq!(records.len(), 100);
+        // It may not stay resident, but the caller's Arc is intact.
+        cache.get_or_insert_with(&q(0, 1), || (0..100).collect());
+        assert_eq!(records.len(), 100);
+        assert!(cache.stats().resident_bytes <= 2 * budget_for(1, 100));
+    }
+
+    #[test]
+    fn clear_resets_entries_but_keeps_counters() {
+        let cache = GroupCache::new(budget_for(4, 10));
+        cache.get_or_insert_with(&q(0, 0), || (0..10).collect());
+        cache.get_or_insert_with(&q(0, 0), || unreachable!());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().resident_bytes, 0);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

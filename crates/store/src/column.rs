@@ -122,11 +122,7 @@ mod tests {
 
     #[test]
     fn csr_from_rows() {
-        let c = CsrColumn::from_rows(vec![
-            vec![v(0), v(2)],
-            vec![],
-            vec![v(1)],
-        ]);
+        let c = CsrColumn::from_rows(vec![vec![v(0), v(2)], vec![], vec![v(1)]]);
         assert_eq!(c.len(), 3);
         assert_eq!(c.values(0), &[v(0), v(2)]);
         assert_eq!(c.values(1), &[] as &[ValueId]);

@@ -73,11 +73,7 @@ fn parse_value(s: &str) -> Value {
 /// Serializes one entity table to CSV (header row = attribute names).
 pub fn entity_to_csv(table: &EntityTable) -> String {
     let mut out = String::new();
-    let header: Vec<String> = table
-        .schema()
-        .iter()
-        .map(|(_, d)| quote(&d.name))
-        .collect();
+    let header: Vec<String> = table.schema().iter().map(|(_, d)| quote(&d.name)).collect();
     let _ = writeln!(out, "{}", header.join(","));
     for row in 0..table.len() as u32 {
         let fields: Vec<String> = table
@@ -158,7 +154,12 @@ pub fn entity_from_csv(csv: &str, multi_valued: &[&str]) -> Result<EntityTable, 
             .enumerate()
             .map(|(j, f)| {
                 if multi_valued.contains(&names[j].as_str()) {
-                    Cell::Many(f.split('|').filter(|s| !s.is_empty()).map(parse_value).collect())
+                    Cell::Many(
+                        f.split('|')
+                            .filter(|s| !s.is_empty())
+                            .map(parse_value)
+                            .collect(),
+                    )
                 } else {
                     Cell::One(parse_value(f))
                 }
@@ -219,7 +220,10 @@ pub fn ratings_from_csv(
             .map_err(|_| CsvError::BadNumber { line: line_no })?;
         let scores: Vec<u8> = fields[2..]
             .iter()
-            .map(|f| f.parse::<u8>().map_err(|_| CsvError::BadNumber { line: line_no }))
+            .map(|f| {
+                f.parse::<u8>()
+                    .map_err(|_| CsvError::BadNumber { line: line_no })
+            })
             .collect::<Result<_, _>>()?;
         b.push(reviewer, item, &scores);
     }
@@ -307,10 +311,18 @@ pub fn load_dir(dir: &std::path::Path) -> Result<SubjectiveDb, PersistError> {
         match key {
             "scale" => scale = value.parse().ok(),
             "multi_reviewers" => {
-                multi_reviewers = value.split('|').filter(|s| !s.is_empty()).map(String::from).collect();
+                multi_reviewers = value
+                    .split('|')
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
             }
             "multi_items" => {
-                multi_items = value.split('|').filter(|s| !s.is_empty()).map(String::from).collect();
+                multi_items = value
+                    .split('|')
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
             }
             _ => {}
         }

@@ -7,6 +7,7 @@
 //! to an item group.
 
 use crate::bitset::BitSet;
+use crate::cache::GroupCache;
 use crate::group::{EntityGroup, RatingGroup};
 use crate::index::InvertedIndex;
 use crate::predicate::{AttrValue, SelectionQuery};
@@ -144,17 +145,39 @@ impl SubjectiveDb {
     /// Materializes the rating group for `query`: all records whose
     /// reviewer and item match the respective sides. `seed` fixes the phase
     /// order (see [`RatingGroup::new`]).
+    pub fn rating_group(&self, query: &SelectionQuery, seed: u64) -> RatingGroup {
+        RatingGroup::new(self.collect_group_records(query), seed)
+    }
+
+    /// Like [`rating_group`](Self::rating_group), but looks the record list
+    /// up in (and populates) a shared [`GroupCache`] first. The phase order
+    /// still comes from `seed`, applied after the lookup, so for any given
+    /// `(query, seed)` the returned group is byte-identical to the uncached
+    /// path — the cache stores only the walk-order record list, which is a
+    /// pure function of the query.
+    pub fn group_for_query_cached(
+        &self,
+        query: &SelectionQuery,
+        seed: u64,
+        cache: &GroupCache,
+    ) -> RatingGroup {
+        let records = cache.get_or_insert_with(query, || self.collect_group_records(query));
+        RatingGroup::new(records.as_ref().clone(), seed)
+    }
+
+    /// The record ids matched by `query`, in deterministic walk order (the
+    /// pre-shuffle order [`rating_group`](Self::rating_group) starts from).
     ///
     /// Strategy: with no predicates the group is all records; otherwise the
     /// smaller constrained entity group drives an adjacency walk filtered by
     /// the other side's bitset, which is why the engine stays fast even on
     /// the full Yelp-sized table.
-    pub fn rating_group(&self, query: &SelectionQuery, seed: u64) -> RatingGroup {
+    pub fn collect_group_records(&self, query: &SelectionQuery) -> Vec<RecordId> {
         let has_reviewer_preds = query.preds_of(Entity::Reviewer).next().is_some();
         let has_item_preds = query.preds_of(Entity::Item).next().is_some();
 
         if !has_reviewer_preds && !has_item_preds {
-            return RatingGroup::new((0..self.ratings.len() as u32).collect(), seed);
+            return (0..self.ratings.len() as u32).collect();
         }
 
         let g_u = self.select_group(Entity::Reviewer, query);
@@ -196,7 +219,7 @@ impl SubjectiveDb {
                 }
             }
         }
-        RatingGroup::new(records, seed)
+        records
     }
 
     /// Human-readable rendering of one predicate, e.g. `item.city = NYC`.
@@ -371,7 +394,9 @@ mod tests {
     #[test]
     fn reviewer_side_selection() {
         let db = figure2_db();
-        let young = db.pred(Entity::Reviewer, "age_group", &Value::str("Young")).unwrap();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
         let q = SelectionQuery::from_preds(vec![young]);
         let g = db.select_group(Entity::Reviewer, &q);
         assert_eq!(g.rows(), vec![1, 2]);
@@ -384,7 +409,9 @@ mod tests {
     #[test]
     fn conjunctive_cross_entity_selection() {
         let db = figure2_db();
-        let young = db.pred(Entity::Reviewer, "age_group", &Value::str("Young")).unwrap();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
         let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
         let q = SelectionQuery::from_preds(vec![young, nyc]);
         let recs = db.rating_group(&q, 0);
@@ -395,7 +422,9 @@ mod tests {
     #[test]
     fn multi_valued_predicate() {
         let db = figure2_db();
-        let sushi = db.pred(Entity::Item, "cuisine", &Value::str("Sushi")).unwrap();
+        let sushi = db
+            .pred(Entity::Item, "cuisine", &Value::str("Sushi"))
+            .unwrap();
         let q = SelectionQuery::from_preds(vec![sushi]);
         let g = db.select_group(Entity::Item, &q);
         assert_eq!(g.rows(), vec![1]);
@@ -404,8 +433,12 @@ mod tests {
     #[test]
     fn contradictory_predicates_select_nothing() {
         let db = figure2_db();
-        let f = db.pred(Entity::Reviewer, "gender", &Value::str("F")).unwrap();
-        let m = db.pred(Entity::Reviewer, "gender", &Value::str("M")).unwrap();
+        let f = db
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap();
+        let m = db
+            .pred(Entity::Reviewer, "gender", &Value::str("M"))
+            .unwrap();
         let q = SelectionQuery::from_preds(vec![f, m]);
         assert!(db.select_group(Entity::Reviewer, &q).is_empty());
         assert!(db.rating_group(&q, 0).is_empty());
@@ -414,7 +447,9 @@ mod tests {
     #[test]
     fn describe_query_renders_names() {
         let db = figure2_db();
-        let young = db.pred(Entity::Reviewer, "age_group", &Value::str("Young")).unwrap();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
         let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
         let q = SelectionQuery::from_preds(vec![young, nyc]);
         let s = db.describe_query(&q);
@@ -426,7 +461,9 @@ mod tests {
     #[test]
     fn pred_resolution_failures() {
         let db = figure2_db();
-        assert!(db.pred(Entity::Reviewer, "nope", &Value::str("x")).is_none());
+        assert!(db
+            .pred(Entity::Reviewer, "nope", &Value::str("x"))
+            .is_none());
         assert!(db
             .pred(Entity::Reviewer, "gender", &Value::str("X"))
             .is_none());

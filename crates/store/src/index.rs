@@ -73,7 +73,10 @@ mod tests {
         schema.add("city", false);
         schema.add("cuisine", true);
         let mut b = EntityTableBuilder::new(schema);
-        b.push_row(vec!["NYC".into(), Cell::Many(vec![Value::str("Pizza"), Value::str("Italian")])]);
+        b.push_row(vec![
+            "NYC".into(),
+            Cell::Many(vec![Value::str("Pizza"), Value::str("Italian")]),
+        ]);
         b.push_row(vec!["NYC".into(), Cell::Many(vec![Value::str("Sushi")])]);
         b.push_row(vec!["Austin".into(), Cell::Many(vec![Value::str("Pizza")])]);
         b.build()

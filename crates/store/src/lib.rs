@@ -23,6 +23,7 @@
 //!   phase-based execution framework ([`group::RatingGroup::phases`]).
 
 pub mod bitset;
+pub mod cache;
 pub mod column;
 pub mod csv;
 pub mod database;
@@ -35,6 +36,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use cache::{CacheStats, GroupCache};
 pub use database::{AttributeSummary, DbStats, SubjectiveDb};
 pub use group::{EntityGroup, RatingGroup};
 pub use parse::{parse_query, ParseError};
@@ -43,3 +45,14 @@ pub use ratings::{DimId, RatingTable, RatingTableBuilder, RecordId};
 pub use schema::{AttrId, Entity, Schema};
 pub use table::{Cell, EntityTable, EntityTableBuilder};
 pub use value::{Dictionary, Value, ValueId};
+
+/// Compile-time proof that the shared query substrate is safe to use from
+/// many threads: the service hands `Arc<SubjectiveDb>` and `Arc<GroupCache>`
+/// to every worker, which requires `Send + Sync` on both.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SubjectiveDb>();
+    assert_send_sync::<GroupCache>();
+    assert_send_sync::<RatingGroup>();
+    assert_send_sync::<SelectionQuery>();
+};

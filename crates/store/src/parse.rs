@@ -51,7 +51,10 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Malformed { fragment } => {
-                write!(f, "malformed predicate: '{fragment}' (expected side.attr = value)")
+                write!(
+                    f,
+                    "malformed predicate: '{fragment}' (expected side.attr = value)"
+                )
             }
             ParseError::BadEntity { prefix } => {
                 write!(f, "unknown entity '{prefix}' (expected reviewer or item)")
@@ -72,8 +75,8 @@ impl std::error::Error for ParseError {}
 /// otherwise bare string.
 fn parse_value(token: &str) -> Value {
     let t = token.trim();
-    if t.len() >= 2 && (t.starts_with('\'') && t.ends_with('\'')
-        || t.starts_with('"') && t.ends_with('"'))
+    if t.len() >= 2
+        && (t.starts_with('\'') && t.ends_with('\'') || t.starts_with('"') && t.ends_with('"'))
     {
         return Value::str(&t[1..t.len() - 1]);
     }

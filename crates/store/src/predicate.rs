@@ -25,7 +25,11 @@ pub struct AttrValue {
 impl AttrValue {
     /// Creates a predicate.
     pub fn new(entity: Entity, attr: AttrId, value: ValueId) -> Self {
-        Self { entity, attr, value }
+        Self {
+            entity,
+            attr,
+            value,
+        }
     }
 }
 
@@ -46,11 +50,51 @@ impl SelectionQuery {
 
     /// Builds a query from predicates (deduplicated, canonicalized).
     pub fn from_preds(preds: impl IntoIterator<Item = AttrValue>) -> Self {
-        let mut q = Self::default();
-        for p in preds {
-            q.add(p);
-        }
+        let mut q = Self {
+            preds: preds.into_iter().collect(),
+        };
+        q.canonicalize();
         q
+    }
+
+    /// Restores the canonical form: predicates sorted ascending with
+    /// duplicates removed. Every constructor and edit maintains this
+    /// invariant already, so this is a no-op on queries built through the
+    /// public API; it exists so code that obtains a query from elsewhere
+    /// (deserialization, manual construction) can re-establish the
+    /// invariant before using the query as a cache key.
+    pub fn canonicalize(&mut self) {
+        self.preds.sort_unstable();
+        self.preds.dedup();
+    }
+
+    /// Whether the predicate list is in canonical form (strictly ascending).
+    pub fn is_canonical(&self) -> bool {
+        self.preds.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// A stable 64-bit digest of the canonical predicate list, suitable as
+    /// a cross-session cache key. Equal queries always collide; unequal
+    /// queries collide with probability ~2⁻⁶⁴ (FNV-1a over the encoded
+    /// predicates).
+    pub fn fingerprint(&self) -> u64 {
+        debug_assert!(self.is_canonical());
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.preds.len() as u64);
+        for p in &self.preds {
+            mix(match p.entity {
+                Entity::Reviewer => 0,
+                Entity::Item => 1,
+            });
+            mix(u64::from(p.attr.0));
+            mix(u64::from(p.value.0));
+        }
+        h
     }
 
     /// All predicates in canonical order.
@@ -172,10 +216,7 @@ mod tests {
             p(Entity::Reviewer, 0, 0),
             p(Entity::Item, 1, 2), // dup
         ]);
-        let b = SelectionQuery::from_preds(vec![
-            p(Entity::Reviewer, 0, 0),
-            p(Entity::Item, 1, 2),
-        ]);
+        let b = SelectionQuery::from_preds(vec![p(Entity::Reviewer, 0, 0), p(Entity::Item, 1, 2)]);
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
     }
@@ -205,7 +246,9 @@ mod tests {
         assert_eq!(changed.len(), 1);
         assert_eq!(q.diff_size(&changed), 2, "change counts as two diffs");
 
-        assert!(q.with_changed(Entity::Reviewer, AttrId(0), ValueId(1)).is_none());
+        assert!(q
+            .with_changed(Entity::Reviewer, AttrId(0), ValueId(1))
+            .is_none());
     }
 
     #[test]
@@ -226,6 +269,32 @@ mod tests {
         ]);
         assert_eq!(q.preds_of(Entity::Item).count(), 2);
         assert_eq!(q.preds_of(Entity::Reviewer).count(), 1);
+    }
+
+    #[test]
+    fn canonicalize_restores_invariant() {
+        // Bypass the constructors to simulate a query whose predicate
+        // order was lost (e.g. built by hand), then re-canonicalize.
+        let mut q =
+            SelectionQuery::from_preds(vec![p(Entity::Item, 1, 2), p(Entity::Reviewer, 0, 0)]);
+        assert!(q.is_canonical());
+        q.canonicalize(); // idempotent
+        assert!(q.is_canonical());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_discriminating() {
+        let a = SelectionQuery::from_preds(vec![p(Entity::Item, 1, 2), p(Entity::Reviewer, 0, 0)]);
+        let b = SelectionQuery::from_preds(vec![
+            p(Entity::Reviewer, 0, 0),
+            p(Entity::Item, 1, 2),
+            p(Entity::Item, 1, 2), // dup
+        ]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = a.with_added(p(Entity::Item, 3, 0));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(SelectionQuery::all().fingerprint(), a.fingerprint());
     }
 
     #[test]

@@ -251,7 +251,10 @@ impl RatingTableBuilder {
     /// Panics if any record references an out-of-range reviewer or item.
     pub fn build(self, reviewer_count: usize, item_count: usize) -> RatingTable {
         for &r in &self.reviewers {
-            assert!((r as usize) < reviewer_count, "reviewer id {r} out of range");
+            assert!(
+                (r as usize) < reviewer_count,
+                "reviewer id {r} out of range"
+            );
         }
         for &i in &self.items {
             assert!((i as usize) < item_count, "item id {i} out of range");

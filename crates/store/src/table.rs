@@ -243,10 +243,7 @@ mod tests {
         let city = t.schema().attr_by_name("city").unwrap();
         assert_eq!(t.values(0, cuisine).len(), 2);
         assert_eq!(t.values(2, cuisine).len(), 1, "One on multi = singleton");
-        assert_eq!(
-            t.decoded_values(1, city),
-            vec![Value::str("Austin")]
-        );
+        assert_eq!(t.decoded_values(1, city), vec![Value::str("Austin")]);
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
         let mut d = Dictionary::new();
         d.intern(Value::str("x"));
         d.intern(Value::str("y"));
-        let pairs: Vec<_> = d.iter().map(|(id, v)| (id.index(), v.to_string())).collect();
+        let pairs: Vec<_> = d
+            .iter()
+            .map(|(id, v)| (id.index(), v.to_string()))
+            .collect();
         assert_eq!(pairs, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
     }
 

@@ -77,10 +77,7 @@ fn db_spec() -> impl Strategy<Value = DbSpec> {
         (
             prop::collection::vec(prop::collection::vec(0u8..4, n_rev), 2),
             prop::collection::vec(prop::collection::vec(0u8..4, n_item), 2),
-            prop::collection::vec(
-                (0..n_rev as u8, 0..n_item as u8, 1u8..=5),
-                n_rat,
-            ),
+            prop::collection::vec((0..n_rev as u8, 0..n_item as u8, 1u8..=5), n_rat),
         )
             .prop_map(|(reviewer_attrs, item_attrs, ratings)| DbSpec {
                 reviewer_attrs,

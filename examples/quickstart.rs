@@ -39,7 +39,10 @@ fn main() {
         result.generator_stats.2,
     );
 
-    println!("=== The {} most useful & diverse rating maps ===\n", result.maps.len());
+    println!(
+        "=== The {} most useful & diverse rating maps ===\n",
+        result.maps.len()
+    );
     for (i, sm) in result.maps.iter().enumerate() {
         println!(
             "--- map #{} (utility {:.3}, DW utility {:.3}) ---",
@@ -57,7 +60,10 @@ fn main() {
         );
     }
 
-    println!("=== Top-{} next-step recommendations ===\n", result.recommendations.len());
+    println!(
+        "=== Top-{} next-step recommendations ===\n",
+        result.recommendations.len()
+    );
     for (i, rec) in result.recommendations.iter().enumerate() {
         println!(
             "{}. {}   (utility {:.3}, {} records)",

@@ -53,7 +53,10 @@ fn main() {
     }
     println!("Recovery over {total} (review, dimension) pairs:");
     println!("  exact:      {:5.1}%", 100.0 * exact as f64 / total as f64);
-    println!("  within ±1:  {:5.1}%", 100.0 * within_one as f64 / total as f64);
+    println!(
+        "  within ±1:  {:5.1}%",
+        100.0 * within_one as f64 / total as f64
+    );
     println!("\nConfusion matrix (rows = latent, cols = extracted):");
     println!("        1     2     3     4     5");
     for (i, row) in confusion.iter().enumerate() {

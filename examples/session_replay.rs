@@ -48,11 +48,7 @@ fn main() {
     println!(
         "── Replay ──\nreplayed {} steps; map keys identical to original: {}",
         replayed.len(),
-        replayed
-            .iter()
-            .map(|s| s.maps.len())
-            .sum::<usize>()
-            > 0
+        replayed.iter().map(|s| s.maps.len()).sum::<usize>() > 0
     );
 
     // --- Personalization from history. -----------------------------------
@@ -61,11 +57,21 @@ fn main() {
     let mut last = engine2.step(&SelectionQuery::all());
     println!("\n── Recommendations before personalization ──");
     for (i, r) in last.recommendations.iter().enumerate() {
-        println!("  {}. {} ({:.3})", i + 1, db.describe_query(&r.query), r.utility);
+        println!(
+            "  {}. {} ({:.3})",
+            i + 1,
+            db.describe_query(&r.query),
+            r.utility
+        );
     }
     rerank(&mut last.recommendations, &history, 2.0);
     println!("── After re-ranking toward this analyst's habits ──");
     for (i, r) in last.recommendations.iter().enumerate() {
-        println!("  {}. {} ({:.3})", i + 1, db.describe_query(&r.query), r.utility);
+        println!(
+            "  {}. {} ({:.3})",
+            i + 1,
+            db.describe_query(&r.query),
+            r.utility
+        );
     }
 }

@@ -61,7 +61,12 @@ impl Repl {
             res.elapsed
         );
         for (i, sm) in res.maps.iter().enumerate() {
-            println!("\n[map {}]  utility {:.3} (DW {:.3})", i + 1, sm.utility, sm.dw_utility);
+            println!(
+                "\n[map {}]  utility {:.3} (DW {:.3})",
+                i + 1,
+                sm.utility,
+                sm.dw_utility
+            );
             print!("{}", render_map(&self.db, &sm.map));
         }
         if !res.recommendations.is_empty() {
@@ -179,9 +184,9 @@ fn main() {
 
     println!("Generating {dataset} dataset (scale {scale})…");
     let ds = match dataset {
-        "movielens" => {
-            subdex::data::movielens::dataset(subdex::data::movielens::default_params().scaled(scale))
-        }
+        "movielens" => subdex::data::movielens::dataset(
+            subdex::data::movielens::default_params().scaled(scale),
+        ),
         "hotels" => {
             subdex::data::hotels::dataset(subdex::data::hotels::default_params().scaled(scale))
         }

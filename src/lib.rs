@@ -20,7 +20,9 @@
 //!   review-sentiment ingestion pipeline, and study workloads;
 //! * [`baselines`] — Smart Drill-Down and QAGView comparison systems;
 //! * [`sim`] — the simulated user-study harness;
-//! * [`stats`] — the numeric substrate (distributions, EMD, bounds, ANOVA).
+//! * [`stats`] — the numeric substrate (distributions, EMD, bounds, ANOVA);
+//! * [`service`] — a concurrent multi-session exploration server with a
+//!   shared group cache and bounded-queue backpressure.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 pub use subdex_baselines as baselines;
 pub use subdex_core as core;
 pub use subdex_data as data;
+pub use subdex_service as service;
 pub use subdex_sim as sim;
 pub use subdex_stats as stats;
 pub use subdex_store as store;
@@ -52,7 +55,6 @@ pub mod prelude {
         Recommendation, ScoredRatingMap, SdeEngine, StepResult,
     };
     pub use subdex_data::{GenParams, Insight, IrregularSpec};
-    pub use subdex_store::{
-        AttrValue, Entity, SelectionQuery, SubjectiveDb, Value,
-    };
+    pub use subdex_service::{ServiceConfig, SessionId, StepRequest, SubdexService, SubmitError};
+    pub use subdex_store::{AttrValue, Entity, GroupCache, SelectionQuery, SubjectiveDb, Value};
 }

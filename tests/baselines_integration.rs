@@ -41,10 +41,9 @@ fn baseline_ops_extend_queries_subdex_can_shrink() {
     let w = workload();
     // After a drill-down, SDD/QAGView candidates all extend the query;
     // SubDEx's candidate set includes at least one roll-up.
-    let young = w
-        .db
-        .pred(Entity::Reviewer, "age_group", &Value::str("young"))
-        .unwrap();
+    let young =
+        w.db.pred(Entity::Reviewer, "age_group", &Value::str("young"))
+            .unwrap();
     let q = SelectionQuery::from_preds(vec![young]);
 
     let sdd_ops = subdex::baselines::smart_drill_down(&w.db, &q, 3, &SddConfig::default());

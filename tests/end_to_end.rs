@@ -31,7 +31,10 @@ fn full_pipeline_generates_and_explores() {
     let next_q = step0.recommendations[0].query.clone();
     let step1 = engine.step(&next_q);
     assert_eq!(step1.step, 1);
-    assert_eq!(engine.seen().total_displayed(), (step0.maps.len() + step1.maps.len()) as u64);
+    assert_eq!(
+        engine.seen().total_displayed(),
+        (step0.maps.len() + step1.maps.len()) as u64
+    );
 }
 
 #[test]
@@ -64,8 +67,7 @@ fn session_modes_integrate() {
     let n = fa.auto_run(&SelectionQuery::all(), 4);
     assert_eq!(n, 4);
     // The path visits distinct queries.
-    let queries: std::collections::HashSet<_> =
-        fa.path().iter().map(|s| s.query.clone()).collect();
+    let queries: std::collections::HashSet<_> = fa.path().iter().map(|s| s.query.clone()).collect();
     assert!(queries.len() >= 2, "path should move somewhere");
 }
 
@@ -101,8 +103,12 @@ fn engine_on_single_dimension_dataset() {
 fn empty_selection_is_graceful() {
     let ds = yelp_small();
     let db = Arc::new(ds.db);
-    let male = db.pred(Entity::Reviewer, "gender", &Value::str("male")).unwrap();
-    let female = db.pred(Entity::Reviewer, "gender", &Value::str("female")).unwrap();
+    let male = db
+        .pred(Entity::Reviewer, "gender", &Value::str("male"))
+        .unwrap();
+    let female = db
+        .pred(Entity::Reviewer, "gender", &Value::str("female"))
+        .unwrap();
     let q = SelectionQuery::from_preds(vec![male, female]);
     let mut engine = SdeEngine::new(db, EngineConfig::default());
     let res = engine.step(&q);

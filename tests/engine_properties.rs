@@ -19,10 +19,7 @@ fn spec_db() -> impl Strategy<Value = SpecDb> {
         (
             prop::collection::vec((0u8..3, 0u8..3), n_rev),
             prop::collection::vec((0u8..3, 0u8..3), n_item),
-            prop::collection::vec(
-                (0..n_rev as u8, 0..n_item as u8, 1u8..=5, 1u8..=5),
-                8..60,
-            ),
+            prop::collection::vec((0..n_rev as u8, 0..n_item as u8, 1u8..=5, 1u8..=5), 8..60),
         )
             .prop_map(|(reviewers, items, ratings)| SpecDb {
                 reviewers,

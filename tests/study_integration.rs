@@ -127,7 +127,10 @@ fn second_run_excludes_first_finds() {
         &exclude,
     );
     for (t, _) in &second.found {
-        assert!(!exclude.contains(t), "second run must find *different* targets");
+        assert!(
+            !exclude.contains(t),
+            "second run must find *different* targets"
+        );
     }
 }
 

@@ -1,0 +1,10 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the piece this workspace uses: [`channel`] — multi-producer
+//! *multi-consumer* channels with bounded (backpressure-capable) and
+//! unbounded flavors. Implemented over `Mutex` + two `Condvar`s rather than
+//! the real crate's lock-free segments; at this workspace's request rates
+//! the difference is noise, and the semantics (clone-able `Receiver`,
+//! `try_send` returning `Full`, disconnect on last-handle drop) match.
+
+pub mod channel;

@@ -1,0 +1,33 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `true` or `false` with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The canonical boolean strategy, used as `prop::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_produces_both_values() {
+        let mut rng = TestRng::for_case("bool-any", 0, 0);
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(ANY.generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Collection strategies: `prop::collection::vec` and
+//! `prop::collection::hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Anything usable as a collection size: an exact length or a length range.
+pub trait SizeRange {
+    /// Picks a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty size range");
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<T>` with elements drawn from `element`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>`. The requested size is a target: if the element
+/// domain is too small to reach it, the set is returned with as many distinct
+/// elements as a bounded number of draws produced.
+pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    R: SizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    R: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(10).max(32) {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("collection-tests", 0, 0)
+    }
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut r = rng();
+        assert_eq!(vec(0u8..=9, 5usize).generate(&mut r).len(), 5);
+        for _ in 0..50 {
+            let v = vec(0u8..=9, 2..8).generate(&mut r);
+            assert!((2..8).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_has_distinct_elements() {
+        let mut r = rng();
+        let s = hash_set(0u32..1000, 6usize).generate(&mut r);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn hash_set_small_domain_terminates() {
+        let mut r = rng();
+        // Only 2 possible values but 10 requested: must not loop forever.
+        let s = hash_set(0u8..2, 10usize).generate(&mut r);
+        assert!(s.len() <= 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the slice of proptest's API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `prop_filter`,
+//! * range, tuple, boolean, string-pattern, and collection strategies.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **no shrinking** — a failing case reports the exact generated inputs
+//!   (they are deterministic per test name and case index, so a failure
+//!   reproduces by just re-running the test);
+//! * **fewer default cases** (32 instead of 256) — chosen for CI latency;
+//!   tests that need more set `ProptestConfig::with_cases` exactly as with
+//!   the real crate;
+//! * string strategies support the `.{m,n}` pattern family only, which is
+//!   what the workspace uses; anything else falls back to short random
+//!   printable strings.
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface the workspace's tests rely on.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// that runs `body` against `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is bound
+/// outside the per-test repetition so it may be repeated per test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __test_id = concat!(file!(), "::", stringify!($name));
+                let mut __case: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __case < __config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__test_id, __case, __rejects);
+                    let __vals = ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+ );
+                    let __repr = format!("{:#?}", &__vals);
+                    let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            let ( $($arg,)+ ) = __vals;
+                            $body
+                            Ok(())
+                        },
+                    ));
+                    match __outcome {
+                        Ok(Ok(())) => {
+                            __case += 1;
+                        }
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(__why))) => {
+                            __rejects += 1;
+                            if __rejects > __config.cases.saturating_mul(20).max(1000) {
+                                panic!(
+                                    "proptest '{}': too many rejected cases ({}): {}",
+                                    stringify!($name), __rejects, __why
+                                );
+                            }
+                        }
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(__why))) => {
+                            panic!(
+                                "proptest '{}' failed at case {}: {}\ninput: {}",
+                                stringify!($name), __case, __why, __repr
+                            );
+                        }
+                        Err(__panic) => {
+                            eprintln!(
+                                "proptest '{}' panicked at case {}\ninput: {}",
+                                stringify!($name), __case, __repr
+                            );
+                            ::std::panic::resume_unwind(__panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case (returns `Err(TestCaseError::Fail(..))`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+), __l, __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

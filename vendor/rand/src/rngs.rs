@@ -1,0 +1,76 @@
+//! Concrete generators: xoshiro256** seeded via SplitMix64.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard RNG (xoshiro256**).
+///
+/// Not the real `rand` crate's ChaCha12-based `StdRng` — see the crate docs.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Same generator as [`StdRng`]; the real crate distinguishes the two by
+/// speed/quality trade-off, which is irrelevant here.
+pub type SmallRng = StdRng;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.s = [n0, n1, n2, n3];
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_differ_across_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            assert!(seen.insert(r.next_u64()), "collision at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn no_short_cycles() {
+        let mut r = StdRng::seed_from_u64(0);
+        let first = r.next_u64();
+        for _ in 0..10_000 {
+            assert_ne!(r.next_u64(), first, "suspiciously short cycle");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. The workspace derives
+//! `Serialize`/`Deserialize` on several types but never serializes anything
+//! (there is no `serde_json` or other format crate in the tree), so this
+//! stand-in provides the two trait names and derive macros that expand to
+//! nothing. If a future PR introduces real serialization, replace this
+//! vendored crate with the real one (the API here is name-compatible).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not implement it; no code in this workspace
+/// requires the bound.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored `serde` stand-in.
+//!
+//! `#[derive(Serialize, Deserialize)]` must parse, but nothing in this
+//! workspace ever calls serialization, so both derives expand to an empty
+//! token stream (deriving a trait without generating an impl is valid; the
+//! bound is simply never satisfied — and never required).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
