@@ -8,11 +8,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subdex_bench::harness::{yelp_at, Scale};
 use subdex_core::accumulator::FamilyAccumulator;
+use subdex_core::generator::scan_block;
 use subdex_core::mapdist::map_distance;
 use subdex_core::selector::{select_diverse, SelectionStrategy};
 use subdex_stats::emd::emd_transport;
 use subdex_stats::HoeffdingSerfling;
-use subdex_store::{Entity, SelectionQuery};
+use subdex_store::{Column, DimId, Entity, ScanScratch, SelectionQuery, SubjectiveDb};
 
 fn bench_rating_group(c: &mut Criterion) {
     let ds = yelp_at(Scale::Study);
@@ -39,16 +40,98 @@ fn bench_rating_group(c: &mut Criterion) {
 fn bench_family_scan(c: &mut Criterion) {
     let ds = yelp_at(Scale::Study);
     let db = ds.db;
-    let group = db.rating_group(&SelectionQuery::all(), 1);
+    let group = db.scan_group(&SelectionQuery::all(), 1);
     let attr = db.items().schema().attr_by_name("cuisine").unwrap();
     let dims: Vec<_> = db.ratings().dims().collect();
+    let mut scratch = ScanScratch::new();
+    scratch.prepare_group(db.ratings(), &group);
     c.bench_function("family_scan_all_dims", |b| {
         b.iter(|| {
             let mut fam = FamilyAccumulator::new(&db, Entity::Item, attr, dims.clone());
-            fam.update(&db, group.records());
+            let block = scratch.gather_phase(db.ratings(), &group, 0..group.len(), &dims);
+            fam.update_block(&db, &block);
             black_box(fam.records_processed())
         })
     });
+}
+
+/// The pre-refactor row-at-a-time scan: per record, resolve the grouping
+/// entity's row, then per dimension fetch the score and bump the count —
+/// exactly what `FamilyAccumulator::update` used to do. The columnar
+/// kernels must beat this to justify the gather.
+fn rowwise_counts(
+    db: &SubjectiveDb,
+    entity: Entity,
+    attr: subdex_store::AttrId,
+    dims: &[DimId],
+    records: &[u32],
+) -> Vec<Vec<u64>> {
+    let table = db.table(entity);
+    let column = table.column(attr);
+    let ratings = db.ratings();
+    let scale = ratings.scale() as usize;
+    let value_count = table.dictionary(attr).len();
+    let mut counts = vec![vec![0u64; value_count * scale]; dims.len()];
+    for &rec in records {
+        let row = match entity {
+            Entity::Reviewer => ratings.reviewer_of(rec),
+            Entity::Item => ratings.item_of(rec),
+        };
+        for (dim_pos, &dim) in dims.iter().enumerate() {
+            let score = ratings.score(rec, dim) as usize;
+            match column {
+                Column::Single(codes) => {
+                    counts[dim_pos][codes[row as usize].index() * scale + score - 1] += 1;
+                }
+                Column::Multi(csr) => {
+                    for &v in csr.values(row) {
+                        counts[dim_pos][v.index() * scale + score - 1] += 1;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Columnar count kernels against the row-at-a-time baseline, for both
+/// column layouts and at several thread counts (the few-families worst case:
+/// a single family, where the old per-family parallelism had nothing to
+/// split). Numbers feed the scan-kernel entry in EXPERIMENTS.md.
+fn bench_scan_kernel(c: &mut Criterion) {
+    let ds = yelp_at(Scale::Study);
+    let db = ds.db;
+    let group = db.scan_group(&SelectionQuery::all(), 1);
+    let dims: Vec<DimId> = db.ratings().dims().collect();
+    let mut scratch = ScanScratch::new();
+    scratch.prepare_group(db.ratings(), &group);
+    for (name, entity, attr_name) in [
+        ("atomic_age_group", Entity::Reviewer, "age_group"),
+        ("csr_cuisine", Entity::Item, "cuisine"),
+    ] {
+        let attr = db.table(entity).schema().attr_by_name(attr_name).unwrap();
+        let mut g = c.benchmark_group(&format!("scan_kernel_{name}"));
+        g.bench_function("rowwise", |b| {
+            b.iter(|| black_box(rowwise_counts(&db, entity, attr, &dims, group.records())))
+        });
+        for threads in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new("columnar", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let mut fams =
+                            vec![FamilyAccumulator::new(&db, entity, attr, dims.clone())];
+                        let block =
+                            scratch.gather_phase(db.ratings(), &group, 0..group.len(), &dims);
+                        scan_block(&db, &mut fams, &block, threads);
+                        black_box(fams[0].records_processed())
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
 }
 
 fn bench_emd(c: &mut Criterion) {
@@ -156,6 +239,7 @@ criterion_group!(
     benches,
     bench_rating_group,
     bench_family_scan,
+    bench_scan_kernel,
     bench_emd,
     bench_gmm,
     bench_bounds,

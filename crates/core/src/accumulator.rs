@@ -8,11 +8,23 @@
 //! resolving the grouping value per record a single time and updating one
 //! count matrix per still-active dimension. Pruned dimensions are removed
 //! from the family; an empty family stops scanning entirely.
+//!
+//! Since the columnar refactor the accumulator consumes gathered
+//! [`ScanBlock`]s rather than raw record-id slices: entity rows and score
+//! bytes arrive pre-gathered (shared by every family on that entity side),
+//! and counting runs through one of two kernels — branch-free for atomic
+//! grouping attributes, CSR for multi-valued ones. The chunk-level
+//! [`FamilyAccumulator::accumulate_block`] entry point lets the scan
+//! parallelize over record chunks as well as families.
+
+use std::ops::Range;
 
 use crate::interest;
 use crate::ratingmap::{MapKey, RatingMap, Subgroup};
 use subdex_stats::RatingDistribution;
-use subdex_store::{AttrId, DimId, Entity, RecordId, SubjectiveDb};
+use subdex_store::{
+    AttrId, Column, DimId, Entity, RatingGroup, RecordId, ScanBlock, ScanScratch, SubjectiveDb,
+};
 
 /// Raw (unnormalized) criterion values of one candidate at some point of
 /// the phased scan.
@@ -91,33 +103,112 @@ impl FamilyAccumulator {
         }
     }
 
-    /// Scans one phase fraction, updating every active dimension — the
-    /// shared multi-aggregate GroupBy.
+    /// Scans one phase fraction given as a record-id slice — the shared
+    /// multi-aggregate GroupBy.
+    ///
+    /// Compatibility wrapper over the columnar kernel: it gathers a
+    /// throwaway [`ScanBlock`] for `phase` and feeds it to
+    /// [`update_block`](Self::update_block). Hot paths should gather once
+    /// per phase with a long-lived [`ScanScratch`] and call `update_block`
+    /// directly so the gather is shared by every family.
     pub fn update(&mut self, db: &SubjectiveDb, phase: &[RecordId]) {
         if self.dims.is_empty() || phase.is_empty() {
             return;
         }
-        let ratings = db.ratings();
-        let table = db.table(self.entity);
-        let column = table.column(self.attr);
+        let group = RatingGroup::with_order(phase.to_vec());
+        let mut scratch = ScanScratch::new();
+        scratch.prepare_group(db.ratings(), &group);
+        let dims = self.dims.clone();
+        let block = scratch.gather_phase(db.ratings(), &group, 0..phase.len(), &dims);
+        self.update_block(db, &block);
+    }
+
+    /// Scans one gathered block, updating every active dimension. This is
+    /// the hot path: entity rows and score buffers come pre-gathered, so
+    /// the kernels only stream over contiguous slices.
+    pub fn update_block(&mut self, db: &SubjectiveDb, block: &ScanBlock<'_>) {
+        if self.dims.is_empty() || block.is_empty() {
+            return;
+        }
+        let mut counts = std::mem::take(&mut self.counts);
+        self.accumulate_block(db, block, 0..block.len(), &mut counts);
+        self.counts = counts;
+        self.records_processed += block.len() as u64;
+    }
+
+    /// Runs the count kernels over `range` of `block`, accumulating into
+    /// `counts` (same shape as this family's matrices, see
+    /// [`fresh_counts`](Self::fresh_counts)). Takes `&self` so parallel
+    /// workers can each accumulate a chunk into a private matrix; the
+    /// caller merges with [`merge_counts`](Self::merge_counts) and advances
+    /// the record counter with
+    /// [`note_records_scanned`](Self::note_records_scanned).
+    ///
+    /// Two kernels, chosen by the grouping column's layout: a branch-free
+    /// one-add-per-record fast path for atomic (single-valued) attributes,
+    /// and the CSR path for multi-valued ones.
+    ///
+    /// # Panics
+    /// Panics if an active dimension was not gathered into `block`.
+    pub fn accumulate_block(
+        &self,
+        db: &SubjectiveDb,
+        block: &ScanBlock<'_>,
+        range: Range<usize>,
+        counts: &mut [Vec<u64>],
+    ) {
+        debug_assert_eq!(counts.len(), self.dims.len());
+        if self.dims.is_empty() || range.is_empty() {
+            return;
+        }
+        let column = db.table(self.entity).column(self.attr);
+        let rows = &block.entity_rows(self.entity)[range.clone()];
         let scale = self.scale;
-        // Borrow all score columns once.
-        let score_cols: Vec<&[u8]> = self.dims.iter().map(|&d| ratings.score_column(d)).collect();
-        for &rec in phase {
-            let row = match self.entity {
-                Entity::Reviewer => ratings.reviewer_of(rec),
-                Entity::Item => ratings.item_of(rec),
-            };
-            let values = column.values(row);
-            for (dim_pos, col) in score_cols.iter().enumerate() {
-                let score = col[rec as usize] as usize;
-                let counts = &mut self.counts[dim_pos];
-                for &v in values {
-                    counts[v.index() * scale + (score - 1)] += 1;
+        for (dim_pos, &dim) in self.dims.iter().enumerate() {
+            let scores = &block
+                .scores_for(dim)
+                .expect("active dimension not gathered into block")[range.clone()];
+            let counts = &mut counts[dim_pos];
+            match column {
+                Column::Single(codes) => {
+                    for (&row, &score) in rows.iter().zip(scores) {
+                        counts[codes[row as usize].index() * scale + (score as usize - 1)] += 1;
+                    }
+                }
+                Column::Multi(csr) => {
+                    for (&row, &score) in rows.iter().zip(scores) {
+                        let base = score as usize - 1;
+                        for &v in csr.values(row) {
+                            counts[v.index() * scale + base] += 1;
+                        }
+                    }
                 }
             }
         }
-        self.records_processed += phase.len() as u64;
+    }
+
+    /// A zeroed count matrix of this family's shape, for parallel workers'
+    /// private accumulation.
+    pub fn fresh_counts(&self) -> Vec<Vec<u64>> {
+        vec![vec![0u64; self.value_count * self.scale]; self.dims.len()]
+    }
+
+    /// Adds a worker's private count matrix into the family's. Addition on
+    /// `u64` is exact and commutative, so the merge order cannot change the
+    /// totals.
+    pub fn merge_counts(&mut self, partial: &[Vec<u64>]) {
+        assert_eq!(partial.len(), self.counts.len(), "count shape mismatch");
+        for (dst, src) in self.counts.iter_mut().zip(partial) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Advances the scanned-record counter after the caller merged all
+    /// chunk results of a phase.
+    pub fn note_records_scanned(&mut self, n: u64) {
+        self.records_processed += n;
     }
 
     /// The per-subgroup distributions (non-empty only) and the overall
@@ -288,6 +379,36 @@ mod tests {
 
         assert_eq!(whole.distributions(0), phased.distributions(0));
         assert_eq!(whole.records_processed(), phased.records_processed());
+    }
+
+    #[test]
+    fn chunked_accumulation_matches_whole_block() {
+        // Chunk + merge (the two-level parallel path) must equal one
+        // update_block call, for both the atomic and the CSR kernel.
+        let db = fixture::build();
+        let group = RatingGroup::with_order((0..8).collect());
+        let mut scratch = ScanScratch::new();
+        scratch.prepare_group(db.ratings(), &group);
+        for attr_name in ["city", "tags"] {
+            let attr = db.items().schema().attr_by_name(attr_name).unwrap();
+            let dims = vec![DimId(0), DimId(1)];
+            let block = scratch.gather_phase(db.ratings(), &group, 0..8, &dims);
+
+            let mut whole = FamilyAccumulator::new(&db, Entity::Item, attr, dims.clone());
+            whole.update_block(&db, &block);
+
+            let mut chunked = FamilyAccumulator::new(&db, Entity::Item, attr, dims.clone());
+            for range in [0..3, 3..5, 5..8] {
+                let mut partial = chunked.fresh_counts();
+                chunked.accumulate_block(&db, &block, range, &mut partial);
+                chunked.merge_counts(&partial);
+            }
+            chunked.note_records_scanned(8);
+
+            assert_eq!(whole.distributions(0), chunked.distributions(0));
+            assert_eq!(whole.distributions(1), chunked.distributions(1));
+            assert_eq!(whole.records_processed(), chunked.records_processed());
+        }
     }
 
     #[test]

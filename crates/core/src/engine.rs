@@ -19,7 +19,7 @@ use crate::utility::UtilityCombiner;
 use std::sync::Arc;
 use std::time::Duration;
 use subdex_stats::normalize::NormalizerKind;
-use subdex_store::{GroupCache, SelectionQuery, SubjectiveDb};
+use subdex_store::{GroupCache, ScanScratch, SelectionQuery, SubjectiveDb};
 
 /// Full engine configuration (defaults follow Table 3 of the paper).
 #[derive(Debug, Clone, Copy)]
@@ -198,6 +198,10 @@ pub struct StepResult {
     /// Wall-clock time between operation pick and display — the quantity
     /// Figures 10–11 report.
     pub elapsed: Duration,
+    /// Time the step's map generation spent in phase scans (gathering
+    /// blocks + count kernels); a component of `elapsed` the service
+    /// surfaces as a metric.
+    pub scan_elapsed: Duration,
     /// Candidates considered / pruned by CI / pruned by MAB.
     pub generator_stats: (usize, usize, usize),
 }
@@ -211,6 +215,9 @@ pub struct SdeEngine {
     normalizers: CriterionNormalizers,
     step_counter: usize,
     group_cache: Option<Arc<GroupCache>>,
+    /// Gather buffers reused across steps so steady-state phase scans
+    /// allocate nothing.
+    scratch: ScanScratch,
 }
 
 impl SdeEngine {
@@ -224,14 +231,16 @@ impl SdeEngine {
             config,
             step_counter: 0,
             group_cache: None,
+            scratch: ScanScratch::new(),
         }
     }
 
     /// Attaches a shared rating-group cache: group materialization (both
     /// the stepped query and every recommendation candidate) is looked up
     /// there first. Results are byte-identical with or without a cache —
-    /// the cache stores pre-shuffle record lists, and the per-step seed is
-    /// applied after lookup (see [`SubjectiveDb::group_for_query_cached`]).
+    /// the cache stores pre-shuffle gather columns, and the per-step seed
+    /// is applied after lookup (see
+    /// [`SubjectiveDb::group_for_query_cached`]).
     pub fn with_group_cache(mut self, cache: Arc<GroupCache>) -> Self {
         self.group_cache = Some(cache);
         self
@@ -282,18 +291,20 @@ impl SdeEngine {
             .wrapping_add(step as u64);
         let group = match &self.group_cache {
             Some(cache) => self.db.group_for_query_cached(query, seed, cache),
-            None => self.db.rating_group(query, seed),
+            None => self.db.scan_group(query, seed),
         };
         let gen_cfg = self.config.generator_config();
-        let out = generator::generate(
+        let out = generator::generate_with_scratch(
             &self.db,
             &group,
             query,
             &self.seen,
             &mut self.normalizers,
             &gen_cfg,
+            &mut self.scratch,
         );
         let (total, ci, mab) = (out.candidates_total, out.pruned_ci, out.pruned_mab);
+        let scan_elapsed = out.scan_time;
         let pool_size = self
             .config
             .selection
@@ -338,6 +349,7 @@ impl SdeEngine {
             maps,
             recommendations,
             elapsed: start.elapsed(),
+            scan_elapsed,
             generator_stats: (total, ci, mab),
         }
     }
@@ -453,6 +465,49 @@ mod tests {
         assert_eq!(cached, uncached);
         let stats = cache.stats();
         assert!(stats.hits > 0, "revisited queries must hit: {stats:?}");
+    }
+
+    #[test]
+    fn parallel_and_cache_variants_are_byte_identical() {
+        use subdex_store::GroupCache;
+        let db = db();
+        let queries = [
+            SelectionQuery::all(),
+            SelectionQuery::from_preds(vec![db
+                .pred(Entity::Item, "city", &Value::str("SF"))
+                .unwrap()]),
+            SelectionQuery::all(),
+        ];
+        let run = |parallel: bool, cache: Option<Arc<GroupCache>>| {
+            let cfg = EngineConfig {
+                parallel,
+                threads: if parallel { 4 } else { 0 },
+                ..EngineConfig::default()
+            };
+            let mut engine = SdeEngine::new(db.clone(), cfg);
+            engine.set_group_cache(cache);
+            queries
+                .iter()
+                .map(|q| {
+                    let r = engine.step(q);
+                    let keys: Vec<_> = r.maps.iter().map(|m| m.map.key).collect();
+                    let utils: Vec<_> = r.maps.iter().map(|m| m.dw_utility.to_bits()).collect();
+                    let recs: Vec<_> = r.recommendations.iter().map(|x| x.query.clone()).collect();
+                    (r.group_size, keys, utils, recs)
+                })
+                .collect::<Vec<_>>()
+        };
+        let reference = run(false, None);
+        for parallel in [false, true] {
+            for cached in [false, true] {
+                let cache = cached.then(|| Arc::new(GroupCache::new(1 << 20)));
+                assert_eq!(
+                    run(parallel, cache),
+                    reference,
+                    "parallel={parallel} cached={cached} diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! rating dimension), then consumes the group in `n` equal fractions of a
 //! random permutation. After each fraction it
 //!
-//! * updates the shared per-attribute accumulators (*sharing*, in parallel
-//!   across attribute families when enabled — the paper's "parallel query
-//!   execution"),
+//! * gathers the fraction into a columnar [`ScanBlock`] (entity rows and
+//!   score bytes resolved once, shared by every family) and updates the
+//!   shared per-attribute accumulators — in parallel over *families ×
+//!   record chunks* when enabled, so thread utilization no longer depends
+//!   on how many grouping attributes the schema has (the paper's "parallel
+//!   query execution", made two-level),
 //! * re-estimates each candidate's four normalized criteria and its
 //!   dimension-weighted utility,
 //! * applies confidence-interval pruning (Algorithm 3) and/or the
@@ -19,13 +22,17 @@
 //! must be displayed, so their final map has to be exact — but are exempt
 //! from further pruning decisions.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
 use crate::accumulator::{candidate_keys, FamilyAccumulator, RawScores};
+use crate::parallel::resolve_threads;
 use crate::pruning::{ci_survivors, utility_envelope, PruningStrategy, SarDecision, SarState};
 use crate::ratingmap::{RatingMap, ScoredRatingMap};
 use crate::utility::{CriterionScores, DimensionWeights, UtilityCombiner};
 use subdex_stats::normalize::{Normalizer, NormalizerKind, ScoreNormalizer};
 use subdex_stats::{ConfidenceInterval, HoeffdingSerfling, RatingDistribution};
-use subdex_store::{DimId, RatingGroup, SelectionQuery, SubjectiveDb};
+use subdex_store::{DimId, RatingGroup, ScanBlock, ScanScratch, SelectionQuery, SubjectiveDb};
 
 /// What the user has already seen: the inputs to dimension weighting
 /// (Algorithm 2) and global peculiarity.
@@ -171,6 +178,9 @@ pub struct GeneratorOutput {
     pub pruned_mab: usize,
     /// Candidates frozen into the top set by MAB accepts.
     pub accepted_mab: usize,
+    /// Wall-clock time spent gathering blocks and running the count
+    /// kernels (the phase-scan component of the run).
+    pub scan_time: Duration,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +200,10 @@ struct Candidate {
 
 /// Runs Algorithm 1 over `group` for the candidates admissible under
 /// `query`, returning every surviving map scored and ranked.
+///
+/// Allocates a throwaway [`ScanScratch`]; steady-state callers (the engine,
+/// the recommendation evaluator) should hold one scratch across steps and
+/// use [`generate_with_scratch`] so phase gathers reuse its buffers.
 pub fn generate(
     db: &SubjectiveDb,
     group: &RatingGroup,
@@ -197,6 +211,20 @@ pub fn generate(
     seen: &SeenContext,
     normalizers: &mut CriterionNormalizers,
     cfg: &GeneratorConfig,
+) -> GeneratorOutput {
+    let mut scratch = ScanScratch::new();
+    generate_with_scratch(db, group, query, seen, normalizers, cfg, &mut scratch)
+}
+
+/// [`generate`] with caller-provided gather buffers.
+pub fn generate_with_scratch(
+    db: &SubjectiveDb,
+    group: &RatingGroup,
+    query: &SelectionQuery,
+    seen: &SeenContext,
+    normalizers: &mut CriterionNormalizers,
+    cfg: &GeneratorConfig,
+    scratch: &mut ScanScratch,
 ) -> GeneratorOutput {
     let keys = candidate_keys(db, query);
     let mut families: Vec<FamilyAccumulator> = keys
@@ -223,22 +251,47 @@ pub fn generate(
         pruned_ci: 0,
         pruned_mab: 0,
         accepted_mab: 0,
+        scan_time: Duration::ZERO,
     };
     if candidates_total == 0 || group.is_empty() {
         return out;
     }
 
     let hs = HoeffdingSerfling::new(group.len() as u64, cfg.delta);
-    let phases = group.phases(cfg.phases.max(1));
+    let phase_ranges = group.phase_ranges(cfg.phases.max(1));
     let mut sar = SarState::new(cfg.k_prime.min(candidates_total));
     let seen_dists = seen.seen_distributions();
     let weights = seen.weights();
 
+    let threads = if cfg.parallel {
+        resolve_threads(cfg.threads)
+    } else {
+        1
+    };
+    let prepare_start = Instant::now();
+    scratch.prepare_group(db.ratings(), group);
+    out.scan_time += prepare_start.elapsed();
+
     let mut records_seen: u64 = 0;
-    let n_phases = phases.len();
-    for (phase_idx, phase) in phases.into_iter().enumerate() {
-        scan_phase(db, &mut families, phase, cfg);
-        records_seen += phase.len() as u64;
+    let mut dims_union: Vec<DimId> = Vec::new();
+    let n_phases = phase_ranges.len();
+    for (phase_idx, range) in phase_ranges.into_iter().enumerate() {
+        let phase_len = range.len();
+        // Union of every family's still-active dimensions: the score
+        // gather covers exactly what this phase's kernels will read.
+        dims_union.clear();
+        for fam in families.iter() {
+            dims_union.extend_from_slice(fam.dims());
+        }
+        dims_union.sort_unstable();
+        dims_union.dedup();
+        if phase_len > 0 && !dims_union.is_empty() {
+            let scan_start = Instant::now();
+            let block = scratch.gather_phase(db.ratings(), group, range, &dims_union);
+            scan_block(db, &mut families, &block, threads);
+            out.scan_time += scan_start.elapsed();
+        }
+        records_seen += phase_len as u64;
 
         // Re-estimate every non-pruned candidate from its partial counts.
         for cand in candidates.iter_mut() {
@@ -362,40 +415,94 @@ pub fn generate(
     out
 }
 
-/// Scans one phase fraction into every family, in parallel when enabled —
-/// the paper's "parallel query execution" sharing optimization.
-fn scan_phase(
+/// Smallest record chunk worth dispatching to a worker; below this the
+/// dispatch overhead dominates the kernel.
+const MIN_CHUNK: usize = 1024;
+
+/// Scans one gathered block into every non-exhausted family — the paper's
+/// "parallel query execution" sharing optimization, made two-level.
+///
+/// With `threads > 1` the work is split into *families × record chunks*
+/// tasks pulled from a shared counter, so thread utilization no longer
+/// depends on how many grouping attributes the schema has. Each worker
+/// accumulates into private count matrices via
+/// [`FamilyAccumulator::accumulate_block`]; the caller merges them in
+/// deterministic worker order afterwards — and since chunk counts are exact
+/// `u64` partial sums, any merge order would give byte-identical totals
+/// anyway.
+pub fn scan_block(
     db: &SubjectiveDb,
     families: &mut [FamilyAccumulator],
-    phase: &[subdex_store::RecordId],
-    cfg: &GeneratorConfig,
+    block: &ScanBlock<'_>,
+    threads: usize,
 ) {
-    if phase.is_empty() {
+    if block.is_empty() {
         return;
     }
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
-    if !cfg.parallel || threads <= 1 || families.len() <= 1 {
-        for fam in families.iter_mut() {
-            fam.update(db, phase);
+    let active: Vec<usize> = families
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_exhausted())
+        .map(|(i, _)| i)
+        .collect();
+    if active.is_empty() {
+        return;
+    }
+    let n = block.len();
+    let chunk = n.div_ceil(threads.max(1)).max(MIN_CHUNK).min(n);
+    let n_chunks = n.div_ceil(chunk);
+    let total_tasks = active.len() * n_chunks;
+    if threads <= 1 || total_tasks <= 1 {
+        for &fi in &active {
+            families[fi].update_block(db, block);
         }
         return;
     }
-    let chunk = families.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for slice in families.chunks_mut(chunk) {
-            s.spawn(move || {
-                for fam in slice {
-                    fam.update(db, phase);
-                }
-            });
-        }
+
+    let next = AtomicUsize::new(0);
+    let fams: &[FamilyAccumulator] = families;
+    let workers = threads.min(total_tasks);
+    // One private count-matrix set per (worker, active family), allocated
+    // lazily on the worker's first chunk of that family.
+    let locals: Vec<Vec<Option<Vec<Vec<u64>>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let active = &active;
+                s.spawn(move || {
+                    let mut local: Vec<Option<Vec<Vec<u64>>>> =
+                        (0..active.len()).map(|_| None).collect();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= total_tasks {
+                            break;
+                        }
+                        let (ai, ci) = (t / n_chunks, t % n_chunks);
+                        let fam = &fams[active[ai]];
+                        let start = ci * chunk;
+                        let end = (start + chunk).min(n);
+                        let counts = local[ai].get_or_insert_with(|| fam.fresh_counts());
+                        fam.accumulate_block(db, block, start..end, counts);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
     });
+    for local in locals {
+        for (ai, partial) in local.into_iter().enumerate() {
+            if let Some(partial) = partial {
+                families[active[ai]].merge_counts(&partial);
+            }
+        }
+    }
+    for &fi in &active {
+        families[fi].note_records_scanned(n as u64);
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +646,55 @@ mod tests {
         for (x, y) in a.pool.iter().zip(&b.pool) {
             assert_eq!(x.map.key, y.map.key);
             assert!((x.dw_utility - y.dw_utility).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_level_chunking_is_byte_identical() {
+        // 3600 records in one whole-group block → several record chunks per
+        // family at 4 threads, so the chunk level of the two-level scan is
+        // actually exercised (MIN_CHUNK = 1024).
+        let mut us = Schema::new();
+        us.add("gender", false);
+        let mut ub = EntityTableBuilder::new(us);
+        for i in 0..60 {
+            ub.push_row(vec![Cell::from(if i % 2 == 0 { "F" } else { "M" })]);
+        }
+        let mut is = Schema::new();
+        is.add("city", false);
+        let mut ib = EntityTableBuilder::new(is);
+        for i in 0..60 {
+            ib.push_row(vec![Cell::from(["NYC", "SF", "LA"][i % 3])]);
+        }
+        let mut rb = RatingTableBuilder::new(vec!["overall".into()], 5);
+        for r in 0..60u32 {
+            for i in 0..60u32 {
+                rb.push(r, i, &[1 + ((r * 7 + i * 3) % 5) as u8]);
+            }
+        }
+        let db = SubjectiveDb::new(ub.build(), ib.build(), rb.build(60, 60));
+
+        let q = SelectionQuery::all();
+        let group = db.scan_group(&q, 11);
+        let mut scratch = ScanScratch::new();
+        scratch.prepare_group(db.ratings(), &group);
+        let dims = vec![DimId(0)];
+        let keys = candidate_keys(&db, &q);
+        let make = || -> Vec<FamilyAccumulator> {
+            keys.iter()
+                .map(|(e, a, _)| FamilyAccumulator::new(&db, *e, *a, dims.clone()))
+                .collect()
+        };
+        let block = scratch.gather_phase(db.ratings(), &group, 0..group.len(), &dims);
+        let mut seq = make();
+        scan_block(&db, &mut seq, &block, 1);
+        for threads in [2, 4, 8] {
+            let mut par = make();
+            scan_block(&db, &mut par, &block, threads);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.distributions(0), b.distributions(0), "{threads} threads");
+                assert_eq!(a.records_processed(), b.records_processed());
+            }
         }
     }
 

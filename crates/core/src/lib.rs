@@ -45,6 +45,7 @@ pub mod explain;
 pub mod generator;
 pub mod interest;
 pub mod mapdist;
+pub mod parallel;
 pub mod personalize;
 pub mod pruning;
 pub mod ratingmap;
@@ -57,6 +58,7 @@ pub mod utility;
 
 pub use engine::{EngineConfig, SdeEngine, StepResult};
 pub use generator::SeenContext;
+pub use parallel::resolve_threads;
 pub use pruning::PruningStrategy;
 pub use ratingmap::{MapKey, RatingMap, ScoredRatingMap};
 pub use recommend::Recommendation;

@@ -1,0 +1,35 @@
+//! Thread-count resolution shared by every parallel code path.
+//!
+//! The generator's phase scan, the recommendation evaluator, the simulation
+//! study runner, and the service worker pool all accept a thread count where
+//! `0` means "use every available core". This module is the single home of
+//! that convention.
+
+/// Resolves a requested thread count: `0` means one thread per available
+/// core (falling back to 1 when parallelism cannot be queried), any other
+/// value is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_count_is_passed_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn zero_resolves_to_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+    }
+}

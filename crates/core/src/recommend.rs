@@ -17,7 +17,7 @@ use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext}
 use crate::ratingmap::ScoredRatingMap;
 use crate::selector::{select_diverse, SelectionStrategy};
 use std::collections::HashSet;
-use subdex_store::{AttrValue, Entity, GroupCache, SelectionQuery, SubjectiveDb};
+use subdex_store::{AttrValue, Entity, GroupCache, ScanScratch, SelectionQuery, SubjectiveDb};
 
 /// One recommended next-step operation.
 #[derive(Debug, Clone)]
@@ -222,14 +222,15 @@ pub fn recommend(
         return Vec::new();
     }
 
-    let evaluate = |q: &SelectionQuery| -> Recommendation {
+    let evaluate = |q: &SelectionQuery, scratch: &mut ScanScratch| -> Recommendation {
         let group_seed = seed ^ fxhash(q);
         let group = match cache {
             Some(c) => db.group_for_query_cached(q, group_seed, c),
-            None => db.rating_group(q, group_seed),
+            None => db.scan_group(q, group_seed),
         };
         let mut norms = normalizers.clone();
-        let out = generator::generate(db, &group, q, seen, &mut norms, gen_cfg);
+        let out =
+            generator::generate_with_scratch(db, &group, q, seen, &mut norms, gen_cfg, scratch);
         let pool_size = cfg.selection.pool_size(cfg.k, out.pool.len());
         let pool: Vec<ScoredRatingMap> = out.pool.into_iter().take(pool_size.max(cfg.k)).collect();
         let maps = select_diverse(pool, cfg.k, cfg.selection);
@@ -242,13 +243,7 @@ pub fn recommend(
         }
     };
 
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
+    let threads = crate::parallel::resolve_threads(cfg.threads);
 
     let mut recs: Vec<Recommendation> = if cfg.parallel && threads > 1 && candidates.len() > 1 {
         let chunk = candidates.len().div_ceil(threads);
@@ -256,7 +251,16 @@ pub fn recommend(
         std::thread::scope(|s| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
-                .map(|slice| s.spawn(|| slice.iter().map(evaluate).collect::<Vec<_>>()))
+                .map(|slice| {
+                    s.spawn(|| {
+                        // One scratch per worker, reused across its slice.
+                        let mut scratch = ScanScratch::new();
+                        slice
+                            .iter()
+                            .map(|q| evaluate(q, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
                 .collect();
             for h in handles {
                 results.push(h.join().expect("recommendation worker panicked"));
@@ -264,7 +268,11 @@ pub fn recommend(
         });
         results.into_iter().flatten().collect()
     } else {
-        candidates.iter().map(evaluate).collect()
+        let mut scratch = ScanScratch::new();
+        candidates
+            .iter()
+            .map(|q| evaluate(q, &mut scratch))
+            .collect()
     };
 
     recs.retain(|r| r.group_size > 0);

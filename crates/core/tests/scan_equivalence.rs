@@ -1,0 +1,264 @@
+//! Property tests pinning the columnar scan layer to a naive per-record
+//! reference: over randomized databases (atomic and multi-valued grouping
+//! attributes), the gathered-block kernels must produce exactly the counts
+//! a record-at-a-time loop produces, and the generator's final pool must be
+//! byte-identical across parallelism, chunking, and group construction
+//! paths, for every pruning mode.
+
+use proptest::prelude::*;
+use proptest::strategy::Just;
+
+use subdex_core::accumulator::{candidate_keys, FamilyAccumulator};
+use subdex_core::generator::{self, CriterionNormalizers, GeneratorConfig};
+use subdex_core::{PruningStrategy, SeenContext};
+use subdex_stats::RatingDistribution;
+use subdex_store::{
+    table::EntityTableBuilder, Cell, DimId, Entity, RatingGroup, ScanScratch, Schema,
+    SelectionQuery, SubjectiveDb, Value, ValueId,
+};
+
+const SCALE: u8 = 5;
+
+/// Blueprint for one randomized database.
+#[derive(Debug, Clone)]
+struct DbSpec {
+    /// Reviewer attribute value index (0..3) per reviewer.
+    reviewer_attr: Vec<usize>,
+    /// Item city value index (0..3) per item.
+    item_city: Vec<usize>,
+    /// Tag subset per item (multi-valued attribute, possibly empty).
+    item_tags: Vec<Vec<bool>>,
+    /// Rating dimension count (1..=3).
+    dims: usize,
+    /// `(reviewer, item, scores)` triples; deduped by (reviewer, item).
+    ratings: Vec<(u32, u32, Vec<u8>)>,
+}
+
+fn db_spec() -> impl Strategy<Value = DbSpec> {
+    (2usize..8, 2usize..6, 1usize..=3)
+        .prop_flat_map(|(n_reviewers, n_items, dims)| {
+            (
+                prop::collection::vec(0usize..3, n_reviewers),
+                prop::collection::vec(0usize..3, n_items),
+                prop::collection::vec(prop::collection::vec(prop::bool::ANY, 3usize), n_items),
+                Just(dims),
+                prop::collection::vec(
+                    (
+                        0..n_reviewers as u32,
+                        0..n_items as u32,
+                        prop::collection::vec(1u8..=SCALE, dims),
+                    ),
+                    1..40,
+                ),
+            )
+        })
+        .prop_map(|(reviewer_attr, item_city, item_tags, dims, mut ratings)| {
+            // The rating table is keyed by (reviewer, item); keep the
+            // first occurrence of each pair.
+            let mut seen = std::collections::HashSet::new();
+            ratings.retain(|&(r, i, _)| seen.insert((r, i)));
+            DbSpec {
+                reviewer_attr,
+                item_city,
+                item_tags,
+                dims,
+                ratings,
+            }
+        })
+}
+
+fn build_db(spec: &DbSpec) -> SubjectiveDb {
+    let mut us = Schema::new();
+    us.add("group", false);
+    let mut ub = EntityTableBuilder::new(us);
+    for &v in &spec.reviewer_attr {
+        ub.push_row(vec![Cell::from(["a", "b", "c"][v])]);
+    }
+    let mut is = Schema::new();
+    is.add("city", false);
+    is.add("tags", true);
+    let mut ib = EntityTableBuilder::new(is);
+    for (&city, tags) in spec.item_city.iter().zip(&spec.item_tags) {
+        let tag_values = ["t0", "t1", "t2"]
+            .iter()
+            .zip(tags)
+            .filter(|(_, &on)| on)
+            .map(|(t, _)| Value::str(*t))
+            .collect();
+        ib.push_row(vec![
+            Cell::from(["NYC", "SF", "LA"][city]),
+            Cell::Many(tag_values),
+        ]);
+    }
+    let dim_names = (0..spec.dims).map(|d| format!("d{d}")).collect();
+    let mut rb = subdex_store::ratings::RatingTableBuilder::new(dim_names, SCALE);
+    for (r, i, scores) in &spec.ratings {
+        rb.push(*r, *i, scores);
+    }
+    SubjectiveDb::new(
+        ub.build(),
+        ib.build(),
+        rb.build(spec.reviewer_attr.len(), spec.item_city.len()),
+    )
+}
+
+/// Record-at-a-time reference: resolve each record's entity row, then bump
+/// one count per (dimension, grouping value, score). This is the loop the
+/// columnar kernels replaced.
+fn naive_counts(
+    db: &SubjectiveDb,
+    entity: Entity,
+    attr: subdex_store::AttrId,
+    dims: &[DimId],
+    records: &[u32],
+) -> Vec<Vec<u64>> {
+    let table = db.table(entity);
+    let ratings = db.ratings();
+    let scale = SCALE as usize;
+    let value_count = table.dictionary(attr).len();
+    let mut counts = vec![vec![0u64; value_count * scale]; dims.len()];
+    for &rec in records {
+        let row = match entity {
+            Entity::Reviewer => ratings.reviewer_of(rec),
+            Entity::Item => ratings.item_of(rec),
+        };
+        for (dim_pos, &dim) in dims.iter().enumerate() {
+            let score = ratings.score(rec, dim) as usize;
+            for &v in table.values(row, attr) {
+                counts[dim_pos][v.index() * scale + score - 1] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Distributions exactly as [`FamilyAccumulator::distributions`] reports
+/// them: non-empty subgroups only, plus the merged overall distribution.
+fn distributions_from_counts(
+    counts: &[u64],
+    value_count: usize,
+) -> (Vec<(ValueId, RatingDistribution)>, RatingDistribution) {
+    let scale = SCALE as usize;
+    let mut subs = Vec::new();
+    let mut overall = RatingDistribution::new(scale);
+    for v in 0..value_count {
+        let slice = &counts[v * scale..(v + 1) * scale];
+        if slice.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let dist = RatingDistribution::from_counts(slice.to_vec());
+        overall.merge(&dist);
+        subs.push((ValueId(v as u32), dist));
+    }
+    (subs, overall)
+}
+
+/// Fingerprint of a generator pool: key plus bit-exact utility scores.
+fn pool_fingerprint(out: &generator::GeneratorOutput) -> Vec<(String, u64, u64)> {
+    out.pool
+        .iter()
+        .map(|m| {
+            (
+                format!("{:?}", m.map.key),
+                m.utility.to_bits(),
+                m.dw_utility.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn run_generate(
+    db: &SubjectiveDb,
+    group: &RatingGroup,
+    pruning: PruningStrategy,
+    parallel: bool,
+    threads: usize,
+) -> generator::GeneratorOutput {
+    let q = SelectionQuery::all();
+    let seen = SeenContext::new(db.ratings().dim_count());
+    let mut norms = CriterionNormalizers::new(Default::default());
+    let cfg = GeneratorConfig {
+        pruning,
+        parallel,
+        threads,
+        phases: 4,
+        ..GeneratorConfig::default()
+    };
+    generator::generate(db, group, &q, &seen, &mut norms, &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both kernels (atomic "group"/"city", CSR "tags") must reproduce the
+    /// naive per-record counts exactly, whole-block and chunked.
+    #[test]
+    fn kernel_counts_match_naive_reference(spec in db_spec()) {
+        let db = build_db(&spec);
+        let group = db.scan_group(&SelectionQuery::all(), 42);
+        prop_assume!(!group.is_empty());
+        let dims: Vec<DimId> = db.ratings().dims().collect();
+        let mut scratch = ScanScratch::new();
+        scratch.prepare_group(db.ratings(), &group);
+
+        for (entity, attr, fam_dims) in candidate_keys(&db, &SelectionQuery::all()) {
+            let value_count = db.table(entity).dictionary(attr).len();
+            let naive = naive_counts(&db, entity, attr, &fam_dims, group.records());
+
+            // Whole block through update_block.
+            let mut fam = FamilyAccumulator::new(&db, entity, attr, fam_dims.clone());
+            let block = scratch.gather_phase(db.ratings(), &group, 0..group.len(), &dims);
+            fam.update_block(&db, &block);
+            for (dim_pos, counts) in naive.iter().enumerate() {
+                prop_assert_eq!(
+                    fam.distributions(dim_pos),
+                    distributions_from_counts(counts, value_count)
+                );
+            }
+            prop_assert_eq!(fam.records_processed(), group.len() as u64);
+
+            // Chunked through scan_block at several thread counts.
+            for threads in [1usize, 2, 3] {
+                let mut fams =
+                    vec![FamilyAccumulator::new(&db, entity, attr, fam_dims.clone())];
+                let block = scratch.gather_phase(db.ratings(), &group, 0..group.len(), &dims);
+                generator::scan_block(&db, &mut fams, &block, threads);
+                for (dim_pos, counts) in naive.iter().enumerate() {
+                    prop_assert_eq!(
+                        fams[0].distributions(dim_pos),
+                        distributions_from_counts(counts, value_count)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The generator's final rating-map pool must be byte-identical across
+    /// every pruning mode × parallelism setting, and across the two group
+    /// construction paths (in-place shuffle vs gathered columns — the
+    /// uncached and cached paths respectively).
+    #[test]
+    fn generate_identical_across_modes(spec in db_spec()) {
+        let db = build_db(&spec);
+        let q = SelectionQuery::all();
+        let group = db.rating_group(&q, 7);
+        prop_assume!(!group.is_empty());
+        let columnar = db.scan_group(&q, 7);
+        prop_assert_eq!(group.records(), columnar.records());
+
+        for pruning in [
+            PruningStrategy::None,
+            PruningStrategy::ConfidenceInterval,
+            PruningStrategy::Mab,
+            PruningStrategy::Both,
+        ] {
+            let reference = pool_fingerprint(&run_generate(&db, &group, pruning, false, 0));
+            for threads in [2usize, 4] {
+                let parallel = run_generate(&db, &group, pruning, true, threads);
+                prop_assert_eq!(&pool_fingerprint(&parallel), &reference);
+            }
+            let via_columns = run_generate(&db, &columnar, pruning, false, 0);
+            prop_assert_eq!(&pool_fingerprint(&via_columns), &reference);
+        }
+    }
+}

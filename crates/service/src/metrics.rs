@@ -26,6 +26,8 @@ pub struct ServiceMetrics {
     rejected: AtomicU64,
     queue_depth_hwm: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+    /// Cumulative time steps spent in phase scans, in microseconds.
+    scan_time_us: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -51,6 +53,14 @@ impl ServiceMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accumulates the phase-scan component of one served step (the
+    /// engine's `StepResult::scan_elapsed`), so operators can see how much
+    /// of the service's work is the scan kernels versus everything else.
+    pub fn record_scan_time(&self, scan: Duration) {
+        let us = scan.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.scan_time_us.fetch_add(us, Ordering::Relaxed);
+    }
+
     /// Folds an observed queue depth into the high-water mark.
     pub fn observe_queue_depth(&self, depth: usize) {
         self.queue_depth_hwm
@@ -69,6 +79,7 @@ impl ServiceMetrics {
                 .zip(&self.latency_buckets)
                 .map(|(&bound, count)| (bound, count.load(Ordering::Relaxed)))
                 .collect(),
+            scan_time_total: Duration::from_micros(self.scan_time_us.load(Ordering::Relaxed)),
             cache,
         }
     }
@@ -86,6 +97,8 @@ pub struct MetricsSnapshot {
     /// `(upper bound in µs, count)` per latency bucket; the final bound is
     /// `u64::MAX` (overflow bucket).
     pub latency_buckets: Vec<(u64, u64)>,
+    /// Total time served steps spent in phase scans (µs resolution).
+    pub scan_time_total: Duration,
     /// Shared group-cache statistics (None when caching is disabled).
     pub cache: Option<CacheStats>,
 }
@@ -101,8 +114,11 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "served {} | rejected {} | queue hwm {}",
-            self.requests_served, self.requests_rejected, self.queue_depth_hwm
+            "served {} | rejected {} | queue hwm {} | scan {}µs",
+            self.requests_served,
+            self.requests_rejected,
+            self.queue_depth_hwm,
+            self.scan_time_total.as_micros()
         )?;
         if let Some(c) = &self.cache {
             writeln!(
@@ -141,6 +157,16 @@ mod tests {
         assert_eq!(snap.latency_count(), 2);
         assert_eq!(snap.latency_buckets[1], (1_000, 1));
         assert_eq!(snap.latency_buckets.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn scan_time_accumulates() {
+        let m = ServiceMetrics::new();
+        m.record_scan_time(Duration::from_micros(300));
+        m.record_scan_time(Duration::from_micros(700));
+        let snap = m.snapshot(None);
+        assert_eq!(snap.scan_time_total, Duration::from_micros(1_000));
+        assert!(snap.to_string().contains("scan 1000µs"));
     }
 
     #[test]

@@ -30,7 +30,8 @@ use subdex_store::{GroupCache, SelectionQuery, SubjectiveDb};
 /// Service-level configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Worker threads executing steps.
+    /// Worker threads executing steps; `0` means one per available core
+    /// (resolved through [`subdex_core::resolve_threads`]).
     pub workers: usize,
     /// Bounded submit-queue capacity; submissions beyond it are rejected.
     pub queue_capacity: usize,
@@ -175,12 +176,13 @@ pub struct SubdexService {
 }
 
 impl SubdexService {
-    /// Starts the worker pool over `db`.
+    /// Starts the worker pool over `db`. `config.workers == 0` spawns one
+    /// worker per available core.
     ///
     /// # Panics
-    /// Panics if `config.workers == 0` or `config.queue_capacity == 0`.
+    /// Panics if `config.queue_capacity == 0`.
     pub fn start(db: Arc<SubjectiveDb>, config: ServiceConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
+        let worker_count = subdex_core::resolve_threads(config.workers);
         assert!(config.queue_capacity > 0, "need a nonzero queue");
         let registry = Arc::new(SessionRegistry::new());
         let metrics = Arc::new(ServiceMetrics::new());
@@ -188,7 +190,7 @@ impl SubdexService {
             .cache_enabled
             .then(|| Arc::new(GroupCache::new(config.cache_capacity_bytes)));
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity);
-        let workers = (0..config.workers)
+        let workers = (0..worker_count)
             .map(|_| {
                 let rx = rx.clone();
                 let registry = Arc::clone(&registry);
@@ -338,6 +340,7 @@ fn worker_loop(rx: &Receiver<Job>, registry: &SessionRegistry, metrics: &Service
             None => Err(ServiceError::UnknownSession(job.session)),
             Some(Ok(step)) => {
                 metrics.record_served(job.submitted.elapsed());
+                metrics.record_scan_time(step.scan_elapsed);
                 Ok(step)
             }
             Some(Err(e)) => Err(e),
@@ -424,6 +427,20 @@ mod tests {
         assert_eq!(m.requests_rejected, 0);
         let cache = m.cache.expect("cache enabled by default");
         assert!(cache.misses > 0);
+    }
+
+    #[test]
+    fn zero_workers_means_one_per_core() {
+        let config = ServiceConfig {
+            workers: 0,
+            ..quick_config()
+        };
+        let service = SubdexService::start(test_db(), config);
+        let id = service.create_session();
+        let step = service
+            .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        assert_eq!(step.step, 0);
     }
 
     #[test]

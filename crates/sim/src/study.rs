@@ -449,9 +449,7 @@ fn run_study_impl(w: &Workload, w2: Option<&Workload>, cfg: &StudyConfig) -> Stu
         };
 
         let results: Vec<(usize, [ExplorationMode; 2], usize, usize)> = if cfg.parallel {
-            let threads = std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(1);
+            let threads = subdex_core::resolve_threads(0);
             let chunk = subject_runs.len().div_ceil(threads);
             let mut collected = Vec::new();
             std::thread::scope(|s| {

@@ -1,4 +1,4 @@
-//! Cross-session cache of materialized rating-group record lists.
+//! Cross-session cache of materialized rating-group gather columns.
 //!
 //! Materializing a rating group is the dominant per-step cost on large
 //! databases (an adjacency walk over every matching reviewer or item).
@@ -6,20 +6,25 @@
 //! recommendation builder proposes the same drill-downs to everyone — so
 //! [`GroupCache`] shares the walk result across sessions.
 //!
-//! What is cached is the **pre-shuffle record list in deterministic walk
-//! order** ([`SubjectiveDb::collect_group_records`]), *not* the shuffled
+//! What is cached is the **pre-shuffle [`GroupColumns`]** — the record list
+//! in deterministic walk order plus both entity-row gather columns
+//! ([`SubjectiveDb::collect_group_columns`]) — *not* the shuffled
 //! [`RatingGroup`]: the phase-order shuffle depends on the per-step seed,
 //! so caching after the shuffle would either leak one session's phase order
-//! into another or break seed determinism. Callers re-shuffle the shared
-//! list with their own seed, making the cached path byte-identical to the
-//! uncached one.
+//! into another or break seed determinism. Callers permute an index vector
+//! with their own seed and gather from the shared columns
+//! ([`RatingGroup::from_columns`]), making the cached path byte-identical
+//! to the uncached one while also sharing the `reviewer_of`/`item_of`
+//! gather that the scan kernels consume.
 //!
 //! Eviction is least-recently-used by resident bytes: each entry is costed
-//! at its record-vector size plus a fixed per-entry overhead, and inserts
-//! evict the least recently touched entries until the configured budget is
-//! respected again.
+//! at its gathered-column size (records plus both row columns, 12 bytes per
+//! record) plus a fixed per-entry overhead, and inserts evict the least
+//! recently touched entries until the configured budget is respected again.
 //!
-//! [`SubjectiveDb::collect_group_records`]: crate::database::SubjectiveDb::collect_group_records
+//! [`SubjectiveDb::collect_group_columns`]: crate::database::SubjectiveDb::collect_group_columns
+//! [`RatingGroup`]: crate::group::RatingGroup
+//! [`RatingGroup::from_columns`]: crate::group::RatingGroup::from_columns
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,10 +33,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::predicate::SelectionQuery;
-use crate::ratings::RecordId;
+use crate::scan::GroupColumns;
 
 /// Fixed per-entry bookkeeping cost (key, map slot, counters), added to the
-/// record payload when charging an entry against the byte budget.
+/// column payload when charging an entry against the byte budget.
 const ENTRY_OVERHEAD_BYTES: usize = 128;
 
 /// Counters describing cache effectiveness; see [`GroupCache::stats`].
@@ -62,7 +67,7 @@ impl CacheStats {
 }
 
 struct Entry {
-    records: Arc<Vec<RecordId>>,
+    columns: Arc<GroupColumns>,
     /// Logical clock value of the most recent touch.
     last_used: u64,
     /// What this entry charges against the byte budget.
@@ -76,7 +81,7 @@ struct Inner {
     resident_bytes: usize,
 }
 
-/// A thread-safe LRU cache of rating-group record lists, keyed by
+/// A thread-safe LRU cache of rating-group gather columns, keyed by
 /// canonicalized [`SelectionQuery`] and bounded by resident bytes.
 ///
 /// Shared across sessions behind an [`Arc`]; all methods take `&self`.
@@ -99,7 +104,7 @@ impl std::fmt::Debug for GroupCache {
 }
 
 impl GroupCache {
-    /// Creates a cache bounded to roughly `capacity_bytes` of record data.
+    /// Creates a cache bounded to roughly `capacity_bytes` of column data.
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
             inner: Mutex::new(Inner {
@@ -119,9 +124,9 @@ impl GroupCache {
         self.capacity_bytes
     }
 
-    /// Returns the cached record list for `query`, materializing it with
-    /// `materialize` on a miss. The returned [`Arc`] stays valid even if the
-    /// entry is evicted while the caller holds it.
+    /// Returns the cached gather columns for `query`, materializing them
+    /// with `materialize` on a miss. The returned [`Arc`] stays valid even
+    /// if the entry is evicted while the caller holds it.
     ///
     /// `materialize` runs *outside* the cache lock, so a slow walk does not
     /// block other sessions; if two sessions miss on the same query
@@ -134,8 +139,8 @@ impl GroupCache {
     pub fn get_or_insert_with(
         &self,
         query: &SelectionQuery,
-        materialize: impl FnOnce() -> Vec<RecordId>,
-    ) -> Arc<Vec<RecordId>> {
+        materialize: impl FnOnce() -> GroupColumns,
+    ) -> Arc<GroupColumns> {
         debug_assert!(query.is_canonical(), "cache key must be canonical");
         {
             let mut inner = self.inner.lock();
@@ -144,12 +149,12 @@ impl GroupCache {
             if let Some(entry) = inner.map.get_mut(query) {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.records);
+                return Arc::clone(&entry.columns);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let records = Arc::new(materialize());
-        let bytes = records.len() * std::mem::size_of::<RecordId>() + ENTRY_OVERHEAD_BYTES;
+        let columns = Arc::new(materialize());
+        let bytes = columns.resident_bytes() + ENTRY_OVERHEAD_BYTES;
 
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -158,19 +163,19 @@ impl GroupCache {
         // concurrent callers converge on one allocation.
         if let Some(entry) = inner.map.get_mut(query) {
             entry.last_used = tick;
-            return Arc::clone(&entry.records);
+            return Arc::clone(&entry.columns);
         }
         inner.map.insert(
             query.clone(),
             Entry {
-                records: Arc::clone(&records),
+                columns: Arc::clone(&columns),
                 last_used: tick,
                 bytes,
             },
         );
         inner.resident_bytes += bytes;
         self.evict_to_budget(&mut inner);
-        records
+        columns
     }
 
     /// Evicts least-recently-used entries until the budget is respected.
@@ -244,15 +249,25 @@ mod tests {
         )])
     }
 
-    /// Budget that fits `n` entries of `len` records each.
+    /// Synthetic gather columns with `len` records.
+    fn cols(len: u32) -> GroupColumns {
+        GroupColumns {
+            records: (0..len).collect(),
+            reviewer_rows: vec![0; len as usize],
+            item_rows: vec![0; len as usize],
+        }
+    }
+
+    /// Budget that fits `n` entries of `len` records each. Gather columns
+    /// cost 12 bytes per record (record id + reviewer row + item row).
     fn budget_for(n: usize, len: usize) -> usize {
-        n * (len * std::mem::size_of::<RecordId>() + ENTRY_OVERHEAD_BYTES)
+        n * (len * 12 + ENTRY_OVERHEAD_BYTES)
     }
 
     #[test]
     fn hit_returns_same_allocation() {
         let cache = GroupCache::new(budget_for(4, 10));
-        let a = cache.get_or_insert_with(&q(0, 0), || (0..10).collect());
+        let a = cache.get_or_insert_with(&q(0, 0), || cols(10));
         let b = cache.get_or_insert_with(&q(0, 0), || panic!("must not rematerialize"));
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
@@ -261,13 +276,21 @@ mod tests {
     }
 
     #[test]
+    fn entry_cost_includes_gather_columns() {
+        let cache = GroupCache::new(budget_for(4, 10));
+        cache.get_or_insert_with(&q(0, 0), || cols(10));
+        // 12 bytes per record: the row columns are charged, not just ids.
+        assert_eq!(cache.stats().resident_bytes, 10 * 12 + ENTRY_OVERHEAD_BYTES);
+    }
+
+    #[test]
     fn lru_evicts_least_recently_used() {
         let cache = GroupCache::new(budget_for(2, 10));
-        cache.get_or_insert_with(&q(0, 0), || (0..10).collect());
-        cache.get_or_insert_with(&q(0, 1), || (0..10).collect());
+        cache.get_or_insert_with(&q(0, 0), || cols(10));
+        cache.get_or_insert_with(&q(0, 1), || cols(10));
         // Touch (0,0) so (0,1) is the LRU entry.
         cache.get_or_insert_with(&q(0, 0), || unreachable!());
-        cache.get_or_insert_with(&q(0, 2), || (0..10).collect());
+        cache.get_or_insert_with(&q(0, 2), || cols(10));
         assert!(cache.contains(&q(0, 0)), "recently used entry kept");
         assert!(!cache.contains(&q(0, 1)), "LRU entry evicted");
         assert!(cache.contains(&q(0, 2)));
@@ -279,11 +302,11 @@ mod tests {
         // Budget fits four small entries or one big one.
         let cache = GroupCache::new(budget_for(4, 10));
         for v in 0..4 {
-            cache.get_or_insert_with(&q(0, v), || (0..10).collect());
+            cache.get_or_insert_with(&q(0, v), || cols(10));
         }
         assert_eq!(cache.len(), 4);
         // One entry with 4x the records forces several evictions.
-        cache.get_or_insert_with(&q(1, 0), || (0..40).collect());
+        cache.get_or_insert_with(&q(1, 0), || cols(40));
         assert!(cache.stats().resident_bytes <= cache.capacity_bytes());
         assert!(cache.contains(&q(1, 0)));
     }
@@ -291,18 +314,35 @@ mod tests {
     #[test]
     fn oversized_entry_still_returned() {
         let cache = GroupCache::new(16); // smaller than any entry
-        let records = cache.get_or_insert_with(&q(0, 0), || (0..100).collect());
-        assert_eq!(records.len(), 100);
+        let columns = cache.get_or_insert_with(&q(0, 0), || cols(100));
+        assert_eq!(columns.len(), 100);
         // It may not stay resident, but the caller's Arc is intact.
-        cache.get_or_insert_with(&q(0, 1), || (0..100).collect());
-        assert_eq!(records.len(), 100);
+        cache.get_or_insert_with(&q(0, 1), || cols(100));
+        assert_eq!(columns.len(), 100);
         assert!(cache.stats().resident_bytes <= 2 * budget_for(1, 100));
+    }
+
+    #[test]
+    fn stats_stay_consistent_across_evictions() {
+        let cache = GroupCache::new(budget_for(2, 10));
+        for v in 0..6 {
+            cache.get_or_insert_with(&q(0, v), || cols(10));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.evictions, 4);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(
+            stats.resident_bytes,
+            stats.entries * (10 * 12 + ENTRY_OVERHEAD_BYTES),
+            "resident bytes must equal the sum of resident entry costs"
+        );
     }
 
     #[test]
     fn clear_resets_entries_but_keeps_counters() {
         let cache = GroupCache::new(budget_for(4, 10));
-        cache.get_or_insert_with(&q(0, 0), || (0..10).collect());
+        cache.get_or_insert_with(&q(0, 0), || cols(10));
         cache.get_or_insert_with(&q(0, 0), || unreachable!());
         cache.clear();
         assert!(cache.is_empty());

@@ -114,6 +114,13 @@ pub enum CsvError {
         /// 1-based line number.
         line: usize,
     },
+    /// A rating score was `0` or above the scale. Rejected at ingest so the
+    /// accumulator's `score − 1` indexing can never underflow on malformed
+    /// data.
+    ScoreOutOfRange {
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -123,6 +130,9 @@ impl std::fmt::Display for CsvError {
             CsvError::ArityMismatch { line } => write!(f, "line {line}: wrong field count"),
             CsvError::Malformed { line } => write!(f, "line {line}: malformed CSV"),
             CsvError::BadNumber { line } => write!(f, "line {line}: invalid number"),
+            CsvError::ScoreOutOfRange { line } => {
+                write!(f, "line {line}: rating score outside 1..=scale")
+            }
         }
     }
 }
@@ -225,6 +235,9 @@ pub fn ratings_from_csv(
                     .map_err(|_| CsvError::BadNumber { line: line_no })
             })
             .collect::<Result<_, _>>()?;
+        if scores.iter().any(|&s| s == 0 || s > scale) {
+            return Err(CsvError::ScoreOutOfRange { line: line_no });
+        }
         b.push(reviewer, item, &scores);
     }
     Ok(b.build(reviewer_count, item_count))
@@ -423,6 +436,21 @@ mod tests {
         assert_eq!(err, CsvError::ArityMismatch { line: 2 });
         let err = ratings_from_csv("reviewer,item,overall\nx,0,3\n", 5, 1, 1).unwrap_err();
         assert_eq!(err, CsvError::BadNumber { line: 2 });
+    }
+
+    #[test]
+    fn out_of_range_scores_are_rejected_at_ingest() {
+        // A zero score would underflow the accumulator's `score − 1` index.
+        let err = ratings_from_csv("reviewer,item,overall\n0,0,0\n", 5, 1, 1).unwrap_err();
+        assert_eq!(err, CsvError::ScoreOutOfRange { line: 2 });
+        // A score above the scale would index past the histogram row.
+        let err = ratings_from_csv("reviewer,item,overall\n0,0,6\n", 5, 1, 1).unwrap_err();
+        assert_eq!(err, CsvError::ScoreOutOfRange { line: 2 });
+        // The line number points at the offending record, not the header.
+        let err = ratings_from_csv("reviewer,item,overall\n0,0,5\n0,0,9\n", 5, 1, 1).unwrap_err();
+        assert_eq!(err, CsvError::ScoreOutOfRange { line: 3 });
+        // Boundary scores stay accepted.
+        assert!(ratings_from_csv("reviewer,item,overall\n0,0,1\n0,0,5\n", 5, 1, 1).is_ok());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::group::{EntityGroup, RatingGroup};
 use crate::index::InvertedIndex;
 use crate::predicate::{AttrValue, SelectionQuery};
 use crate::ratings::{RatingTable, RecordId};
+use crate::scan::GroupColumns;
 use crate::schema::{AttrId, Entity, Schema};
 use crate::table::EntityTable;
 use crate::value::{Value, ValueId};
@@ -149,20 +150,29 @@ impl SubjectiveDb {
         RatingGroup::new(self.collect_group_records(query), seed)
     }
 
-    /// Like [`rating_group`](Self::rating_group), but looks the record list
+    /// Like [`rating_group`](Self::rating_group), but the group additionally
+    /// carries pre-gathered entity-row columns for the scan kernels (see
+    /// [`RatingGroup::entity_rows`]). Record order is byte-identical to
+    /// [`rating_group`](Self::rating_group) for the same `(query, seed)`.
+    pub fn scan_group(&self, query: &SelectionQuery, seed: u64) -> RatingGroup {
+        RatingGroup::from_columns(&self.collect_group_columns(query), seed)
+    }
+
+    /// Like [`scan_group`](Self::scan_group), but looks the gather columns
     /// up in (and populates) a shared [`GroupCache`] first. The phase order
     /// still comes from `seed`, applied after the lookup, so for any given
     /// `(query, seed)` the returned group is byte-identical to the uncached
-    /// path — the cache stores only the walk-order record list, which is a
-    /// pure function of the query.
+    /// path — the cache stores only the walk-order gather columns, which
+    /// are a pure function of the query; each session permutes them with
+    /// its own seed.
     pub fn group_for_query_cached(
         &self,
         query: &SelectionQuery,
         seed: u64,
         cache: &GroupCache,
     ) -> RatingGroup {
-        let records = cache.get_or_insert_with(query, || self.collect_group_records(query));
-        RatingGroup::new(records.as_ref().clone(), seed)
+        let columns = cache.get_or_insert_with(query, || self.collect_group_columns(query));
+        RatingGroup::from_columns(&columns, seed)
     }
 
     /// The record ids matched by `query`, in deterministic walk order (the
@@ -220,6 +230,14 @@ impl SubjectiveDb {
             }
         }
         records
+    }
+
+    /// The gather columns for `query`: the walk-order record list plus both
+    /// entity-row columns resolved once ([`GroupColumns::gather`]). This is
+    /// what the [`GroupCache`] stores and what
+    /// [`scan_group`](Self::scan_group) shuffles per session.
+    pub fn collect_group_columns(&self, query: &SelectionQuery) -> GroupColumns {
+        GroupColumns::gather(&self.ratings, self.collect_group_records(query))
     }
 
     /// Human-readable rendering of one predicate, e.g. `item.city = NYC`.
@@ -497,5 +515,29 @@ mod tests {
         let a = db.rating_group(&q, 5);
         let b = db.rating_group(&q, 5);
         assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn scan_group_matches_rating_group() {
+        let db = figure2_db();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
+        for query in [
+            SelectionQuery::all(),
+            SelectionQuery::from_preds(vec![young]),
+        ] {
+            for seed in [0u64, 5, 99] {
+                let plain = db.rating_group(&query, seed);
+                let columnar = db.scan_group(&query, seed);
+                assert_eq!(plain.records(), columnar.records());
+                let rev = columnar.entity_rows(Entity::Reviewer).unwrap();
+                let item = columnar.entity_rows(Entity::Item).unwrap();
+                for (i, &rec) in columnar.records().iter().enumerate() {
+                    assert_eq!(rev[i], db.ratings().reviewer_of(rec));
+                    assert_eq!(item[i], db.ratings().item_of(rec));
+                }
+            }
+        }
     }
 }

@@ -12,10 +12,12 @@
 
 use crate::bitset::BitSet;
 use crate::ratings::RecordId;
+use crate::scan::GroupColumns;
 use crate::schema::Entity;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::ops::Range;
 
 /// A set of reviewer or item rows selected by a description.
 #[derive(Debug, Clone)]
@@ -67,6 +69,11 @@ impl EntityGroup {
 #[derive(Debug, Clone)]
 pub struct RatingGroup {
     records: Vec<RecordId>,
+    /// Pre-gathered `reviewer_of` column in phase order, when the group was
+    /// built from [`GroupColumns`].
+    reviewer_rows: Option<Vec<u32>>,
+    /// Pre-gathered `item_of` column in phase order.
+    item_rows: Option<Vec<u32>>,
 }
 
 impl RatingGroup {
@@ -76,12 +83,60 @@ impl RatingGroup {
     pub fn new(mut records: Vec<RecordId>, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         records.shuffle(&mut rng);
-        Self { records }
+        Self {
+            records,
+            reviewer_rows: None,
+            item_rows: None,
+        }
     }
 
     /// Creates a rating group preserving the given order (tests, replays).
     pub fn with_order(records: Vec<RecordId>) -> Self {
-        Self { records }
+        Self {
+            records,
+            reviewer_rows: None,
+            item_rows: None,
+        }
+    }
+
+    /// Creates a rating group from pre-gathered columns, applying this
+    /// caller's phase-order shuffle to all three columns at once.
+    ///
+    /// The shuffle permutes an index vector with the given seed and gathers
+    /// through it; because the vendored Fisher–Yates draws depend only on
+    /// slice length, the resulting record order is byte-identical to
+    /// [`RatingGroup::new`] with the same records and seed. This is what
+    /// lets the group cache share one gather across sessions while each
+    /// session keeps its own phase order.
+    pub fn from_columns(cols: &GroupColumns, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..cols.records.len() as u32).collect();
+        perm.shuffle(&mut rng);
+        let records = perm.iter().map(|&i| cols.records[i as usize]).collect();
+        let reviewer_rows = perm
+            .iter()
+            .map(|&i| cols.reviewer_rows[i as usize])
+            .collect();
+        let item_rows = perm.iter().map(|&i| cols.item_rows[i as usize]).collect();
+        Self {
+            records,
+            reviewer_rows: Some(reviewer_rows),
+            item_rows: Some(item_rows),
+        }
+    }
+
+    /// The pre-gathered entity-row column of one side, in phase order, if
+    /// the group was built from [`GroupColumns`].
+    pub fn entity_rows(&self, entity: Entity) -> Option<&[u32]> {
+        match entity {
+            Entity::Reviewer => self.reviewer_rows.as_deref(),
+            Entity::Item => self.item_rows.as_deref(),
+        }
+    }
+
+    /// Whether the group carries pre-gathered entity-row columns.
+    pub fn has_entity_rows(&self) -> bool {
+        self.reviewer_rows.is_some() && self.item_rows.is_some()
     }
 
     /// All records in phase order.
@@ -107,6 +162,19 @@ impl RatingGroup {
     /// # Panics
     /// Panics if `n == 0`.
     pub fn phases(&self, n: usize) -> Vec<&[RecordId]> {
+        self.phase_ranges(n)
+            .into_iter()
+            .map(|r| &self.records[r])
+            .collect()
+    }
+
+    /// The index ranges of the `n` phase fractions — same partition as
+    /// [`phases`](Self::phases), but as ranges so callers can slice every
+    /// gathered column of the group, not just the record ids.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn phase_ranges(&self, n: usize) -> Vec<Range<usize>> {
         assert!(n > 0, "at least one phase");
         let len = self.records.len();
         let base = len / n;
@@ -115,7 +183,7 @@ impl RatingGroup {
         let mut start = 0;
         for i in 0..n {
             let size = base + usize::from(i < extra);
-            out.push(&self.records[start..start + size]);
+            out.push(start..start + size);
             start += size;
         }
         debug_assert_eq!(start, len);
@@ -190,5 +258,58 @@ mod tests {
     fn with_order_preserves() {
         let g = RatingGroup::with_order(vec![9, 1, 5]);
         assert_eq!(g.records(), &[9, 1, 5]);
+        assert!(!g.has_entity_rows());
+        assert!(g.entity_rows(Entity::Reviewer).is_none());
+    }
+
+    #[test]
+    fn from_columns_matches_in_place_shuffle() {
+        // The keystone of the cache refactor: permuting an index vector and
+        // gathering must produce byte-identical record order to shuffling
+        // the records in place with the same seed.
+        for n in [0usize, 1, 2, 17, 100, 257] {
+            let records: Vec<RecordId> = (0..n as u32).map(|i| i * 3 + 1).collect();
+            let cols = GroupColumns {
+                records: records.clone(),
+                reviewer_rows: (0..n as u32).map(|i| i * 7).collect(),
+                item_rows: (0..n as u32).map(|i| i + 42).collect(),
+            };
+            for seed in [0u64, 7, 0xdead_beef] {
+                let direct = RatingGroup::new(records.clone(), seed);
+                let gathered = RatingGroup::from_columns(&cols, seed);
+                assert_eq!(direct.records(), gathered.records(), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_columns_rows_track_records() {
+        let records: Vec<RecordId> = (0..50).collect();
+        let cols = GroupColumns {
+            records: records.clone(),
+            reviewer_rows: records.iter().map(|&r| r * 2).collect(),
+            item_rows: records.iter().map(|&r| r + 100).collect(),
+        };
+        let g = RatingGroup::from_columns(&cols, 3);
+        assert!(g.has_entity_rows());
+        let rev = g.entity_rows(Entity::Reviewer).unwrap();
+        let item = g.entity_rows(Entity::Item).unwrap();
+        for (i, &rec) in g.records().iter().enumerate() {
+            assert_eq!(rev[i], rec * 2, "reviewer row must follow its record");
+            assert_eq!(item[i], rec + 100, "item row must follow its record");
+        }
+    }
+
+    #[test]
+    fn phase_ranges_match_phases() {
+        let g = RatingGroup::new((0..103).collect(), 1);
+        for n in [1, 3, 10, 200] {
+            let ranges = g.phase_ranges(n);
+            let phases = g.phases(n);
+            assert_eq!(ranges.len(), phases.len());
+            for (r, p) in ranges.into_iter().zip(phases) {
+                assert_eq!(&g.records()[r], p);
+            }
+        }
     }
 }

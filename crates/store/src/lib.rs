@@ -20,7 +20,11 @@
 //!   conjunctive selections ([`index`], [`bitset::BitSet`]);
 //! * rating groups materialize as record-id vectors with a deterministic
 //!   shuffle, providing the without-replacement sample order required by the
-//!   phase-based execution framework ([`group::RatingGroup::phases`]).
+//!   phase-based execution framework ([`group::RatingGroup::phases`]);
+//! * the phased scan consumes **gathered columnar blocks** — entity-row
+//!   indices resolved once per side plus contiguous per-dimension score
+//!   buffers ([`scan`]) — built from reusable buffers so steady-state steps
+//!   allocate nothing.
 
 pub mod bitset;
 pub mod cache;
@@ -32,16 +36,19 @@ pub mod index;
 pub mod parse;
 pub mod predicate;
 pub mod ratings;
+pub mod scan;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use cache::{CacheStats, GroupCache};
+pub use column::{Column, CsrColumn};
 pub use database::{AttributeSummary, DbStats, SubjectiveDb};
 pub use group::{EntityGroup, RatingGroup};
 pub use parse::{parse_query, ParseError};
 pub use predicate::{AttrValue, SelectionQuery};
 pub use ratings::{DimId, RatingTable, RatingTableBuilder, RecordId};
+pub use scan::{GroupColumns, ScanBlock, ScanScratch};
 pub use schema::{AttrId, Entity, Schema};
 pub use table::{Cell, EntityTable, EntityTableBuilder};
 pub use value::{Dictionary, Value, ValueId};
