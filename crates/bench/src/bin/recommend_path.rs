@@ -1,0 +1,349 @@
+//! Recommend-path benchmark: walked vs derived candidate-group
+//! materialization, with and without the shared group cache.
+//!
+//! Two measurements on the Yelp-like study workload:
+//!
+//! 1. **Candidate materialization** (the headline): for every add-predicate
+//!    candidate the recommendation builder enumerates, the time to build
+//!    its group columns by the full posting-list walk
+//!    (`collect_group_columns`) versus one linear filter over the parent's
+//!    columns (`derive_refinement_columns`) versus a shared-cache hit.
+//!    This is the component the derivation layer replaces; the outputs are
+//!    byte-identical by contract.
+//! 2. **End-to-end `recommend`** under four configurations —
+//!    `walk/nocache`, `derive/nocache`, `walk/cache`, `derive/cache` — for
+//!    context (the generator's phase scans, identical across configs,
+//!    dominate this number).
+//!
+//! Results are printed as tables and written to a machine-readable JSON
+//! file (default `BENCH_recommend.json`) so the perf trajectory
+//! accumulates across PRs. `--quick` switches to smoke scale for CI.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use subdex_bench::harness::{yelp_at, Scale};
+use subdex_core::generator::{self, CriterionNormalizers, GeneratorConfig};
+use subdex_core::ratingmap::ScoredRatingMap;
+use subdex_core::recommend::{
+    enumerate_candidates, recommend_with_stats, Materialization, RecommendConfig,
+};
+use subdex_core::SeenContext;
+use subdex_store::{AttrValue, GroupCache, GroupColumns, SelectionQuery, SubjectiveDb};
+
+struct BenchCase {
+    query: SelectionQuery,
+    parent: GroupColumns,
+    maps: Vec<ScoredRatingMap>,
+}
+
+struct ConfigResult {
+    name: &'static str,
+    total: Duration,
+    calls: u32,
+    stats: Materialization,
+}
+
+impl ConfigResult {
+    fn mean_ms(&self) -> f64 {
+        self.total.as_secs_f64() * 1000.0 / f64::from(self.calls.max(1))
+    }
+}
+
+fn displayed(
+    db: &SubjectiveDb,
+    q: &SelectionQuery,
+    gen_cfg: &GeneratorConfig,
+) -> Vec<ScoredRatingMap> {
+    let group = db.scan_group(q, 3);
+    let seen = SeenContext::new(db.ratings().dim_count());
+    let mut norms = CriterionNormalizers::new(Default::default());
+    let out = generator::generate(db, &group, q, &seen, &mut norms, gen_cfg);
+    out.pool.into_iter().take(9).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_recommend.json".to_string());
+
+    let (scale, scale_name, reps) = if quick {
+        (Scale::Smoke, "smoke", 3u32)
+    } else {
+        (Scale::Study, "study", 10u32)
+    };
+
+    eprintln!("building yelp dataset at {scale_name} scale...");
+    let db = Arc::new(yelp_at(scale).db);
+    let stats = db.stats();
+    eprintln!(
+        "ratings {} | reviewers {} | items {}",
+        stats.rating_count, stats.reviewer_count, stats.item_count
+    );
+
+    let gen_cfg = GeneratorConfig::default();
+    let rec_cfg = RecommendConfig::default();
+    let seen = SeenContext::new(db.ratings().dim_count());
+    let norms = CriterionNormalizers::new(Default::default());
+
+    // Bench cases: the root query plus the exploration steps its own
+    // recommendations lead to — the queries a real session would evaluate.
+    let mut cases: Vec<BenchCase> = Vec::new();
+    let mut query = SelectionQuery::all();
+    for _ in 0..4 {
+        let parent = db.collect_group_columns(&query);
+        let maps = displayed(&db, &query, &gen_cfg);
+        let (recs, _) = recommend_with_stats(
+            &db,
+            &query,
+            &maps,
+            &seen,
+            &norms,
+            &gen_cfg,
+            &rec_cfg,
+            7,
+            None,
+            Some(&parent),
+        );
+        let next = recs.first().map(|r| r.query.clone());
+        cases.push(BenchCase {
+            query: query.clone(),
+            parent,
+            maps,
+        });
+        match next {
+            Some(q) if q != query => query = q,
+            _ => break,
+        }
+    }
+    eprintln!("bench cases: {}", cases.len());
+
+    // ---- Measurement 1: candidate-group materialization ----------------
+    // Every add-predicate candidate across all bench cases, with the
+    // parent it derives from.
+    let refinements: Vec<(&BenchCase, SelectionQuery, AttrValue)> = cases
+        .iter()
+        .flat_map(|case| {
+            enumerate_candidates(&db, &case.query, &case.maps, &rec_cfg)
+                .into_iter()
+                .filter_map(move |q| case.query.single_added_pred(&q).map(|p| (case, q, p)))
+        })
+        .collect();
+    eprintln!("add-predicate candidates: {}", refinements.len());
+
+    // The three materialization paths are timed *interleaved* — each rep
+    // runs every path back to back — so clock-frequency drift and noisy
+    // neighbours distort them equally instead of biasing whichever path
+    // happened to run in a slow window.
+    let mat_reps = reps * 20;
+    let hit_cache = GroupCache::new(256 << 20);
+    for (case, q, p) in &refinements {
+        hit_cache.get_or_insert_with(q, || db.derive_refinement_columns(&case.parent, p));
+    }
+    type PathFn<'a> = &'a dyn Fn(&BenchCase, &SelectionQuery, &AttrValue) -> usize;
+    let walk_path: PathFn = &|_case, q, _p| db.collect_group_columns(q).len();
+    let derive_path: PathFn = &|case, _q, p| db.derive_refinement_columns(&case.parent, p).len();
+    let hit_path: PathFn = &|case, q, p| {
+        hit_cache
+            .get_or_insert_with(q, || db.derive_refinement_columns(&case.parent, p))
+            .len()
+    };
+    // Mean µs per group build for each path over `subset`, rep 0 a warmup.
+    let time_paths = |subset: &[&(&BenchCase, SelectionQuery, AttrValue)],
+                      paths: &[PathFn]|
+     -> Vec<(f64, usize)> {
+        let mut totals = vec![(Duration::ZERO, 0usize); paths.len()];
+        for rep in 0..mat_reps {
+            for (pi, f) in paths.iter().enumerate() {
+                let start = Instant::now();
+                let mut produced = 0usize;
+                for (case, q, p) in subset {
+                    produced += f(case, q, p);
+                }
+                std::hint::black_box(produced);
+                if rep > 0 {
+                    totals[pi].0 += start.elapsed();
+                    totals[pi].1 += produced;
+                }
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(total, produced)| {
+                (
+                    total.as_secs_f64() * 1e6
+                        / f64::from(mat_reps - 1)
+                        / subset.len().max(1) as f64,
+                    produced,
+                )
+            })
+            .collect()
+    };
+
+    let all: Vec<&(&BenchCase, SelectionQuery, AttrValue)> = refinements.iter().collect();
+    let timed = time_paths(&all, &[walk_path, derive_path, hit_path]);
+    let ((walk_us, walk_records), (derive_us, derive_records), (hit_us, _)) =
+        (timed[0], timed[1], timed[2]);
+    assert_eq!(
+        walk_records, derive_records,
+        "derived groups must carry exactly the walked record sets"
+    );
+
+    println!("\ncandidate-group materialization (mean µs per group):");
+    println!("{:<22} {:>10}", "path", "µs/group");
+    println!("{:<22} {:>10.1}", "posting-list walk", walk_us);
+    println!("{:<22} {:>10.1}", "derive from parent", derive_us);
+    println!("{:<22} {:>10.1}", "shared-cache hit", hit_us);
+    let mat_speedup = walk_us / derive_us;
+    println!("speedup derive vs walk: {mat_speedup:.2}x");
+
+    // Per-parent breakdown: how the walk/derive balance shifts as the
+    // exploration drills down and the parent group shrinks.
+    println!(
+        "\n{:<8} {:>12} {:>11} {:>12} {:>12} {:>9}",
+        "parent", "parent rows", "candidates", "walk µs", "derive µs", "speedup"
+    );
+    for (ci, case) in cases.iter().enumerate() {
+        let subset: Vec<&(&BenchCase, SelectionQuery, AttrValue)> = refinements
+            .iter()
+            .filter(|(c, _, _)| std::ptr::eq(*c, case))
+            .collect();
+        if subset.is_empty() {
+            continue;
+        }
+        let timed = time_paths(&subset, &[walk_path, derive_path]);
+        let (w, d) = (timed[0].0, timed[1].0);
+        println!(
+            "step {:<3} {:>12} {:>11} {:>12.1} {:>12.1} {:>8.2}x",
+            ci,
+            case.parent.len(),
+            subset.len(),
+            w,
+            d,
+            w / d
+        );
+    }
+
+    // ---- Measurement 2: end-to-end recommend ---------------------------
+    let run_config =
+        |name: &'static str, derive: bool, cache: Option<&GroupCache>| -> ConfigResult {
+            let cfg = RecommendConfig {
+                derive_candidates: derive,
+                ..rec_cfg
+            };
+            let mut total = Duration::ZERO;
+            let mut calls = 0u32;
+            let mut stats = Materialization::default();
+            for rep in 0..reps {
+                for case in &cases {
+                    let start = Instant::now();
+                    let (recs, s) = recommend_with_stats(
+                        &db,
+                        &case.query,
+                        &case.maps,
+                        &seen,
+                        &norms,
+                        &gen_cfg,
+                        &cfg,
+                        7,
+                        cache,
+                        derive.then_some(&case.parent),
+                    );
+                    // Only the steady state counts toward the timing: rep 0
+                    // warms caches and the allocator.
+                    if rep > 0 {
+                        total += start.elapsed();
+                        calls += 1;
+                        stats.merge(&s);
+                    }
+                    assert!(!recs.is_empty(), "{name}: no recommendations produced");
+                }
+            }
+            ConfigResult {
+                name,
+                total,
+                calls,
+                stats,
+            }
+        };
+
+    let walk_cache = GroupCache::new(256 << 20);
+    let derive_cache = GroupCache::new(256 << 20);
+    let results = vec![
+        run_config("walk/nocache", false, None),
+        run_config("derive/nocache", true, None),
+        run_config("walk/cache", false, Some(&walk_cache)),
+        run_config("derive/cache", true, Some(&derive_cache)),
+    ];
+
+    println!(
+        "\n{:<16} {:>10} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "config", "mean ms", "derived", "walked", "cached", "skipped", "filtered"
+    );
+    for r in &results {
+        println!(
+            "{:<16} {:>10.2} {:>9} {:>9} {:>9} {:>9} {:>12}",
+            r.name,
+            r.mean_ms(),
+            r.stats.derived,
+            r.stats.walked,
+            r.stats.cached,
+            r.stats.skipped_empty,
+            r.stats.records_filtered
+        );
+    }
+    let speedup_nocache = results[0].mean_ms() / results[1].mean_ms();
+    let speedup_cache = results[0].mean_ms() / results[3].mean_ms();
+    println!("\nspeedup derive vs walk (no cache):     {speedup_nocache:.2}x");
+    println!("speedup derive+cache vs walk (no cache): {speedup_cache:.2}x");
+
+    // Hand-rolled JSON (no serde_json in the vendored set); every value is
+    // a number or a plain ASCII string, so no escaping is needed.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"recommend_path\",\n");
+    json.push_str("  \"dataset\": \"yelp\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"ratings\": {},\n", stats.rating_count));
+    json.push_str(&format!("  \"timed_reps\": {},\n", reps - 1));
+    json.push_str(&format!("  \"bench_cases\": {},\n", cases.len()));
+    json.push_str(&format!("  \"add_candidates\": {},\n", refinements.len()));
+    json.push_str("  \"materialization_us_per_group\": {\n");
+    json.push_str(&format!("    \"walk\": {walk_us:.3},\n"));
+    json.push_str(&format!("    \"derive\": {derive_us:.3},\n"));
+    json.push_str(&format!("    \"cache_hit\": {hit_us:.3}\n"));
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"materialization_speedup_derive_vs_walk\": {mat_speedup:.4},\n"
+    ));
+    json.push_str("  \"recommend_configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ms\": {:.4}, \"calls\": {}, \"derived\": {}, \"walked\": {}, \"cached\": {}, \"skipped_empty\": {}, \"records_filtered\": {}}}{}\n",
+            r.name,
+            r.mean_ms(),
+            r.calls,
+            r.stats.derived,
+            r.stats.walked,
+            r.stats.cached,
+            r.stats.skipped_empty,
+            r.stats.records_filtered,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_derive_vs_walk_nocache\": {speedup_nocache:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_derive_cache_vs_walk_nocache\": {speedup_cache:.4}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_recommend.json");
+    eprintln!("wrote {out_path}");
+}

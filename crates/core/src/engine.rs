@@ -13,13 +13,15 @@
 use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
 use crate::pruning::PruningStrategy;
 use crate::ratingmap::ScoredRatingMap;
-use crate::recommend::{self, RecommendConfig, Recommendation};
+use crate::recommend::{self, Materialization, RecommendConfig, Recommendation};
 use crate::selector::{select_diverse, SelectionStrategy};
 use crate::utility::UtilityCombiner;
 use std::sync::Arc;
 use std::time::Duration;
 use subdex_stats::normalize::NormalizerKind;
-use subdex_store::{GroupCache, ScanScratch, SelectionQuery, SubjectiveDb};
+use subdex_store::{
+    GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery, SubjectiveDb,
+};
 
 /// Full engine configuration (defaults follow Table 3 of the paper).
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +180,7 @@ impl EngineConfig {
             change_fanout: 2,
             parallel: self.parallel,
             threads: self.threads,
+            derive_candidates: true,
         }
     }
 }
@@ -204,6 +207,11 @@ pub struct StepResult {
     pub scan_elapsed: Duration,
     /// Candidates considered / pruned by CI / pruned by MAB.
     pub generator_stats: (usize, usize, usize),
+    /// How this step's rating groups (the stepped query plus every
+    /// recommendation candidate) were materialized: derived from the
+    /// parent's columns, fully walked, served from the shared cache, or
+    /// skipped outright as provably empty.
+    pub materialization: Materialization,
 }
 
 /// The SubDEx engine: owns the seen-context and normalizer state of one
@@ -289,10 +297,30 @@ impl SdeEngine {
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(step as u64);
-        let group = match &self.group_cache {
-            Some(cache) => self.db.group_for_query_cached(query, seed, cache),
-            None => self.db.scan_group(query, seed),
+        // Keep the parent's pre-shuffle columns alive past the group build:
+        // every add-predicate recommendation candidate derives its group by
+        // filtering them, skipping the posting-list walk entirely.
+        let mut materialization = Materialization::default();
+        let parent_cols: Arc<GroupColumns> = match &self.group_cache {
+            Some(cache) => {
+                let mut computed = false;
+                let arc = cache.get_or_insert_with(query, || {
+                    computed = true;
+                    self.db.collect_group_columns(query)
+                });
+                if computed {
+                    materialization.walked += 1;
+                } else {
+                    materialization.cached += 1;
+                }
+                arc
+            }
+            None => {
+                materialization.walked += 1;
+                Arc::new(self.db.collect_group_columns(query))
+            }
         };
+        let group = RatingGroup::from_columns(&parent_cols, seed);
         let gen_cfg = self.config.generator_config();
         let out = generator::generate_with_scratch(
             &self.db,
@@ -327,7 +355,7 @@ impl SdeEngine {
             // missed display live, and the paper's candidate space ("q may
             // add a new attribute-value pair") is not limited to displayed
             // maps either.
-            recommend::recommend(
+            let (recs, rec_stats) = recommend::recommend_with_stats(
                 &self.db,
                 query,
                 &pool,
@@ -337,7 +365,10 @@ impl SdeEngine {
                 &self.config.recommend_config(),
                 seed,
                 self.group_cache.as_deref(),
-            )
+                Some(&parent_cols),
+            );
+            materialization.merge(&rec_stats);
+            recs
         } else {
             Vec::new()
         };
@@ -351,6 +382,7 @@ impl SdeEngine {
             elapsed: start.elapsed(),
             scan_elapsed,
             generator_stats: (total, ci, mab),
+            materialization,
         }
     }
 }
@@ -476,6 +508,14 @@ mod tests {
             SelectionQuery::from_preds(vec![db
                 .pred(Entity::Item, "city", &Value::str("SF"))
                 .unwrap()]),
+            // A two-sided query: its group walk can be driven from either
+            // entity side, so this pins the walk-order canonicalization
+            // (ascending record id regardless of driving side).
+            SelectionQuery::from_preds(vec![
+                db.pred(Entity::Reviewer, "gender", &Value::str("F"))
+                    .unwrap(),
+                db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap(),
+            ]),
             SelectionQuery::all(),
         ];
         let run = |parallel: bool, cache: Option<Arc<GroupCache>>| {
@@ -508,6 +548,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn step_reports_materialization_paths() {
+        use subdex_store::GroupCache;
+        let db = db();
+        let cfg = EngineConfig {
+            parallel: false,
+            ..EngineConfig::default()
+        };
+
+        // Without a cache: the parent group is walked, every add-predicate
+        // candidate is derived from it, and no path reports cache hits.
+        let mut engine = SdeEngine::new(db.clone(), cfg);
+        let r = engine.step(&SelectionQuery::all());
+        let m = r.materialization;
+        assert!(m.walked >= 1, "{m:?}");
+        assert!(m.derived > 0, "drill-down candidates derive: {m:?}");
+        assert!(m.records_filtered > 0, "{m:?}");
+        assert_eq!(m.cached, 0, "{m:?}");
+
+        // A sibling engine sharing the cache replays the same step and is
+        // served the derived entries straight from the cache.
+        let cache = Arc::new(GroupCache::new(1 << 20));
+        let mut first = SdeEngine::new(db.clone(), cfg);
+        first.set_group_cache(Some(cache.clone()));
+        let warm = first.step(&SelectionQuery::all()).materialization;
+        assert!(warm.derived > 0, "{warm:?}");
+
+        let mut second = SdeEngine::new(db, cfg);
+        second.set_group_cache(Some(cache));
+        let hot = second.step(&SelectionQuery::all()).materialization;
+        assert_eq!(hot.derived, 0, "{hot:?}");
+        assert_eq!(hot.walked, 0, "{hot:?}");
+        assert!(hot.cached > 0, "{hot:?}");
+        assert_eq!(warm.total(), hot.total(), "same groups needed");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! must be displayed, so their final map has to be exact — but are exempt
 //! from further pruning decisions.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -39,7 +40,12 @@ use subdex_store::{DimId, RatingGroup, ScanBlock, ScanScratch, SelectionQuery, S
 #[derive(Debug, Clone)]
 pub struct SeenContext {
     weights: DimensionWeights,
-    seen_distributions: Vec<RatingDistribution>,
+    /// Bounded FIFO of displayed-map distributions. A `VecDeque` so
+    /// eviction at capacity is O(1) — with a `Vec`, `remove(0)` shifted
+    /// every retained distribution per displayed map. Kept contiguous
+    /// after every mutation (see [`SeenContext::record_displayed`]) so the
+    /// accessor can hand out a plain slice.
+    seen_distributions: VecDeque<RatingDistribution>,
     max_kept: usize,
 }
 
@@ -51,7 +57,7 @@ impl SeenContext {
     pub fn new(dim_count: usize) -> Self {
         Self {
             weights: DimensionWeights::new(dim_count),
-            seen_distributions: Vec::new(),
+            seen_distributions: VecDeque::new(),
             max_kept: Self::DEFAULT_MAX_KEPT,
         }
     }
@@ -62,19 +68,32 @@ impl SeenContext {
     }
 
     /// Overall distributions of previously displayed maps (global
-    /// peculiarity references).
+    /// peculiarity references), oldest first.
     pub fn seen_distributions(&self) -> &[RatingDistribution] {
-        &self.seen_distributions
+        let (head, tail) = self.seen_distributions.as_slices();
+        debug_assert!(
+            tail.is_empty(),
+            "record_displayed keeps the deque contiguous"
+        );
+        head
     }
 
     /// Registers a displayed map: bumps its dimension count and retains its
-    /// overall distribution (bounded FIFO).
+    /// overall distribution (bounded FIFO, O(1) eviction).
     pub fn record_displayed(&mut self, map: &RatingMap) {
         self.weights.record_shown(map.key.dim);
         if self.seen_distributions.len() == self.max_kept {
-            self.seen_distributions.remove(0);
+            // Keep spare ring capacity so the sliding window only wraps —
+            // and the make_contiguous below only rotates — once per
+            // `max_kept` evictions: amortized O(1), vs. the O(n) shift
+            // `Vec::remove(0)` paid on every displayed map.
+            if self.seen_distributions.capacity() < self.max_kept * 2 {
+                self.seen_distributions.reserve(self.max_kept);
+            }
+            self.seen_distributions.pop_front();
         }
-        self.seen_distributions.push(map.overall.clone());
+        self.seen_distributions.push_back(map.overall.clone());
+        self.seen_distributions.make_contiguous();
     }
 
     /// Total maps displayed so far.
@@ -782,5 +801,42 @@ mod tests {
             seen.total_displayed(),
             (SeenContext::DEFAULT_MAX_KEPT + 10) as u64
         );
+    }
+
+    #[test]
+    fn seen_context_evicts_oldest_first() {
+        // Tag each displayed map's overall distribution with a unique total
+        // so retained entries are identifiable, then overflow the FIFO well
+        // past one full wrap of the ring buffer.
+        let cap = SeenContext::DEFAULT_MAX_KEPT;
+        let pushed = 3 * cap + 17;
+        let mut seen = SeenContext::new(1);
+        for i in 0..pushed {
+            let map = RatingMap::from_subgroups(
+                crate::ratingmap::MapKey::new(
+                    subdex_store::Entity::Item,
+                    subdex_store::AttrId(0),
+                    DimId(0),
+                ),
+                vec![crate::ratingmap::Subgroup {
+                    value: subdex_store::ValueId(0),
+                    distribution: RatingDistribution::from_counts(vec![i as u64 + 1, 0, 0, 0, 0]),
+                    avg_score: None,
+                }],
+                5,
+            );
+            seen.record_displayed(&map);
+            // The accessor must stay a single contiguous, ordered slice at
+            // every point, not just after the final push.
+            let tags: Vec<u64> = seen
+                .seen_distributions()
+                .iter()
+                .map(|d| d.total())
+                .collect();
+            let oldest = (i + 1).saturating_sub(cap) as u64;
+            let expect: Vec<u64> = (oldest + 1..=i as u64 + 1).collect();
+            assert_eq!(tags, expect, "after push {i}");
+        }
+        assert_eq!(seen.seen_distributions().len(), cap);
     }
 }

@@ -61,7 +61,7 @@ pub use generator::SeenContext;
 pub use parallel::resolve_threads;
 pub use pruning::PruningStrategy;
 pub use ratingmap::{MapKey, RatingMap, ScoredRatingMap};
-pub use recommend::Recommendation;
+pub use recommend::{Materialization, Recommendation};
 pub use session::{ExplorationMode, ExplorationSession, SessionError};
 pub use sessionlog::SessionLog;
 pub use utility::{CriterionScores, UtilityCombiner};

@@ -17,7 +17,10 @@ use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext}
 use crate::ratingmap::ScoredRatingMap;
 use crate::selector::{select_diverse, SelectionStrategy};
 use std::collections::HashSet;
-use subdex_store::{AttrValue, Entity, GroupCache, ScanScratch, SelectionQuery, SubjectiveDb};
+use subdex_store::{
+    AttrValue, Entity, GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery,
+    SubjectiveDb,
+};
 
 /// One recommended next-step operation.
 #[derive(Debug, Clone)]
@@ -32,6 +35,42 @@ pub struct Recommendation {
     /// The `k` maps the operation would display (reused by the
     /// Fully-Automated mode so the next step needs no recomputation).
     pub maps: Vec<ScoredRatingMap>,
+}
+
+/// How candidate rating groups were materialized during one recommendation
+/// (or engine-step) pass. `derived + walked + cached + skipped_empty` equals
+/// the number of groups the pass needed; `records_filtered` counts parent
+/// rows the derivation path scanned instead of re-walking the database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Materialization {
+    /// Groups built by filtering the parent's gathered columns (one linear
+    /// pass over parent rows; no adjacency walk, no re-gather).
+    pub derived: u64,
+    /// Groups built by the full posting-list walk + column gather.
+    pub walked: u64,
+    /// Groups served straight from the shared [`GroupCache`].
+    pub cached: u64,
+    /// Candidates skipped *before* any materialization because their index
+    /// cardinality upper bound was zero.
+    pub skipped_empty: u64,
+    /// Parent rows examined by the derivation passes.
+    pub records_filtered: u64,
+}
+
+impl Materialization {
+    /// Accumulates another pass's counters into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.derived += other.derived;
+        self.walked += other.walked;
+        self.cached += other.cached;
+        self.skipped_empty += other.skipped_empty;
+        self.records_filtered += other.records_filtered;
+    }
+
+    /// Total groups materialized (any path) plus skipped candidates.
+    pub fn total(&self) -> u64 {
+        self.derived + self.walked + self.cached + self.skipped_empty
+    }
 }
 
 /// Candidate-enumeration and evaluation knobs.
@@ -51,6 +90,10 @@ pub struct RecommendConfig {
     pub parallel: bool,
     /// Worker threads (`0` = all cores).
     pub threads: usize,
+    /// Derive add-predicate candidate groups from the parent's columns
+    /// instead of re-walking the database (results are byte-identical
+    /// either way; disable only to measure the walk path).
+    pub derive_candidates: bool,
 }
 
 impl Default for RecommendConfig {
@@ -63,6 +106,7 @@ impl Default for RecommendConfig {
             change_fanout: 2,
             parallel: true,
             threads: 0,
+            derive_candidates: true,
         }
     }
 }
@@ -205,6 +249,9 @@ pub fn enumerate_candidates(
 /// shared [`GroupCache`] first; candidate queries recur heavily across
 /// sessions (everyone exploring the same region is offered the same
 /// drill-downs), which is where the cache earns most of its hits.
+///
+/// Thin wrapper over [`recommend_with_stats`] for callers that have no
+/// parent columns at hand and do not need materialization counters.
 #[allow(clippy::too_many_arguments)]
 pub fn recommend(
     db: &SubjectiveDb,
@@ -217,16 +264,108 @@ pub fn recommend(
     seed: u64,
     cache: Option<&GroupCache>,
 ) -> Vec<Recommendation> {
+    recommend_with_stats(
+        db,
+        query,
+        displayed,
+        seen,
+        normalizers,
+        gen_cfg,
+        cfg,
+        seed,
+        cache,
+        None,
+    )
+    .0
+}
+
+/// [`recommend`] with the parent query's gathered columns and
+/// materialization accounting.
+///
+/// `parent` must be the pre-shuffle [`GroupColumns`] of `query` itself (the
+/// engine has them from the step's own group materialization). When given
+/// and `cfg.derive_candidates` is set, every pure add-predicate candidate
+/// is *derived* — one linear filter over the parent rows — instead of
+/// re-walking the database; derived columns are inserted into `cache` so
+/// sibling sessions benefit. Candidates whose index cardinality upper bound
+/// (min posting-list size over their predicates) is zero are skipped before
+/// any materialization. Output is byte-identical to the walk path for every
+/// `(query, seed)` — that contract is what lets derived entries share the
+/// cache.
+#[allow(clippy::too_many_arguments)]
+pub fn recommend_with_stats(
+    db: &SubjectiveDb,
+    query: &SelectionQuery,
+    displayed: &[ScoredRatingMap],
+    seen: &SeenContext,
+    normalizers: &CriterionNormalizers,
+    gen_cfg: &GeneratorConfig,
+    cfg: &RecommendConfig,
+    seed: u64,
+    cache: Option<&GroupCache>,
+    parent: Option<&GroupColumns>,
+) -> (Vec<Recommendation>, Materialization) {
     let candidates = enumerate_candidates(db, query, displayed, cfg);
     if candidates.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Materialization::default());
     }
 
-    let evaluate = |q: &SelectionQuery, scratch: &mut ScanScratch| -> Recommendation {
+    let evaluate = |q: &SelectionQuery,
+                    scratch: &mut ScanScratch,
+                    stats: &mut Materialization|
+     -> Option<Recommendation> {
+        // Provably-empty candidates (some predicate has an empty posting
+        // list) are dropped from the index alone, before any group is
+        // built or the generator runs.
+        if db.index_cardinality_bound(q) == 0 {
+            stats.skipped_empty += 1;
+            return None;
+        }
         let group_seed = seed ^ fxhash(q);
-        let group = match cache {
-            Some(c) => db.group_for_query_cached(q, group_seed, c),
-            None => db.scan_group(q, group_seed),
+        // A pure drill-down selects a strict subset of the parent group:
+        // filter the parent's columns instead of re-walking.
+        let derivable = if cfg.derive_candidates {
+            parent.and_then(|cols| query.single_added_pred(q).map(|p| (cols, p)))
+        } else {
+            None
+        };
+        let group = match (cache, derivable) {
+            (Some(c), Some((cols, p))) => {
+                let mut computed = false;
+                let arc = c.get_or_insert_with(q, || {
+                    computed = true;
+                    stats.records_filtered += cols.len() as u64;
+                    db.derive_refinement_columns(cols, &p)
+                });
+                if computed {
+                    stats.derived += 1;
+                } else {
+                    stats.cached += 1;
+                }
+                RatingGroup::from_columns(&arc, group_seed)
+            }
+            (Some(c), None) => {
+                let mut computed = false;
+                let arc = c.get_or_insert_with(q, || {
+                    computed = true;
+                    db.collect_group_columns(q)
+                });
+                if computed {
+                    stats.walked += 1;
+                } else {
+                    stats.cached += 1;
+                }
+                RatingGroup::from_columns(&arc, group_seed)
+            }
+            (None, Some((cols, p))) => {
+                stats.derived += 1;
+                stats.records_filtered += cols.len() as u64;
+                RatingGroup::from_columns(&db.derive_refinement_columns(cols, &p), group_seed)
+            }
+            (None, None) => {
+                stats.walked += 1;
+                db.scan_group(q, group_seed)
+            }
         };
         let mut norms = normalizers.clone();
         let out =
@@ -235,30 +374,34 @@ pub fn recommend(
         let pool: Vec<ScoredRatingMap> = out.pool.into_iter().take(pool_size.max(cfg.k)).collect();
         let maps = select_diverse(pool, cfg.k, cfg.selection);
         let utility = maps.iter().map(|m| m.dw_utility).sum();
-        Recommendation {
+        Some(Recommendation {
             query: q.clone(),
             utility,
             group_size: group.len(),
             maps,
-        }
+        })
     };
 
     let threads = crate::parallel::resolve_threads(cfg.threads);
 
+    let mut stats = Materialization::default();
     let mut recs: Vec<Recommendation> = if cfg.parallel && threads > 1 && candidates.len() > 1 {
         let chunk = candidates.len().div_ceil(threads);
-        let mut results: Vec<Vec<Recommendation>> = Vec::new();
+        let mut results: Vec<(Vec<Recommendation>, Materialization)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
                 .map(|slice| {
                     s.spawn(|| {
-                        // One scratch per worker, reused across its slice.
+                        // One scratch + one stats block per worker, merged
+                        // in deterministic worker order after the join.
                         let mut scratch = ScanScratch::new();
-                        slice
+                        let mut local = Materialization::default();
+                        let recs = slice
                             .iter()
-                            .map(|q| evaluate(q, &mut scratch))
-                            .collect::<Vec<_>>()
+                            .filter_map(|q| evaluate(q, &mut scratch, &mut local))
+                            .collect::<Vec<_>>();
+                        (recs, local)
                     })
                 })
                 .collect();
@@ -266,12 +409,18 @@ pub fn recommend(
                 results.push(h.join().expect("recommendation worker panicked"));
             }
         });
-        results.into_iter().flatten().collect()
+        results
+            .into_iter()
+            .flat_map(|(recs, local)| {
+                stats.merge(&local);
+                recs
+            })
+            .collect()
     } else {
         let mut scratch = ScanScratch::new();
         candidates
             .iter()
-            .map(|q| evaluate(q, &mut scratch))
+            .filter_map(|q| evaluate(q, &mut scratch, &mut stats))
             .collect()
     };
 
@@ -283,7 +432,7 @@ pub fn recommend(
             .then_with(|| a.query.preds().len().cmp(&b.query.preds().len()))
     });
     recs.truncate(cfg.o);
-    recs
+    (recs, stats)
 }
 
 /// Cheap deterministic hash of a query, used to vary rating-group shuffle
@@ -462,6 +611,157 @@ mod tests {
             assert_eq!(x.query, y.query);
             assert!((x.utility - y.utility).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn unsatisfiable_candidate_skipped_before_materialization() {
+        use crate::ratingmap::{MapKey, RatingMap, Subgroup};
+        use crate::utility::CriterionScores;
+        use subdex_store::{AttrId, DimId, GroupCache, ValueId};
+
+        let db = db();
+        let q = SelectionQuery::all();
+        // A displayed map whose extreme subgroup carries a value id beyond
+        // the city dictionary: the add-candidate it anchors has an empty
+        // posting list, so its cardinality bound is zero.
+        let ghost = ScoredRatingMap {
+            map: RatingMap::from_subgroups(
+                MapKey::new(Entity::Item, AttrId(0), DimId(0)),
+                vec![Subgroup {
+                    value: ValueId(99),
+                    distribution: subdex_stats::RatingDistribution::from_counts(vec![
+                        3, 0, 0, 0, 0,
+                    ]),
+                    avg_score: None,
+                }],
+                5,
+            ),
+            utility: 1.0,
+            dw_utility: 1.0,
+            criteria: CriterionScores::default(),
+        };
+        let bad = q.with_added(AttrValue::new(Entity::Item, AttrId(0), ValueId(99)));
+        let cands = enumerate_candidates(
+            &db,
+            &q,
+            std::slice::from_ref(&ghost),
+            &RecommendConfig::default(),
+        );
+        assert!(cands.contains(&bad), "the ghost drill-down is enumerated");
+
+        let seen = SeenContext::new(2);
+        let norms = CriterionNormalizers::new(NormalizerKind::ZLogistic);
+        let gen_cfg = GeneratorConfig {
+            pruning: PruningStrategy::None,
+            parallel: false,
+            ..Default::default()
+        };
+        let cfg = RecommendConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let cache = GroupCache::new(1 << 20);
+        let (recs, stats) = recommend_with_stats(
+            &db,
+            &q,
+            &[ghost],
+            &seen,
+            &norms,
+            &gen_cfg,
+            &cfg,
+            11,
+            Some(&cache),
+            None,
+        );
+        assert!(stats.skipped_empty >= 1, "{stats:?}");
+        assert!(recs.iter().all(|r| r.query != bad));
+        // Skipped before materialization: the empty group was never built,
+        // so it cannot have been inserted into the shared cache.
+        assert!(!cache.contains(&bad), "skip must precede materialization");
+    }
+
+    #[test]
+    fn derived_candidates_match_walked_byte_for_byte() {
+        let db = db();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let q = SelectionQuery::from_preds(vec![nyc]);
+        let maps = displayed(&db, &q);
+        let parent = db.collect_group_columns(&q);
+        let seen = SeenContext::new(2);
+        let norms = CriterionNormalizers::new(NormalizerKind::ZLogistic);
+        let gen_cfg = GeneratorConfig {
+            pruning: PruningStrategy::None,
+            parallel: false,
+            ..Default::default()
+        };
+        let fingerprint = |recs: &[Recommendation]| {
+            recs.iter()
+                .map(|r| (r.query.clone(), r.utility.to_bits(), r.group_size))
+                .collect::<Vec<_>>()
+        };
+        let base_cfg = RecommendConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let walk_cfg = RecommendConfig {
+            derive_candidates: false,
+            ..base_cfg
+        };
+        let (walked, walked_stats) = recommend_with_stats(
+            &db, &q, &maps, &seen, &norms, &gen_cfg, &walk_cfg, 7, None, None,
+        );
+        assert_eq!(walked_stats.derived, 0);
+        assert!(walked_stats.walked > 0);
+
+        let (derived, derived_stats) = recommend_with_stats(
+            &db,
+            &q,
+            &maps,
+            &seen,
+            &norms,
+            &gen_cfg,
+            &base_cfg,
+            7,
+            None,
+            Some(&parent),
+        );
+        assert!(derived_stats.derived > 0, "{derived_stats:?}");
+        assert!(derived_stats.records_filtered > 0);
+        assert_eq!(fingerprint(&derived), fingerprint(&walked));
+
+        // With a shared cache the derived columns are inserted, so a second
+        // identical pass is served from the cache — still byte-identical.
+        use subdex_store::GroupCache;
+        let cache = GroupCache::new(1 << 20);
+        let (first, first_stats) = recommend_with_stats(
+            &db,
+            &q,
+            &maps,
+            &seen,
+            &norms,
+            &gen_cfg,
+            &base_cfg,
+            7,
+            Some(&cache),
+            Some(&parent),
+        );
+        assert!(first_stats.derived > 0);
+        let (second, second_stats) = recommend_with_stats(
+            &db,
+            &q,
+            &maps,
+            &seen,
+            &norms,
+            &gen_cfg,
+            &base_cfg,
+            7,
+            Some(&cache),
+            Some(&parent),
+        );
+        assert_eq!(second_stats.derived, 0, "{second_stats:?}");
+        assert!(second_stats.cached > 0);
+        assert_eq!(fingerprint(&first), fingerprint(&walked));
+        assert_eq!(fingerprint(&second), fingerprint(&walked));
     }
 
     #[test]

@@ -65,19 +65,20 @@ pub fn select_diverse(
 fn gmm(pool: Vec<ScoredRatingMap>, k: usize) -> Vec<ScoredRatingMap> {
     let n = pool.len();
     debug_assert!(k < n || n == 0);
-    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut picked = vec![false; n];
+    let mut taken = 1;
     let mut min_dist = vec![f64::INFINITY; n];
-    chosen.push(0);
-    for (i, d) in min_dist.iter_mut().enumerate() {
+    picked[0] = true;
+    for (i, d) in min_dist.iter_mut().enumerate().skip(1) {
         *d = map_distance(&pool[0].map, &pool[i].map);
     }
-    while chosen.len() < k {
+    while taken < k {
         // Farthest-point: maximize the minimum distance to the chosen set;
         // tie-break toward higher utility (lower pool index).
         let mut best = None;
         let mut best_d = f64::NEG_INFINITY;
         for (i, &d) in min_dist.iter().enumerate() {
-            if chosen.contains(&i) {
+            if picked[i] {
                 continue;
             }
             if d > best_d {
@@ -86,19 +87,21 @@ fn gmm(pool: Vec<ScoredRatingMap>, k: usize) -> Vec<ScoredRatingMap> {
             }
         }
         let Some(next) = best else { break };
-        chosen.push(next);
+        picked[next] = true;
+        taken += 1;
         for (i, md) in min_dist.iter_mut().enumerate() {
+            // Chosen maps are never candidates again, so their min-dist
+            // entries (and the self-distance) need no update.
+            if picked[i] {
+                continue;
+            }
             let d = map_distance(&pool[next].map, &pool[i].map);
             if d < *md {
                 *md = d;
             }
         }
     }
-    chosen.sort_unstable(); // keep utility order within the selection
-    let mut picked = vec![false; n];
-    for &i in &chosen {
-        picked[i] = true;
-    }
+    // Emitting in pool order keeps utility order within the selection.
     pool.into_iter()
         .zip(picked)
         .filter_map(|(m, keep)| keep.then_some(m))
@@ -204,6 +207,82 @@ mod tests {
         let sel = select_diverse(pool, k, SelectionStrategy::DiversityOnly);
         let got = set_diversity(&sel.iter().map(|m| &m.map).collect::<Vec<_>>());
         assert!(got * 2.0 + 1e-9 >= opt, "GMM {got} vs OPT {opt}");
+    }
+
+    /// The pre-rewrite GMM verbatim (`chosen.contains` check, unconditional
+    /// distance updates), kept as the reference the optimized version must
+    /// match index-for-index.
+    fn gmm_reference(pool: &[ScoredRatingMap], k: usize) -> Vec<usize> {
+        let n = pool.len();
+        let mut chosen: Vec<usize> = vec![0];
+        let mut min_dist = vec![f64::INFINITY; n];
+        for (i, d) in min_dist.iter_mut().enumerate() {
+            *d = crate::mapdist::map_distance(&pool[0].map, &pool[i].map);
+        }
+        while chosen.len() < k {
+            let mut best = None;
+            let mut best_d = f64::NEG_INFINITY;
+            for (i, &d) in min_dist.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                if d > best_d {
+                    best_d = d;
+                    best = Some(i);
+                }
+            }
+            let Some(next) = best else { break };
+            chosen.push(next);
+            for (i, md) in min_dist.iter_mut().enumerate() {
+                let d = crate::mapdist::map_distance(&pool[next].map, &pool[i].map);
+                if d < *md {
+                    *md = d;
+                }
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    #[test]
+    fn gmm_selection_pinned_on_fixed_pool() {
+        // Regression pin for the bookkeeping rewrite (picked-array check +
+        // skipped self/chosen distance updates): exact selections on a
+        // fixed 6-map pool must never change.
+        let pool = vec![
+            scored(0, &[&[10, 0, 0, 0, 0]], 0.9),
+            scored(1, &[&[9, 1, 0, 0, 0]], 0.8),
+            scored(2, &[&[0, 0, 10, 0, 0]], 0.7),
+            scored(3, &[&[0, 0, 9, 1, 0]], 0.6),
+            scored(4, &[&[0, 0, 0, 0, 10]], 0.5),
+            scored(5, &[&[5, 0, 0, 0, 5]], 0.4),
+        ];
+        for (k, expect) in [
+            (2usize, vec![0u16, 4]),
+            (3, vec![0, 2, 4]),
+            (4, vec![0, 2, 4, 5]),
+            (5, vec![0, 1, 2, 4, 5]),
+        ] {
+            let sel = select_diverse(pool.clone(), k, SelectionStrategy::DiversityOnly);
+            let attrs: Vec<u16> = sel.iter().map(|m| m.map.key.attr.0).collect();
+            assert_eq!(attrs, expect, "k={k}");
+            let reference: Vec<u16> = gmm_reference(&pool, k)
+                .into_iter()
+                .map(|i| pool[i].map.key.attr.0)
+                .collect();
+            assert_eq!(attrs, reference, "k={k} diverged from reference GMM");
+        }
+        // Also sweep the clustered pool against the reference.
+        let clustered = clustered_pool();
+        for k in 1..clustered.len() {
+            let sel = select_diverse(clustered.clone(), k, SelectionStrategy::DiversityOnly);
+            let attrs: Vec<u16> = sel.iter().map(|m| m.map.key.attr.0).collect();
+            let reference: Vec<u16> = gmm_reference(&clustered, k)
+                .into_iter()
+                .map(|i| clustered[i].map.key.attr.0)
+                .collect();
+            assert_eq!(attrs, reference, "clustered k={k}");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use subdex_core::Materialization;
 use subdex_store::CacheStats;
 
 /// Upper bounds (inclusive, microseconds) of the step-latency histogram
@@ -28,6 +29,13 @@ pub struct ServiceMetrics {
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
     /// Cumulative time steps spent in phase scans, in microseconds.
     scan_time_us: AtomicU64,
+    /// Group-materialization paths across served steps (see
+    /// [`Materialization`]).
+    groups_derived: AtomicU64,
+    groups_walked: AtomicU64,
+    groups_cached: AtomicU64,
+    groups_skipped: AtomicU64,
+    records_filtered: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -61,6 +69,20 @@ impl ServiceMetrics {
         self.scan_time_us.fetch_add(us, Ordering::Relaxed);
     }
 
+    /// Accumulates one served step's group-materialization counters (the
+    /// engine's `StepResult::materialization`): how many candidate groups
+    /// were derived from parent columns, fully walked, cache-served, or
+    /// skipped as provably empty.
+    pub fn record_materialization(&self, m: &Materialization) {
+        self.groups_derived.fetch_add(m.derived, Ordering::Relaxed);
+        self.groups_walked.fetch_add(m.walked, Ordering::Relaxed);
+        self.groups_cached.fetch_add(m.cached, Ordering::Relaxed);
+        self.groups_skipped
+            .fetch_add(m.skipped_empty, Ordering::Relaxed);
+        self.records_filtered
+            .fetch_add(m.records_filtered, Ordering::Relaxed);
+    }
+
     /// Folds an observed queue depth into the high-water mark.
     pub fn observe_queue_depth(&self, depth: usize) {
         self.queue_depth_hwm
@@ -80,6 +102,13 @@ impl ServiceMetrics {
                 .map(|(&bound, count)| (bound, count.load(Ordering::Relaxed)))
                 .collect(),
             scan_time_total: Duration::from_micros(self.scan_time_us.load(Ordering::Relaxed)),
+            materialization: Materialization {
+                derived: self.groups_derived.load(Ordering::Relaxed),
+                walked: self.groups_walked.load(Ordering::Relaxed),
+                cached: self.groups_cached.load(Ordering::Relaxed),
+                skipped_empty: self.groups_skipped.load(Ordering::Relaxed),
+                records_filtered: self.records_filtered.load(Ordering::Relaxed),
+            },
             cache,
         }
     }
@@ -99,6 +128,8 @@ pub struct MetricsSnapshot {
     pub latency_buckets: Vec<(u64, u64)>,
     /// Total time served steps spent in phase scans (µs resolution).
     pub scan_time_total: Duration,
+    /// Aggregate group-materialization paths across served steps.
+    pub materialization: Materialization,
     /// Shared group-cache statistics (None when caching is disabled).
     pub cache: Option<CacheStats>,
 }
@@ -120,6 +151,14 @@ impl std::fmt::Display for MetricsSnapshot {
             self.queue_depth_hwm,
             self.scan_time_total.as_micros()
         )?;
+        let m = &self.materialization;
+        if m.total() > 0 {
+            writeln!(
+                f,
+                "groups: {} derived / {} walked / {} cached / {} skipped ({} records filtered)",
+                m.derived, m.walked, m.cached, m.skipped_empty, m.records_filtered
+            )?;
+        }
         if let Some(c) = &self.cache {
             writeln!(
                 f,
@@ -186,6 +225,38 @@ mod tests {
         let snap = m.snapshot(None);
         assert_eq!(snap.requests_rejected, 2);
         assert_eq!(snap.requests_served, 0);
+    }
+
+    #[test]
+    fn materialization_accumulates_and_renders() {
+        let m = ServiceMetrics::new();
+        let snap = m.snapshot(None);
+        assert_eq!(snap.materialization, Materialization::default());
+        assert!(!snap.to_string().contains("groups:"));
+
+        m.record_materialization(&Materialization {
+            derived: 5,
+            walked: 2,
+            cached: 1,
+            skipped_empty: 3,
+            records_filtered: 400,
+        });
+        m.record_materialization(&Materialization {
+            derived: 1,
+            walked: 0,
+            cached: 4,
+            skipped_empty: 0,
+            records_filtered: 50,
+        });
+        let snap = m.snapshot(None);
+        assert_eq!(snap.materialization.derived, 6);
+        assert_eq!(snap.materialization.walked, 2);
+        assert_eq!(snap.materialization.cached, 5);
+        assert_eq!(snap.materialization.skipped_empty, 3);
+        assert_eq!(snap.materialization.records_filtered, 450);
+        assert!(snap.to_string().contains(
+            "groups: 6 derived / 2 walked / 5 cached / 3 skipped (450 records filtered)"
+        ));
     }
 
     #[test]

@@ -341,6 +341,7 @@ fn worker_loop(rx: &Receiver<Job>, registry: &SessionRegistry, metrics: &Service
             Some(Ok(step)) => {
                 metrics.record_served(job.submitted.elapsed());
                 metrics.record_scan_time(step.scan_elapsed);
+                metrics.record_materialization(&step.materialization);
                 Ok(step)
             }
             Some(Err(e)) => Err(e),
@@ -427,6 +428,12 @@ mod tests {
         assert_eq!(m.requests_rejected, 0);
         let cache = m.cache.expect("cache enabled by default");
         assert!(cache.misses > 0);
+        // Candidate groups were materialized somehow — and with displayed
+        // maps anchoring drill-downs, at least one was derived from its
+        // parent's columns rather than walked.
+        let mat = m.materialization;
+        assert!(mat.total() > 0, "{mat:?}");
+        assert!(mat.derived > 0, "{mat:?}");
     }
 
     #[test]

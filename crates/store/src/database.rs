@@ -175,13 +175,21 @@ impl SubjectiveDb {
         RatingGroup::from_columns(&columns, seed)
     }
 
-    /// The record ids matched by `query`, in deterministic walk order (the
-    /// pre-shuffle order [`rating_group`](Self::rating_group) starts from).
+    /// The record ids matched by `query`, in **canonical ascending order**
+    /// (the pre-shuffle order [`rating_group`](Self::rating_group) starts
+    /// from).
     ///
     /// Strategy: with no predicates the group is all records; otherwise the
     /// smaller constrained entity group drives an adjacency walk filtered by
     /// the other side's bitset, which is why the engine stays fast even on
     /// the full Yelp-sized table.
+    ///
+    /// The walk's raw emission order depends on which entity side drives
+    /// it, so the result is sorted before returning: ascending record-id
+    /// order is a pure function of the query, is preserved by subset
+    /// filtering ([`GroupColumns::derive_refinement`] relies on this), and
+    /// keeps [`GroupCache`] entries order-stable no matter which side
+    /// happened to be cheaper when the entry was built.
     pub fn collect_group_records(&self, query: &SelectionQuery) -> Vec<RecordId> {
         let has_reviewer_preds = query.preds_of(Entity::Reviewer).next().is_some();
         let has_item_preds = query.preds_of(Entity::Item).next().is_some();
@@ -229,7 +237,43 @@ impl SubjectiveDb {
                 }
             }
         }
+        records.sort_unstable();
         records
+    }
+
+    /// Gather columns for the refinement `parent-query ∪ {pred}`, derived
+    /// by filtering `parent`'s already-gathered columns against `pred`'s
+    /// posting list — no adjacency walk, no re-gather (see
+    /// [`GroupColumns::derive_refinement`]).
+    ///
+    /// Byte-identity contract: the result equals
+    /// [`collect_group_columns`](Self::collect_group_columns) on the
+    /// refined query bit-for-bit, because both are in canonical ascending
+    /// record order. `parent` must be the gather columns of a query that
+    /// does **not** already constrain records on `pred` (i.e. the
+    /// refinement adds `pred` as a new conjunct).
+    pub fn derive_refinement_columns(
+        &self,
+        parent: &GroupColumns,
+        pred: &AttrValue,
+    ) -> GroupColumns {
+        parent.derive_refinement(pred.entity, pred, self.index(pred.entity))
+    }
+
+    /// Cheap index-only upper bound on the size of `query`'s entity
+    /// selection: the minimum posting-list length over the query's
+    /// predicates (`usize::MAX` when the query has no predicates and
+    /// nothing constrains the group). A bound of zero proves the rating
+    /// group is empty without materializing anything — the recommendation
+    /// builder uses this to skip unsatisfiable candidates before any group
+    /// work happens.
+    pub fn index_cardinality_bound(&self, query: &SelectionQuery) -> usize {
+        query
+            .preds()
+            .iter()
+            .map(|p| self.index(p.entity).postings(p.attr, p.value).len())
+            .min()
+            .unwrap_or(usize::MAX)
     }
 
     /// The gather columns for `query`: the walk-order record list plus both
@@ -515,6 +559,86 @@ mod tests {
         let a = db.rating_group(&q, 5);
         let b = db.rating_group(&q, 5);
         assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn collect_group_records_is_ascending_from_either_side() {
+        let db = figure2_db();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
+        let f = db
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let burgers = db
+            .pred(Entity::Item, "cuisine", &Value::str("Burgers"))
+            .unwrap();
+        // Queries whose walk is driven from the reviewer side, the item
+        // side, and both: the emitted order must always be ascending.
+        for q in [
+            SelectionQuery::all(),
+            SelectionQuery::from_preds(vec![young]),
+            SelectionQuery::from_preds(vec![nyc]),
+            SelectionQuery::from_preds(vec![burgers]),
+            SelectionQuery::from_preds(vec![f, burgers]),
+            SelectionQuery::from_preds(vec![young, nyc]),
+        ] {
+            let recs = db.collect_group_records(&q);
+            assert!(recs.windows(2).all(|w| w[0] < w[1]), "{q:?}: {recs:?}");
+        }
+    }
+
+    #[test]
+    fn derive_refinement_matches_full_walk() {
+        let db = figure2_db();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
+        let f = db
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let sushi = db
+            .pred(Entity::Item, "cuisine", &Value::str("Sushi"))
+            .unwrap();
+        let parents = [
+            SelectionQuery::all(),
+            SelectionQuery::from_preds(vec![young]),
+            SelectionQuery::from_preds(vec![nyc]),
+            SelectionQuery::from_preds(vec![young, nyc]),
+        ];
+        for parent in &parents {
+            let parent_cols = db.collect_group_columns(parent);
+            for pred in [young, f, nyc, sushi] {
+                if parent.contains(&pred) {
+                    continue;
+                }
+                let child = parent.with_added(pred);
+                let derived = db.derive_refinement_columns(&parent_cols, &pred);
+                let walked = db.collect_group_columns(&child);
+                assert_eq!(derived, walked, "parent {parent:?} + {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_cardinality_bound_detects_empty_postings() {
+        let db = figure2_db();
+        let f = db
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap();
+        // A value id beyond the dictionary has an empty posting list.
+        let bogus = AttrValue::new(Entity::Item, AttrId(2), ValueId(99));
+        assert_eq!(
+            db.index_cardinality_bound(&SelectionQuery::all()),
+            usize::MAX
+        );
+        assert!(db.index_cardinality_bound(&SelectionQuery::from_preds(vec![f])) >= 2);
+        assert_eq!(
+            db.index_cardinality_bound(&SelectionQuery::from_preds(vec![f, bogus])),
+            0
+        );
     }
 
     #[test]

@@ -182,6 +182,39 @@ impl SelectionQuery {
         Some(q)
     }
 
+    /// If `child` is exactly `self` plus one extra predicate (a pure
+    /// drill-down edit), returns that predicate. Returns `None` for any
+    /// other relationship — removals, changes, multi-predicate diffs, or
+    /// equality — so callers can decide whether a candidate group can be
+    /// derived by filtering the parent's columns.
+    ///
+    /// Both queries are canonical (sorted, deduplicated), so this is a
+    /// single two-pointer merge pass.
+    pub fn single_added_pred(&self, child: &Self) -> Option<AttrValue> {
+        if child.preds.len() != self.preds.len() + 1 {
+            return None;
+        }
+        let mut added = None;
+        let mut mine = self.preds.iter().peekable();
+        for p in &child.preds {
+            match mine.peek() {
+                Some(&m) if m == p => {
+                    mine.next();
+                }
+                _ => {
+                    if added.replace(*p).is_some() {
+                        return None;
+                    }
+                }
+            }
+        }
+        // Every parent predicate must have been matched in order.
+        if mine.next().is_some() {
+            return None;
+        }
+        added
+    }
+
     /// Size of the symmetric difference of the two predicate sets — the
     /// paper's measure of how far a candidate operation strays from the
     /// current query ("differ in at most 2 attribute-value pairs").
@@ -295,6 +328,38 @@ mod tests {
         let c = a.with_added(p(Entity::Item, 3, 0));
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert_ne!(SelectionQuery::all().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn single_added_pred_detects_pure_drill_down() {
+        let parent = SelectionQuery::from_preds(vec![p(Entity::Item, 0, 0)]);
+        let extra = p(Entity::Reviewer, 1, 5);
+        let child = parent.with_added(extra);
+        assert_eq!(parent.single_added_pred(&child), Some(extra));
+
+        // Adding a predicate that sorts before the existing one.
+        let early = p(Entity::Reviewer, 0, 0);
+        assert_eq!(
+            parent.single_added_pred(&parent.with_added(early)),
+            Some(early)
+        );
+
+        // From the empty query.
+        let root = SelectionQuery::all();
+        assert_eq!(root.single_added_pred(&parent), Some(p(Entity::Item, 0, 0)));
+
+        // Not a drill-down: equal, removal, change, two additions.
+        assert_eq!(parent.single_added_pred(&parent), None);
+        assert_eq!(child.single_added_pred(&parent), None);
+        let changed = parent
+            .with_changed(Entity::Item, AttrId(0), ValueId(3))
+            .unwrap();
+        assert_eq!(parent.single_added_pred(&changed), None);
+        let two = child.with_added(p(Entity::Item, 2, 2));
+        assert_eq!(parent.single_added_pred(&two), None);
+        // Same length as a drill-down but a predicate was swapped.
+        let swapped = SelectionQuery::from_preds(vec![p(Entity::Item, 0, 1), extra]);
+        assert_eq!(parent.single_added_pred(&swapped), None);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 
 use std::ops::Range;
 
+use crate::bitset::BitSet;
 use crate::group::RatingGroup;
+use crate::index::InvertedIndex;
+use crate::predicate::AttrValue;
 use crate::ratings::{DimId, RatingTable, RecordId};
 use crate::schema::Entity;
 
@@ -52,6 +55,57 @@ impl GroupColumns {
             records,
             reviewer_rows,
             item_rows,
+        }
+    }
+
+    /// Derives the gather columns of the refinement `query ∪ {pred}` from
+    /// this (the parent query's) columns: one linear pass testing each
+    /// record's `entity`-side row against `pred`'s posting-list bitset,
+    /// copying the record id and both entity-row columns of every match.
+    /// No adjacency walk, no re-gather.
+    ///
+    /// Because the canonical walk order is ascending record id — a pure
+    /// function of the query, preserved by subset filtering — the result is
+    /// byte-identical to a full `collect_group_columns` on the refined
+    /// query, so derived columns are safe to insert into the shared group
+    /// cache.
+    ///
+    /// `entity` selects which row column is probed and must match
+    /// `pred.entity`; `index` must be the inverted index of that entity's
+    /// table.
+    pub fn derive_refinement(
+        &self,
+        entity: Entity,
+        pred: &AttrValue,
+        index: &InvertedIndex,
+    ) -> GroupColumns {
+        debug_assert_eq!(entity, pred.entity, "probe side must match the predicate");
+        let members = BitSet::from_ids(index.rows(), index.postings(pred.attr, pred.value));
+        let rows = match entity {
+            Entity::Reviewer => &self.reviewer_rows,
+            Entity::Item => &self.item_rows,
+        };
+        // Branchless index compaction, then three exact-size gathers.
+        // Every row writes its position at the output cursor
+        // unconditionally and the cursor advances only on a match:
+        // predicate selectivity near 50% would make a branchy
+        // `if matched { push }` loop stall on mispredictions, which
+        // dominates the scan cost on large parents. Gathering through the
+        // compacted positions afterwards touches only matching rows and
+        // lets `collect` size each column exactly — the cache's byte
+        // budget relies on capacities not being padded.
+        let mut idx = vec![0u32; rows.len()];
+        let mut out = 0usize;
+        for (i, &row) in rows.iter().enumerate() {
+            idx[out] = i as u32;
+            out += usize::from(members.contains(row));
+        }
+        idx.truncate(out);
+        let gather = |col: &[u32]| -> Vec<u32> { idx.iter().map(|&i| col[i as usize]).collect() };
+        GroupColumns {
+            records: gather(&self.records),
+            reviewer_rows: gather(&self.reviewer_rows),
+            item_rows: gather(&self.item_rows),
         }
     }
 
