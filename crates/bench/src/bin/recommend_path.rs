@@ -98,7 +98,7 @@ fn main() {
     for _ in 0..4 {
         let parent = db.collect_group_columns(&query);
         let maps = displayed(&db, &query, &gen_cfg);
-        let (recs, _) = recommend_with_stats(
+        let (recs, _, _) = recommend_with_stats(
             &db,
             &query,
             &maps,
@@ -109,6 +109,7 @@ fn main() {
             7,
             None,
             Some(&parent),
+            None,
         );
         let next = recs.first().map(|r| r.query.clone());
         cases.push(BenchCase {
@@ -242,7 +243,7 @@ fn main() {
             for rep in 0..reps {
                 for case in &cases {
                     let start = Instant::now();
-                    let (recs, s) = recommend_with_stats(
+                    let (recs, s, _) = recommend_with_stats(
                         &db,
                         &case.query,
                         &case.maps,
@@ -253,6 +254,7 @@ fn main() {
                         7,
                         cache,
                         derive.then_some(&case.parent),
+                        None,
                     );
                     // Only the steady state counts toward the timing: rep 0
                     // warms caches and the allocator.

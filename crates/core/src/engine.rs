@@ -11,16 +11,17 @@
 //! (No-Pruning, CI Pruning, MAB Pruning, No-Parallelism, Naive).
 
 use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
+use crate::mapdist::{DistanceEngine, SelectionStats};
 use crate::pruning::PruningStrategy;
 use crate::ratingmap::ScoredRatingMap;
 use crate::recommend::{self, Materialization, RecommendConfig, Recommendation};
-use crate::selector::{select_diverse, SelectionStrategy};
+use crate::selector::{select_diverse_tracked, SelectionStrategy};
 use crate::utility::UtilityCombiner;
 use std::sync::Arc;
 use std::time::Duration;
 use subdex_stats::normalize::NormalizerKind;
 use subdex_store::{
-    GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery, SubjectiveDb,
+    DistanceCache, GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery, SubjectiveDb,
 };
 
 /// Full engine configuration (defaults follow Table 3 of the paper).
@@ -61,6 +62,10 @@ pub struct EngineConfig {
     pub peculiarity: crate::interest::PeculiarityMeasure,
     /// Cap on evaluated candidate operations per step.
     pub max_candidates: usize,
+    /// Prune GMM distance evaluations with exact lower bounds (selections
+    /// are byte-identical either way; disable only to measure the
+    /// unbounded path).
+    pub distance_bounds: bool,
     /// Base RNG seed (phase shuffles are derived deterministically).
     pub seed: u64,
 }
@@ -83,6 +88,7 @@ impl Default for EngineConfig {
             dimension_weighting: true,
             peculiarity: crate::interest::PeculiarityMeasure::TotalVariation,
             max_candidates: 48,
+            distance_bounds: true,
             seed: 0,
         }
     }
@@ -212,6 +218,10 @@ pub struct StepResult {
     /// parent's columns, fully walked, served from the shared cache, or
     /// skipped outright as provably empty.
     pub materialization: Materialization,
+    /// How this step's diverse selections (the displayed maps plus every
+    /// recommendation candidate's preview) resolved their distance
+    /// evaluations: exact solves, bound-pruned pairs, and cache hits.
+    pub selection: SelectionStats,
 }
 
 /// The SubDEx engine: owns the seen-context and normalizer state of one
@@ -223,6 +233,7 @@ pub struct SdeEngine {
     normalizers: CriterionNormalizers,
     step_counter: usize,
     group_cache: Option<Arc<GroupCache>>,
+    dist_cache: Option<Arc<DistanceCache>>,
     /// Gather buffers reused across steps so steady-state phase scans
     /// allocate nothing.
     scratch: ScanScratch,
@@ -239,6 +250,7 @@ impl SdeEngine {
             config,
             step_counter: 0,
             group_cache: None,
+            dist_cache: None,
             scratch: ScanScratch::new(),
         }
     }
@@ -262,6 +274,25 @@ impl SdeEngine {
     /// The attached rating-group cache, if any.
     pub fn group_cache(&self) -> Option<&Arc<GroupCache>> {
         self.group_cache.as_ref()
+    }
+
+    /// Attaches a shared map-distance cache: every exact EMD the selection
+    /// phase computes is memoized there and reused across steps and across
+    /// engines sharing the cache. Selections are byte-identical with or
+    /// without it — the cache stores exact canonical-order values.
+    pub fn with_distance_cache(mut self, cache: Arc<DistanceCache>) -> Self {
+        self.dist_cache = Some(cache);
+        self
+    }
+
+    /// Attaches or detaches the shared map-distance cache in place.
+    pub fn set_distance_cache(&mut self, cache: Option<Arc<DistanceCache>>) {
+        self.dist_cache = cache;
+    }
+
+    /// The attached map-distance cache, if any.
+    pub fn distance_cache(&self) -> Option<&Arc<DistanceCache>> {
+        self.dist_cache.as_ref()
     }
 
     /// The underlying database.
@@ -342,7 +373,20 @@ impl SdeEngine {
             .into_iter()
             .take(pool_size.max(self.config.k))
             .collect();
-        let maps = select_diverse(pool.clone(), self.config.k, self.config.selection);
+        let dist_engine = DistanceEngine::new()
+            .with_bounds(self.config.distance_bounds)
+            .with_cache(self.dist_cache.clone())
+            .with_threads(if self.config.parallel {
+                self.config.threads
+            } else {
+                1
+            });
+        let (maps, mut selection) = select_diverse_tracked(
+            pool.clone(),
+            self.config.k,
+            self.config.selection,
+            &dist_engine,
+        );
 
         for m in &maps {
             self.seen.record_displayed(&m.map);
@@ -355,7 +399,7 @@ impl SdeEngine {
             // missed display live, and the paper's candidate space ("q may
             // add a new attribute-value pair") is not limited to displayed
             // maps either.
-            let (recs, rec_stats) = recommend::recommend_with_stats(
+            let (recs, rec_stats, rec_sel) = recommend::recommend_with_stats(
                 &self.db,
                 query,
                 &pool,
@@ -366,8 +410,10 @@ impl SdeEngine {
                 seed,
                 self.group_cache.as_deref(),
                 Some(&parent_cols),
+                Some(&dist_engine),
             );
             materialization.merge(&rec_stats);
+            selection.merge(&rec_sel);
             recs
         } else {
             Vec::new()
@@ -383,6 +429,7 @@ impl SdeEngine {
             scan_elapsed,
             generator_stats: (total, ci, mab),
             materialization,
+            selection,
         }
     }
 }
@@ -584,6 +631,63 @@ mod tests {
         assert_eq!(hot.walked, 0, "{hot:?}");
         assert!(hot.cached > 0, "{hot:?}");
         assert_eq!(warm.total(), hot.total(), "same groups needed");
+    }
+
+    #[test]
+    fn step_reports_selection_breakdown() {
+        let db = db();
+        let cfg = EngineConfig {
+            parallel: false,
+            selection: SelectionStrategy::DiversityOnly,
+            ..EngineConfig::default()
+        };
+        let mut engine = SdeEngine::new(db, cfg);
+        let r = engine.step(&SelectionQuery::all());
+        let s = r.selection;
+        assert!(s.exact_solves > 0, "{s:?}");
+        assert!(s.evaluations() >= s.exact_solves);
+        assert!(s.select_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn shared_distance_cache_replays_byte_identically() {
+        use subdex_store::DistanceCache;
+        let db = db();
+        let cfg = EngineConfig {
+            parallel: false,
+            selection: SelectionStrategy::DiversityOnly,
+            ..EngineConfig::default()
+        };
+        let fingerprint = |r: &StepResult| {
+            let keys: Vec<_> = r.maps.iter().map(|m| m.map.key).collect();
+            let utils: Vec<_> = r.maps.iter().map(|m| m.dw_utility.to_bits()).collect();
+            let recs: Vec<_> = r.recommendations.iter().map(|x| x.query.clone()).collect();
+            (r.group_size, keys, utils, recs)
+        };
+
+        let mut plain = SdeEngine::new(db.clone(), cfg);
+        let reference = fingerprint(&plain.step(&SelectionQuery::all()));
+
+        let cache = Arc::new(DistanceCache::new(1 << 20));
+        let mut cold = SdeEngine::new(db.clone(), cfg);
+        cold.set_distance_cache(Some(cache.clone()));
+        let cold_step = cold.step(&SelectionQuery::all());
+        assert_eq!(fingerprint(&cold_step), reference);
+        assert!(cold_step.selection.exact_solves > 0);
+        assert!(!cache.is_empty(), "cold step must populate the cache");
+
+        // A sibling engine sharing the cache replays the identical step
+        // with every distance served warm.
+        let mut warm = SdeEngine::new(db, cfg);
+        warm.set_distance_cache(Some(cache));
+        let warm_step = warm.step(&SelectionQuery::all());
+        assert_eq!(fingerprint(&warm_step), reference);
+        assert_eq!(
+            warm_step.selection.exact_solves, 0,
+            "{:?}",
+            warm_step.selection
+        );
+        assert!(warm_step.selection.cache_hits > 0);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod utility;
 
 pub use engine::{EngineConfig, SdeEngine, StepResult};
 pub use generator::SeenContext;
+pub use mapdist::{DistScratch, DistanceEngine, MapSignature, SelectionStats};
 pub use parallel::resolve_threads;
 pub use pruning::PruningStrategy;
 pub use ratingmap::{MapKey, RatingMap, ScoredRatingMap};

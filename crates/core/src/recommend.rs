@@ -14,8 +14,9 @@
 //! evaluated concurrently, up to the number of available cores.
 
 use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
+use crate::mapdist::{DistanceEngine, SelectionStats};
 use crate::ratingmap::ScoredRatingMap;
-use crate::selector::{select_diverse, SelectionStrategy};
+use crate::selector::{select_diverse_tracked, SelectionStrategy};
 use std::collections::HashSet;
 use subdex_store::{
     AttrValue, Entity, GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery,
@@ -275,6 +276,7 @@ pub fn recommend(
         seed,
         cache,
         None,
+        None,
     )
     .0
 }
@@ -292,6 +294,12 @@ pub fn recommend(
 /// any materialization. Output is byte-identical to the walk path for every
 /// `(query, seed)` — that contract is what lets derived entries share the
 /// cache.
+///
+/// `dist` configures the [`DistanceEngine`] behind each candidate's
+/// diverse-selection preview; candidates already run one per worker thread,
+/// so the engine is forced serial per candidate ([`DistanceEngine::serial`])
+/// to avoid nested thread pools, while keeping its bounds and shared cache.
+/// The returned [`SelectionStats`] aggregate those previews.
 #[allow(clippy::too_many_arguments)]
 pub fn recommend_with_stats(
     db: &SubjectiveDb,
@@ -304,15 +312,30 @@ pub fn recommend_with_stats(
     seed: u64,
     cache: Option<&GroupCache>,
     parent: Option<&GroupColumns>,
-) -> (Vec<Recommendation>, Materialization) {
+    dist: Option<&DistanceEngine>,
+) -> (Vec<Recommendation>, Materialization, SelectionStats) {
     let candidates = enumerate_candidates(db, query, displayed, cfg);
     if candidates.is_empty() {
-        return (Vec::new(), Materialization::default());
+        return (
+            Vec::new(),
+            Materialization::default(),
+            SelectionStats::default(),
+        );
     }
+
+    // Each candidate is evaluated inside an (optionally) already-parallel
+    // worker, so the per-candidate selection runs the engine serially while
+    // keeping its bounds setting and shared cache.
+    let dist_engine = match dist {
+        Some(engine) => engine.serial(),
+        None => DistanceEngine::new(),
+    };
+    let dist_engine = &dist_engine;
 
     let evaluate = |q: &SelectionQuery,
                     scratch: &mut ScanScratch,
-                    stats: &mut Materialization|
+                    stats: &mut Materialization,
+                    sel_stats: &mut SelectionStats|
      -> Option<Recommendation> {
         // Provably-empty candidates (some predicate has an empty posting
         // list) are dropped from the index alone, before any group is
@@ -372,7 +395,8 @@ pub fn recommend_with_stats(
             generator::generate_with_scratch(db, &group, q, seen, &mut norms, gen_cfg, scratch);
         let pool_size = cfg.selection.pool_size(cfg.k, out.pool.len());
         let pool: Vec<ScoredRatingMap> = out.pool.into_iter().take(pool_size.max(cfg.k)).collect();
-        let maps = select_diverse(pool, cfg.k, cfg.selection);
+        let (maps, sel) = select_diverse_tracked(pool, cfg.k, cfg.selection, dist_engine);
+        sel_stats.merge(&sel);
         let utility = maps.iter().map(|m| m.dw_utility).sum();
         Some(Recommendation {
             query: q.clone(),
@@ -385,9 +409,10 @@ pub fn recommend_with_stats(
     let threads = crate::parallel::resolve_threads(cfg.threads);
 
     let mut stats = Materialization::default();
+    let mut sel_stats = SelectionStats::default();
     let mut recs: Vec<Recommendation> = if cfg.parallel && threads > 1 && candidates.len() > 1 {
         let chunk = candidates.len().div_ceil(threads);
-        let mut results: Vec<(Vec<Recommendation>, Materialization)> = Vec::new();
+        let mut results: Vec<(Vec<Recommendation>, Materialization, SelectionStats)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
@@ -397,11 +422,12 @@ pub fn recommend_with_stats(
                         // in deterministic worker order after the join.
                         let mut scratch = ScanScratch::new();
                         let mut local = Materialization::default();
+                        let mut local_sel = SelectionStats::default();
                         let recs = slice
                             .iter()
-                            .filter_map(|q| evaluate(q, &mut scratch, &mut local))
+                            .filter_map(|q| evaluate(q, &mut scratch, &mut local, &mut local_sel))
                             .collect::<Vec<_>>();
-                        (recs, local)
+                        (recs, local, local_sel)
                     })
                 })
                 .collect();
@@ -411,8 +437,9 @@ pub fn recommend_with_stats(
         });
         results
             .into_iter()
-            .flat_map(|(recs, local)| {
+            .flat_map(|(recs, local, local_sel)| {
                 stats.merge(&local);
+                sel_stats.merge(&local_sel);
                 recs
             })
             .collect()
@@ -420,7 +447,7 @@ pub fn recommend_with_stats(
         let mut scratch = ScanScratch::new();
         candidates
             .iter()
-            .filter_map(|q| evaluate(q, &mut scratch, &mut stats))
+            .filter_map(|q| evaluate(q, &mut scratch, &mut stats, &mut sel_stats))
             .collect()
     };
 
@@ -432,7 +459,7 @@ pub fn recommend_with_stats(
             .then_with(|| a.query.preds().len().cmp(&b.query.preds().len()))
     });
     recs.truncate(cfg.o);
-    (recs, stats)
+    (recs, stats, sel_stats)
 }
 
 /// Cheap deterministic hash of a query, used to vary rating-group shuffle
@@ -661,7 +688,7 @@ mod tests {
             ..Default::default()
         };
         let cache = GroupCache::new(1 << 20);
-        let (recs, stats) = recommend_with_stats(
+        let (recs, stats, _) = recommend_with_stats(
             &db,
             &q,
             &[ghost],
@@ -671,6 +698,7 @@ mod tests {
             &cfg,
             11,
             Some(&cache),
+            None,
             None,
         );
         assert!(stats.skipped_empty >= 1, "{stats:?}");
@@ -707,13 +735,13 @@ mod tests {
             derive_candidates: false,
             ..base_cfg
         };
-        let (walked, walked_stats) = recommend_with_stats(
-            &db, &q, &maps, &seen, &norms, &gen_cfg, &walk_cfg, 7, None, None,
+        let (walked, walked_stats, _) = recommend_with_stats(
+            &db, &q, &maps, &seen, &norms, &gen_cfg, &walk_cfg, 7, None, None, None,
         );
         assert_eq!(walked_stats.derived, 0);
         assert!(walked_stats.walked > 0);
 
-        let (derived, derived_stats) = recommend_with_stats(
+        let (derived, derived_stats, _) = recommend_with_stats(
             &db,
             &q,
             &maps,
@@ -724,6 +752,7 @@ mod tests {
             7,
             None,
             Some(&parent),
+            None,
         );
         assert!(derived_stats.derived > 0, "{derived_stats:?}");
         assert!(derived_stats.records_filtered > 0);
@@ -733,7 +762,7 @@ mod tests {
         // identical pass is served from the cache — still byte-identical.
         use subdex_store::GroupCache;
         let cache = GroupCache::new(1 << 20);
-        let (first, first_stats) = recommend_with_stats(
+        let (first, first_stats, _) = recommend_with_stats(
             &db,
             &q,
             &maps,
@@ -744,9 +773,10 @@ mod tests {
             7,
             Some(&cache),
             Some(&parent),
+            None,
         );
         assert!(first_stats.derived > 0);
-        let (second, second_stats) = recommend_with_stats(
+        let (second, second_stats, _) = recommend_with_stats(
             &db,
             &q,
             &maps,
@@ -757,6 +787,7 @@ mod tests {
             7,
             Some(&cache),
             Some(&parent),
+            None,
         );
         assert_eq!(second_stats.derived, 0, "{second_stats:?}");
         assert!(second_stats.cached > 0);

@@ -10,8 +10,16 @@
 //! We seed deterministically with the highest-DW-utility map (the paper
 //! allows an arbitrary seed), so the "most interesting" map is always
 //! shown.
+//!
+//! Distance evaluations go through [`DistanceEngine`]: map signatures are
+//! built once per pool, the per-pick update `min_dist[i] = min(min_dist[i],
+//! d(next, i))` skips exact transportation solves that a lower bound proves
+//! irrelevant, exact values can be served from a shared cross-step cache,
+//! and rows are evaluated in parallel chunks with a deterministic merge.
+//! Every engine configuration returns byte-identical selections (see the
+//! equivalence tests in `tests/proptests.rs`).
 
-use crate::mapdist::map_distance;
+use crate::mapdist::{DistScratch, DistanceEngine, MapSignature, SelectionStats};
 use crate::ratingmap::ScoredRatingMap;
 
 /// How the final `k`-subset is chosen — the knob behind Table 5.
@@ -41,7 +49,8 @@ impl SelectionStrategy {
     }
 }
 
-/// Selects `k` maps from `pool` (already ranked by descending DW utility).
+/// Selects `k` maps from `pool` (already ranked by descending DW utility)
+/// with a default (bounds-on, serial, uncached) engine, discarding stats.
 ///
 /// For [`SelectionStrategy::UtilityOnly`] this is the prefix; otherwise
 /// GMM runs over the pool. Returns at most `k` maps (fewer when the pool is
@@ -51,27 +60,52 @@ pub fn select_diverse(
     k: usize,
     strategy: SelectionStrategy,
 ) -> Vec<ScoredRatingMap> {
-    if pool.len() <= k || k == 0 {
-        return pool.into_iter().take(k).collect();
-    }
-    if matches!(strategy, SelectionStrategy::UtilityOnly) {
-        return pool.into_iter().take(k).collect();
-    }
-    gmm(pool, k)
+    select_diverse_tracked(pool, k, strategy, &DistanceEngine::new()).0
+}
+
+/// [`select_diverse`] through a caller-configured [`DistanceEngine`],
+/// reporting how the distance evaluations were resolved.
+pub fn select_diverse_tracked(
+    pool: Vec<ScoredRatingMap>,
+    k: usize,
+    strategy: SelectionStrategy,
+    engine: &DistanceEngine,
+) -> (Vec<ScoredRatingMap>, SelectionStats) {
+    let start = std::time::Instant::now();
+    let mut stats = SelectionStats::default();
+    let out = if pool.len() <= k || k == 0 || matches!(strategy, SelectionStrategy::UtilityOnly) {
+        pool.into_iter().take(k).collect()
+    } else {
+        gmm(pool, k, engine, &mut stats)
+    };
+    stats.select_time = start.elapsed();
+    (out, stats)
 }
 
 /// Gonzalez's greedy max-min selection, seeded with index 0 (the
 /// highest-utility map, since pools arrive utility-sorted).
-fn gmm(pool: Vec<ScoredRatingMap>, k: usize) -> Vec<ScoredRatingMap> {
+fn gmm(
+    pool: Vec<ScoredRatingMap>,
+    k: usize,
+    engine: &DistanceEngine,
+    stats: &mut SelectionStats,
+) -> Vec<ScoredRatingMap> {
     let n = pool.len();
     debug_assert!(k < n || n == 0);
+    let sigs: Vec<MapSignature> = {
+        let mut tmp = Vec::new();
+        pool.iter()
+            .map(|m| MapSignature::build(&m.map, &mut tmp))
+            .collect()
+    };
+    let mut scratch = DistScratch::default();
     let mut picked = vec![false; n];
     let mut taken = 1;
     let mut min_dist = vec![f64::INFINITY; n];
     picked[0] = true;
-    for (i, d) in min_dist.iter_mut().enumerate().skip(1) {
-        *d = map_distance(&pool[0].map, &pool[i].map);
-    }
+    // Seed row: every min-dist is infinite, so nothing can be pruned and
+    // every pair resolves exactly (possibly from the cache).
+    engine.update_row(&sigs, 0, &picked, &mut min_dist, &mut scratch, stats);
     while taken < k {
         // Farthest-point: maximize the minimum distance to the chosen set;
         // tie-break toward higher utility (lower pool index).
@@ -89,17 +123,10 @@ fn gmm(pool: Vec<ScoredRatingMap>, k: usize) -> Vec<ScoredRatingMap> {
         let Some(next) = best else { break };
         picked[next] = true;
         taken += 1;
-        for (i, md) in min_dist.iter_mut().enumerate() {
-            // Chosen maps are never candidates again, so their min-dist
-            // entries (and the self-distance) need no update.
-            if picked[i] {
-                continue;
-            }
-            let d = map_distance(&pool[next].map, &pool[i].map);
-            if d < *md {
-                *md = d;
-            }
-        }
+        // Chosen maps are never candidates again, so their min-dist entries
+        // (and the self-distance) need no update; for the rest, a bound
+        // reaching min_dist[i] proves the exact solve irrelevant.
+        engine.update_row(&sigs, next, &picked, &mut min_dist, &mut scratch, stats);
     }
     // Emitting in pool order keeps utility order within the selection.
     pool.into_iter()
@@ -114,8 +141,9 @@ mod tests {
     use crate::mapdist::set_diversity;
     use crate::ratingmap::{MapKey, RatingMap, Subgroup};
     use crate::utility::CriterionScores;
+    use std::sync::Arc;
     use subdex_stats::RatingDistribution;
-    use subdex_store::{AttrId, DimId, Entity, ValueId};
+    use subdex_store::{AttrId, DimId, DistanceCache, Entity, ValueId};
 
     fn scored(attr: u16, counts: &[&[u64]], dw: f64) -> ScoredRatingMap {
         let subs = counts
@@ -244,11 +272,15 @@ mod tests {
         chosen
     }
 
+    fn attrs_of(sel: &[ScoredRatingMap]) -> Vec<u16> {
+        sel.iter().map(|m| m.map.key.attr.0).collect()
+    }
+
     #[test]
     fn gmm_selection_pinned_on_fixed_pool() {
-        // Regression pin for the bookkeeping rewrite (picked-array check +
-        // skipped self/chosen distance updates): exact selections on a
-        // fixed 6-map pool must never change.
+        // Regression pin for the engine rewrite (bound pruning, distance
+        // cache, parallel rows): exact selections on a fixed 6-map pool
+        // must never change, under every engine configuration.
         let pool = vec![
             scored(0, &[&[10, 0, 0, 0, 0]], 0.9),
             scored(1, &[&[9, 1, 0, 0, 0]], 0.8),
@@ -257,6 +289,7 @@ mod tests {
             scored(4, &[&[0, 0, 0, 0, 10]], 0.5),
             scored(5, &[&[5, 0, 0, 0, 5]], 0.4),
         ];
+        let engines = engine_matrix();
         for (k, expect) in [
             (2usize, vec![0u16, 4]),
             (3, vec![0, 2, 4]),
@@ -264,25 +297,104 @@ mod tests {
             (5, vec![0, 1, 2, 4, 5]),
         ] {
             let sel = select_diverse(pool.clone(), k, SelectionStrategy::DiversityOnly);
-            let attrs: Vec<u16> = sel.iter().map(|m| m.map.key.attr.0).collect();
+            let attrs = attrs_of(&sel);
             assert_eq!(attrs, expect, "k={k}");
             let reference: Vec<u16> = gmm_reference(&pool, k)
                 .into_iter()
                 .map(|i| pool[i].map.key.attr.0)
                 .collect();
             assert_eq!(attrs, reference, "k={k} diverged from reference GMM");
+            for (name, engine) in &engines {
+                let (sel_e, _) = select_diverse_tracked(
+                    pool.clone(),
+                    k,
+                    SelectionStrategy::DiversityOnly,
+                    engine,
+                );
+                assert_eq!(attrs_of(&sel_e), expect, "k={k} engine={name}");
+            }
         }
         // Also sweep the clustered pool against the reference.
         let clustered = clustered_pool();
         for k in 1..clustered.len() {
             let sel = select_diverse(clustered.clone(), k, SelectionStrategy::DiversityOnly);
-            let attrs: Vec<u16> = sel.iter().map(|m| m.map.key.attr.0).collect();
+            let attrs = attrs_of(&sel);
             let reference: Vec<u16> = gmm_reference(&clustered, k)
                 .into_iter()
                 .map(|i| clustered[i].map.key.attr.0)
                 .collect();
             assert_eq!(attrs, reference, "clustered k={k}");
+            for (name, engine) in &engines {
+                let (sel_e, _) = select_diverse_tracked(
+                    clustered.clone(),
+                    k,
+                    SelectionStrategy::DiversityOnly,
+                    engine,
+                );
+                assert_eq!(attrs_of(&sel_e), attrs, "clustered k={k} engine={name}");
+            }
         }
+    }
+
+    /// Every bounds × cache × threads configuration under test.
+    fn engine_matrix() -> Vec<(&'static str, DistanceEngine)> {
+        let cache = || Some(Arc::new(DistanceCache::new(1 << 20)));
+        vec![
+            ("bounds", DistanceEngine::new()),
+            ("no-bounds", DistanceEngine::new().with_bounds(false)),
+            ("bounds+cache", DistanceEngine::new().with_cache(cache())),
+            (
+                "no-bounds+cache",
+                DistanceEngine::new().with_bounds(false).with_cache(cache()),
+            ),
+            ("bounds+par", DistanceEngine::new().with_threads(4)),
+            (
+                "bounds+cache+par",
+                DistanceEngine::new().with_cache(cache()).with_threads(4),
+            ),
+        ]
+    }
+
+    #[test]
+    fn warm_cache_replays_the_same_selection_without_solves() {
+        let pool = clustered_pool();
+        let cache = Arc::new(DistanceCache::new(1 << 20));
+        let engine = DistanceEngine::new().with_cache(Some(cache.clone()));
+        let (cold_sel, cold) =
+            select_diverse_tracked(pool.clone(), 2, SelectionStrategy::DiversityOnly, &engine);
+        assert!(cold.exact_solves > 0);
+        let (warm_sel, warm) =
+            select_diverse_tracked(pool, 2, SelectionStrategy::DiversityOnly, &engine);
+        assert_eq!(attrs_of(&cold_sel), attrs_of(&warm_sel));
+        assert_eq!(warm.exact_solves, 0, "every pair must be served warm");
+        assert_eq!(warm.cache_hits, cold.exact_solves + cold.cache_hits);
+    }
+
+    #[test]
+    fn stats_account_for_every_pair() {
+        // Pool large enough that GMM does real work; every (pivot, i) pair
+        // the update loop visits must be counted exactly once.
+        let pool = vec![
+            scored(0, &[&[10, 0, 0, 0, 0]], 0.9),
+            scored(1, &[&[9, 1, 0, 0, 0]], 0.8),
+            scored(2, &[&[0, 0, 10, 0, 0]], 0.7),
+            scored(3, &[&[0, 0, 9, 1, 0]], 0.6),
+            scored(4, &[&[0, 0, 0, 0, 10]], 0.5),
+            scored(5, &[&[5, 0, 0, 0, 5]], 0.4),
+        ];
+        let n = pool.len() as u64;
+        let k = 4u64;
+        let (_, stats) = select_diverse_tracked(
+            pool,
+            k as usize,
+            SelectionStrategy::DiversityOnly,
+            &DistanceEngine::new(),
+        );
+        // A row runs after every pick t = 1..=k (including the last) and
+        // visits the n - t still-unpicked candidates.
+        let expected: u64 = (1..=k).map(|t| n - t).sum();
+        assert_eq!(stats.evaluations(), expected);
+        assert!(stats.select_time > std::time::Duration::ZERO);
     }
 
     #[test]

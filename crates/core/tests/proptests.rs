@@ -1,14 +1,18 @@
 //! Property-based tests for the exploration core.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use subdex_core::interest::{agreement_raw, conciseness_raw, self_peculiarity_raw};
-use subdex_core::mapdist::{map_distance, set_diversity};
+use subdex_core::mapdist::{
+    lower_bound, map_distance, refined_lower_bound, set_diversity, signature_distance, upper_bound,
+    DistScratch, DistanceEngine, MapSignature, SelectionStats,
+};
 use subdex_core::pruning::{ci_survivors, utility_envelope, SarDecision, SarState};
 use subdex_core::ratingmap::{MapKey, RatingMap, ScoredRatingMap, Subgroup};
-use subdex_core::selector::{select_diverse, SelectionStrategy};
+use subdex_core::selector::{select_diverse, select_diverse_tracked, SelectionStrategy};
 use subdex_core::utility::{CriterionScores, DimensionWeights, UtilityCombiner};
 use subdex_stats::{ConfidenceInterval, RatingDistribution};
-use subdex_store::{AttrId, DimId, Entity, ValueId};
+use subdex_store::{AttrId, DimId, DistanceCache, Entity, ValueId};
 
 fn subgroups_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
     prop::collection::vec(prop::collection::vec(0u64..20, 5), 0..8)
@@ -276,6 +280,94 @@ proptest! {
                 cands.iter().any(|c| c.len() < q.len() || c.is_empty()),
                 "roll-up must survive the cap"
             );
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_distance(a in subgroups_strategy(), b in subgroups_strategy()) {
+        let (ma, mb) = (make_map(0, &a), make_map(1, &b));
+        let (sa, sb) = (MapSignature::of(&ma), MapSignature::of(&mb));
+        let mut scratch = DistScratch::default();
+        let exact = signature_distance(&sa, &sb, &mut scratch);
+        prop_assert_eq!(exact.to_bits(), map_distance(&ma, &mb).to_bits());
+        let lo = lower_bound(&sa, &sb);
+        let lo_refined = refined_lower_bound(&sa, &sb, &mut scratch);
+        let hi = upper_bound(&sa, &sb, &mut scratch);
+        prop_assert!(lo <= exact + 1e-9, "mixture {lo} > exact {exact}");
+        prop_assert!(lo <= lo_refined + 1e-12, "refining must not loosen");
+        prop_assert!(lo_refined <= exact + 1e-9, "refined {lo_refined} > exact {exact}");
+        prop_assert!(exact <= hi + 1e-9, "exact {exact} > upper {hi}");
+    }
+
+    #[test]
+    fn lower_bound_tight_for_single_subgroup_maps(
+        a in prop::collection::vec(0u64..20, 5),
+        b in prop::collection::vec(0u64..20, 5),
+    ) {
+        // One subgroup per side: the mixture is the lone subgroup, so the
+        // centroid bound and the exact distance coincide.
+        let ma = make_map(0, std::slice::from_ref(&a));
+        let mb = make_map(1, std::slice::from_ref(&b));
+        let (sa, sb) = (MapSignature::of(&ma), MapSignature::of(&mb));
+        let exact = map_distance(&ma, &mb);
+        prop_assert!((lower_bound(&sa, &sb) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmm_byte_identical_across_engine_configs(pool in scored_pool(), k in 1usize..5) {
+        // bounds × cache × parallel must all reproduce the default
+        // engine's selection exactly, and warm cache replays must too.
+        let reference: Vec<MapKey> = select_diverse(pool.clone(), k, SelectionStrategy::DiversityOnly)
+            .iter()
+            .map(|m| m.map.key)
+            .collect();
+        let shared = Arc::new(DistanceCache::new(1 << 20));
+        let engines = [
+            DistanceEngine::new().with_bounds(false),
+            DistanceEngine::new().with_cache(Some(shared.clone())),
+            DistanceEngine::new().with_bounds(false).with_cache(Some(shared.clone())),
+            DistanceEngine::new().with_threads(3),
+            DistanceEngine::new().with_cache(Some(shared)).with_threads(3),
+        ];
+        for (i, engine) in engines.iter().enumerate() {
+            let (sel, stats) = select_diverse_tracked(
+                pool.clone(),
+                k,
+                SelectionStrategy::DiversityOnly,
+                engine,
+            );
+            let keys: Vec<MapKey> = sel.iter().map(|m| m.map.key).collect();
+            prop_assert_eq!(&keys, &reference, "engine #{} diverged", i);
+            let _ = stats.evaluations();
+        }
+    }
+
+    #[test]
+    fn engine_pruning_never_changes_the_minimum(
+        a in subgroups_strategy(),
+        b in subgroups_strategy(),
+        current_min in 0.0f64..1.0,
+    ) {
+        // Whenever the engine prunes a pair against current_min, the exact
+        // distance must indeed be >= current_min (so min() is unchanged).
+        let (sa, sb) = (MapSignature::of(&make_map(0, &a)), MapSignature::of(&make_map(1, &b)));
+        let mut scratch = DistScratch::default();
+        let mut stats = SelectionStats::default();
+        let engine = DistanceEngine::new();
+        match engine.evaluate_against(&sa, &sb, current_min, &mut scratch, &mut stats) {
+            Some(d) => {
+                prop_assert_eq!(
+                    d.to_bits(),
+                    signature_distance(&sa, &sb, &mut scratch).to_bits()
+                );
+            }
+            None => {
+                let exact = signature_distance(&sa, &sb, &mut scratch);
+                prop_assert!(
+                    exact >= current_min,
+                    "pruned pair with exact {exact} < min {current_min}"
+                );
+            }
         }
     }
 

@@ -228,14 +228,15 @@ proptest! {
                 seed,
                 cache,
                 derive.then_some(&parent_cols),
+                None,
             )
         };
 
-        let (reference, _) = run(false, false, None);
+        let (reference, _, _) = run(false, false, None);
         for derive in [false, true] {
             for parallel in [false, true] {
                 let cache = GroupCache::new(1 << 20);
-                let (plain, _) = run(derive, parallel, None);
+                let (plain, _, _) = run(derive, parallel, None);
                 prop_assert_eq!(
                     fingerprint(&plain),
                     fingerprint(&reference),
@@ -243,7 +244,7 @@ proptest! {
                     derive,
                     parallel
                 );
-                let (cold, _) = run(derive, parallel, Some(&cache));
+                let (cold, _, _) = run(derive, parallel, Some(&cache));
                 prop_assert_eq!(
                     fingerprint(&cold),
                     fingerprint(&reference),
@@ -251,7 +252,7 @@ proptest! {
                     derive,
                     parallel
                 );
-                let (warm, warm_stats) = run(derive, parallel, Some(&cache));
+                let (warm, warm_stats, _) = run(derive, parallel, Some(&cache));
                 prop_assert_eq!(
                     fingerprint(&warm),
                     fingerprint(&reference),

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use subdex_core::Materialization;
+use subdex_core::{Materialization, SelectionStats};
 use subdex_store::CacheStats;
 
 /// Upper bounds (inclusive, microseconds) of the step-latency histogram
@@ -36,6 +36,15 @@ pub struct ServiceMetrics {
     groups_cached: AtomicU64,
     groups_skipped: AtomicU64,
     records_filtered: AtomicU64,
+    /// Selection-phase distance breakdown across served steps (see
+    /// [`SelectionStats`]).
+    dist_exact_solves: AtomicU64,
+    dist_pruned_mixture: AtomicU64,
+    dist_pruned_matrix: AtomicU64,
+    dist_cache_hits: AtomicU64,
+    /// Cumulative wall-clock time steps spent in diverse selection, in
+    /// microseconds.
+    select_time_us: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -83,6 +92,23 @@ impl ServiceMetrics {
             .fetch_add(m.records_filtered, Ordering::Relaxed);
     }
 
+    /// Accumulates one served step's selection-phase counters (the
+    /// engine's `StepResult::selection`): how the GMM distance evaluations
+    /// resolved — exact transportation solves, bound-pruned pairs, and
+    /// distance-cache hits — plus time spent selecting.
+    pub fn record_selection(&self, s: &SelectionStats) {
+        self.dist_exact_solves
+            .fetch_add(s.exact_solves, Ordering::Relaxed);
+        self.dist_pruned_mixture
+            .fetch_add(s.pruned_mixture, Ordering::Relaxed);
+        self.dist_pruned_matrix
+            .fetch_add(s.pruned_matrix, Ordering::Relaxed);
+        self.dist_cache_hits
+            .fetch_add(s.cache_hits, Ordering::Relaxed);
+        let us = s.select_time.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.select_time_us.fetch_add(us, Ordering::Relaxed);
+    }
+
     /// Folds an observed queue depth into the high-water mark.
     pub fn observe_queue_depth(&self, depth: usize) {
         self.queue_depth_hwm
@@ -90,8 +116,13 @@ impl ServiceMetrics {
     }
 
     /// A snapshot of the counters; `cache` carries the shared group cache's
-    /// statistics when the service runs with caching enabled.
-    pub fn snapshot(&self, cache: Option<CacheStats>) -> MetricsSnapshot {
+    /// statistics and `dist_cache` the shared distance cache's, when the
+    /// service runs with the respective cache enabled.
+    pub fn snapshot(
+        &self,
+        cache: Option<CacheStats>,
+        dist_cache: Option<CacheStats>,
+    ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests_served: self.served.load(Ordering::Relaxed),
             requests_rejected: self.rejected.load(Ordering::Relaxed),
@@ -109,7 +140,15 @@ impl ServiceMetrics {
                 skipped_empty: self.groups_skipped.load(Ordering::Relaxed),
                 records_filtered: self.records_filtered.load(Ordering::Relaxed),
             },
+            selection: SelectionStats {
+                exact_solves: self.dist_exact_solves.load(Ordering::Relaxed),
+                pruned_mixture: self.dist_pruned_mixture.load(Ordering::Relaxed),
+                pruned_matrix: self.dist_pruned_matrix.load(Ordering::Relaxed),
+                cache_hits: self.dist_cache_hits.load(Ordering::Relaxed),
+                select_time: Duration::from_micros(self.select_time_us.load(Ordering::Relaxed)),
+            },
             cache,
+            dist_cache,
         }
     }
 }
@@ -130,8 +169,12 @@ pub struct MetricsSnapshot {
     pub scan_time_total: Duration,
     /// Aggregate group-materialization paths across served steps.
     pub materialization: Materialization,
+    /// Aggregate selection-phase distance breakdown across served steps.
+    pub selection: SelectionStats,
     /// Shared group-cache statistics (None when caching is disabled).
     pub cache: Option<CacheStats>,
+    /// Shared distance-cache statistics (None when disabled).
+    pub dist_cache: Option<CacheStats>,
 }
 
 impl MetricsSnapshot {
@@ -159,10 +202,34 @@ impl std::fmt::Display for MetricsSnapshot {
                 m.derived, m.walked, m.cached, m.skipped_empty, m.records_filtered
             )?;
         }
+        let s = &self.selection;
+        if s.evaluations() > 0 {
+            writeln!(
+                f,
+                "selection: {} exact / {} pruned ({} mixture, {} matrix) / {} cache hits, {}µs",
+                s.exact_solves,
+                s.pruned(),
+                s.pruned_mixture,
+                s.pruned_matrix,
+                s.cache_hits,
+                s.select_time.as_micros()
+            )?;
+        }
         if let Some(c) = &self.cache {
             writeln!(
                 f,
                 "cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes",
+                c.hits,
+                c.misses,
+                100.0 * c.hit_rate(),
+                c.entries,
+                c.resident_bytes
+            )?;
+        }
+        if let Some(c) = &self.dist_cache {
+            writeln!(
+                f,
+                "dist-cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes",
                 c.hits,
                 c.misses,
                 100.0 * c.hit_rate(),
@@ -191,7 +258,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_served(Duration::from_micros(500));
         m.record_served(Duration::from_secs(10)); // overflow bucket
-        let snap = m.snapshot(None);
+        let snap = m.snapshot(None, None);
         assert_eq!(snap.requests_served, 2);
         assert_eq!(snap.latency_count(), 2);
         assert_eq!(snap.latency_buckets[1], (1_000, 1));
@@ -203,7 +270,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_scan_time(Duration::from_micros(300));
         m.record_scan_time(Duration::from_micros(700));
-        let snap = m.snapshot(None);
+        let snap = m.snapshot(None, None);
         assert_eq!(snap.scan_time_total, Duration::from_micros(1_000));
         assert!(snap.to_string().contains("scan 1000µs"));
     }
@@ -214,7 +281,7 @@ mod tests {
         m.observe_queue_depth(3);
         m.observe_queue_depth(9);
         m.observe_queue_depth(5);
-        assert_eq!(m.snapshot(None).queue_depth_hwm, 9);
+        assert_eq!(m.snapshot(None, None).queue_depth_hwm, 9);
     }
 
     #[test]
@@ -222,15 +289,46 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_rejected();
         m.record_rejected();
-        let snap = m.snapshot(None);
+        let snap = m.snapshot(None, None);
         assert_eq!(snap.requests_rejected, 2);
         assert_eq!(snap.requests_served, 0);
     }
 
     #[test]
+    fn selection_accumulates_and_renders() {
+        let m = ServiceMetrics::new();
+        let snap = m.snapshot(None, None);
+        assert_eq!(snap.selection, SelectionStats::default());
+        assert!(!snap.to_string().contains("selection:"));
+
+        m.record_selection(&SelectionStats {
+            exact_solves: 4,
+            pruned_mixture: 2,
+            pruned_matrix: 1,
+            cache_hits: 3,
+            select_time: Duration::from_micros(120),
+        });
+        m.record_selection(&SelectionStats {
+            exact_solves: 1,
+            pruned_mixture: 0,
+            pruned_matrix: 2,
+            cache_hits: 0,
+            select_time: Duration::from_micros(30),
+        });
+        let snap = m.snapshot(None, None);
+        assert_eq!(snap.selection.exact_solves, 5);
+        assert_eq!(snap.selection.pruned(), 5);
+        assert_eq!(snap.selection.cache_hits, 3);
+        assert_eq!(snap.selection.select_time, Duration::from_micros(150));
+        assert!(snap
+            .to_string()
+            .contains("selection: 5 exact / 5 pruned (2 mixture, 3 matrix) / 3 cache hits, 150µs"));
+    }
+
+    #[test]
     fn materialization_accumulates_and_renders() {
         let m = ServiceMetrics::new();
-        let snap = m.snapshot(None);
+        let snap = m.snapshot(None, None);
         assert_eq!(snap.materialization, Materialization::default());
         assert!(!snap.to_string().contains("groups:"));
 
@@ -248,7 +346,7 @@ mod tests {
             skipped_empty: 0,
             records_filtered: 50,
         });
-        let snap = m.snapshot(None);
+        let snap = m.snapshot(None, None);
         assert_eq!(snap.materialization.derived, 6);
         assert_eq!(snap.materialization.walked, 2);
         assert_eq!(snap.materialization.cached, 5);
@@ -262,17 +360,27 @@ mod tests {
     #[test]
     fn display_renders_cache_line_only_when_present() {
         let m = ServiceMetrics::new();
-        let without = m.snapshot(None).to_string();
+        let without = m.snapshot(None, None).to_string();
         assert!(!without.contains("cache:"));
         let with = m
-            .snapshot(Some(CacheStats {
-                hits: 3,
-                misses: 1,
-                evictions: 0,
-                entries: 1,
-                resident_bytes: 64,
-            }))
+            .snapshot(
+                Some(CacheStats {
+                    hits: 3,
+                    misses: 1,
+                    evictions: 0,
+                    entries: 1,
+                    resident_bytes: 64,
+                }),
+                Some(CacheStats {
+                    hits: 9,
+                    misses: 1,
+                    evictions: 0,
+                    entries: 4,
+                    resident_bytes: 384,
+                }),
+            )
             .to_string();
         assert!(with.contains("cache: 3 hits / 1 misses (75.0% hit rate)"));
+        assert!(with.contains("dist-cache: 9 hits / 1 misses (90.0% hit rate)"));
     }
 }

@@ -25,7 +25,7 @@ use crate::registry::{SessionId, SessionRegistry};
 use subdex_core::{
     EngineConfig, ExplorationMode, ExplorationSession, SdeEngine, SessionError, StepResult,
 };
-use subdex_store::{GroupCache, SelectionQuery, SubjectiveDb};
+use subdex_store::{DistanceCache, GroupCache, SelectionQuery, SubjectiveDb};
 
 /// Service-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +43,12 @@ pub struct ServiceConfig {
     /// independent-sessions baseline the throughput benchmark compares
     /// against).
     pub cache_enabled: bool,
+    /// Byte budget of the shared map-distance cache.
+    pub dist_cache_capacity_bytes: usize,
+    /// Whether sessions share a map-distance cache: exact EMDs computed by
+    /// any session's selection phase are reused by every other (results
+    /// are byte-identical either way).
+    pub dist_cache_enabled: bool,
     /// Engine configuration given to every new session.
     pub engine: EngineConfig,
     /// Exploration mode of new sessions.
@@ -57,6 +63,8 @@ impl Default for ServiceConfig {
             session_ttl: Duration::from_secs(300),
             cache_capacity_bytes: 64 << 20,
             cache_enabled: true,
+            dist_cache_capacity_bytes: 8 << 20,
+            dist_cache_enabled: true,
             engine: EngineConfig::default(),
             mode: ExplorationMode::RecommendationPowered,
         }
@@ -171,6 +179,7 @@ pub struct SubdexService {
     registry: Arc<SessionRegistry>,
     metrics: Arc<ServiceMetrics>,
     cache: Option<Arc<GroupCache>>,
+    dist_cache: Option<Arc<DistanceCache>>,
     submit_tx: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -189,6 +198,9 @@ impl SubdexService {
         let cache = config
             .cache_enabled
             .then(|| Arc::new(GroupCache::new(config.cache_capacity_bytes)));
+        let dist_cache = config
+            .dist_cache_enabled
+            .then(|| Arc::new(DistanceCache::new(config.dist_cache_capacity_bytes)));
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity);
         let workers = (0..worker_count)
             .map(|_| {
@@ -204,6 +216,7 @@ impl SubdexService {
             registry,
             metrics,
             cache,
+            dist_cache,
             submit_tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
         }
@@ -229,6 +242,11 @@ impl SubdexService {
         self.cache.as_ref()
     }
 
+    /// The shared map-distance cache (None when disabled).
+    pub fn distance_cache(&self) -> Option<&Arc<DistanceCache>> {
+        self.dist_cache.as_ref()
+    }
+
     /// Creates a session with the service's engine configuration (and the
     /// shared cache, when enabled), returning its handle.
     pub fn create_session(&self) -> SessionId {
@@ -241,6 +259,9 @@ impl SubdexService {
         let mut engine = SdeEngine::new(Arc::clone(&self.db), engine_cfg);
         if let Some(cache) = &self.cache {
             engine = engine.with_group_cache(Arc::clone(cache));
+        }
+        if let Some(cache) = &self.dist_cache {
+            engine = engine.with_distance_cache(Arc::clone(cache));
         }
         self.registry
             .insert(ExplorationSession::with_engine(engine, self.config.mode))
@@ -303,8 +324,10 @@ impl SubdexService {
 
     /// Current metrics, including cache statistics when caching is on.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics
-            .snapshot(self.cache.as_ref().map(|c| c.stats()))
+        self.metrics.snapshot(
+            self.cache.as_ref().map(|c| c.stats()),
+            self.dist_cache.as_ref().map(|c| c.stats()),
+        )
     }
 
     /// Stops accepting work, drains every accepted job, and joins the
@@ -342,6 +365,7 @@ fn worker_loop(rx: &Receiver<Job>, registry: &SessionRegistry, metrics: &Service
                 metrics.record_served(job.submitted.elapsed());
                 metrics.record_scan_time(step.scan_elapsed);
                 metrics.record_materialization(&step.materialization);
+                metrics.record_selection(&step.selection);
                 Ok(step)
             }
             Some(Err(e)) => Err(e),
@@ -593,6 +617,48 @@ mod tests {
             .unwrap();
         assert!(service.cache().is_none());
         assert!(service.metrics().cache.is_none());
+    }
+
+    #[test]
+    fn sessions_share_one_distance_cache() {
+        let service = SubdexService::start(test_db(), quick_config());
+        let a = service.create_session();
+        let b = service.create_session();
+        service
+            .run_step(a, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        let first = service.metrics().selection;
+        assert!(
+            first.exact_solves > 0,
+            "first session must solve exact EMDs: {first:?}"
+        );
+        service
+            .run_step(b, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        let m = service.metrics();
+        assert!(
+            m.selection.cache_hits > 0,
+            "second session re-running the same query must reuse cached distances: {:?}",
+            m.selection
+        );
+        let dist = m.dist_cache.expect("dist cache enabled by default");
+        assert!(dist.hits > 0, "{dist:?}");
+        assert!(dist.entries > 0, "{dist:?}");
+    }
+
+    #[test]
+    fn dist_cache_disabled_service_has_no_dist_cache_stats() {
+        let config = ServiceConfig {
+            dist_cache_enabled: false,
+            ..quick_config()
+        };
+        let service = SubdexService::start(test_db(), config);
+        let id = service.create_session();
+        service
+            .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        assert!(service.distance_cache().is_none());
+        assert!(service.metrics().dist_cache.is_none());
     }
 
     #[test]

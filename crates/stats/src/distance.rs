@@ -55,7 +55,35 @@ pub fn emd_1d(a: &RatingDistribution, b: &RatingDistribution) -> f64 {
     assert_eq!(a.scale(), b.scale(), "distributions must share a scale");
     let ca = a.cdf();
     let cb = b.cdf();
-    ca.iter().zip(&cb).map(|(x, y)| (x - y).abs()).sum()
+    emd_1d_from_cdfs(&ca, &cb)
+}
+
+/// The closed-form 1-D EMD evaluated directly on precomputed CDF prefix
+/// vectors: `Σ_j |ca[j] − cb[j]|`.
+///
+/// This is the batched primitive behind [`emd_1d`]: callers that compare
+/// one distribution against many (ground-cost matrices between rating
+/// maps) compute each CDF once via
+/// [`RatingDistribution::cdf_into`](crate::RatingDistribution::cdf_into)
+/// and then evaluate every pair allocation-free through this function.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn emd_1d_from_cdfs(ca: &[f64], cb: &[f64]) -> f64 {
+    assert_eq!(ca.len(), cb.len(), "CDF vectors must share a scale");
+    ca.iter().zip(cb).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// [`emd_1d_from_cdfs`] normalized to `[0, 1]` by the scale diameter
+/// `m − 1` (0 when `m <= 1`), mirroring [`emd_1d_normalized`].
+#[inline]
+pub fn emd_1d_normalized_from_cdfs(ca: &[f64], cb: &[f64]) -> f64 {
+    let m = ca.len();
+    if m <= 1 {
+        return 0.0;
+    }
+    emd_1d_from_cdfs(ca, cb) / (m as f64 - 1.0)
 }
 
 /// [`emd_1d`] normalized to `[0, 1]` by the scale diameter `m − 1`.

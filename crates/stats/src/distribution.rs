@@ -165,15 +165,33 @@ impl RatingDistribution {
     /// `cdf[j] = P(score <= j + 1)`. Uniform if empty (consistent with
     /// [`Self::probabilities`]).
     pub fn cdf(&self) -> Vec<f64> {
-        let probs = self.probabilities();
+        let mut out = Vec::new();
+        self.cdf_into(&mut out);
+        out
+    }
+
+    /// [`Self::cdf`] into a caller-provided buffer, so hot paths (distance
+    /// signatures, cost-matrix builds) reuse one allocation across calls.
+    /// The buffer is cleared first; values are bit-identical to
+    /// [`Self::cdf`].
+    pub fn cdf_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.scale());
+        let total = self.total();
         let mut acc = 0.0;
-        probs
-            .into_iter()
-            .map(|p| {
-                acc += p;
-                acc
-            })
-            .collect()
+        if total == 0 {
+            let u = 1.0 / self.scale() as f64;
+            for _ in 0..self.scale() {
+                acc += u;
+                out.push(acc);
+            }
+        } else {
+            let inv = total as f64;
+            for &c in &self.counts {
+                acc += c as f64 / inv;
+                out.push(acc);
+            }
+        }
     }
 }
 

@@ -29,6 +29,52 @@ pub fn emd_transport<F>(supplies: &[f64], demands: &[f64], cost: F) -> f64
 where
     F: Fn(usize, usize) -> f64,
 {
+    validate_sides(supplies, demands);
+    let n = supplies.len();
+    let m = demands.len();
+    // Cost matrix, cached once.
+    let mut c = vec![0.0f64; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let v = cost(i, j);
+            assert!(
+                v.is_finite() && v >= -EPS,
+                "ground distances must be non-negative"
+            );
+            c[i * m + j] = v.max(0.0);
+        }
+    }
+    transport_on_matrix(supplies, demands, &c, true)
+}
+
+/// [`emd_transport`] over a pre-built row-major cost matrix
+/// (`costs[i * demands.len() + j]` is the unit cost from source `i` to sink
+/// `j`), so batched callers — the map-distance engine — can assemble the
+/// ground costs once in a reusable scratch buffer and hand a slice in,
+/// instead of paying a closure call per cell.
+///
+/// # Panics
+/// Panics on the same side conditions as [`emd_transport`], if
+/// `costs.len() != supplies.len() * demands.len()`, or if any cost is
+/// negative or non-finite.
+pub fn emd_transport_matrix(supplies: &[f64], demands: &[f64], costs: &[f64]) -> f64 {
+    validate_sides(supplies, demands);
+    validate_costs(supplies.len(), demands.len(), costs);
+    transport_on_matrix(supplies, demands, costs, true)
+}
+
+/// [`emd_transport_matrix`] with the single-subgroup closed-form fast path
+/// disabled, forcing the augmenting-path solver even on `1 × m` / `n × 1`
+/// instances. Exists so property tests can pin the fast path against the
+/// general solver; not part of the supported API.
+#[doc(hidden)]
+pub fn emd_transport_general(supplies: &[f64], demands: &[f64], costs: &[f64]) -> f64 {
+    validate_sides(supplies, demands);
+    validate_costs(supplies.len(), demands.len(), costs);
+    transport_on_matrix(supplies, demands, costs, false)
+}
+
+fn validate_sides(supplies: &[f64], demands: &[f64]) {
     assert!(
         !supplies.is_empty() && !demands.is_empty(),
         "EMD requires non-empty point sets"
@@ -45,24 +91,47 @@ where
         total_s > 0.0 && total_d > 0.0,
         "total mass must be positive"
     );
+}
 
+fn validate_costs(n: usize, m: usize, costs: &[f64]) {
+    assert_eq!(costs.len(), n * m, "cost matrix must be row-major n × m");
+    for &v in costs {
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "ground distances must be non-negative"
+        );
+    }
+}
+
+/// Core dispatch over a validated instance: closed-form when one side is a
+/// single point (every unit of mass must ship to/from it, so the optimum is
+/// the demand- or supply-weighted average of that row/column of ground
+/// costs — no flow search needed), the augmenting-path solver otherwise.
+fn transport_on_matrix(supplies: &[f64], demands: &[f64], c: &[f64], fast_path: bool) -> f64 {
     let n = supplies.len();
     let m = demands.len();
+    let total_s: f64 = supplies.iter().sum();
+    let total_d: f64 = demands.iter().sum();
+
+    if fast_path && n == 1 {
+        let d: f64 = demands
+            .iter()
+            .zip(c)
+            .map(|(&w, &cost)| (w / total_d) * cost)
+            .sum();
+        return d.max(0.0);
+    }
+    if fast_path && m == 1 {
+        let d: f64 = supplies
+            .iter()
+            .zip(c)
+            .map(|(&w, &cost)| (w / total_s) * cost)
+            .sum();
+        return d.max(0.0);
+    }
+
     let mut supply: Vec<f64> = supplies.iter().map(|&s| s / total_s).collect();
     let mut demand: Vec<f64> = demands.iter().map(|&d| d / total_d).collect();
-
-    // Cost matrix, cached once.
-    let mut c = vec![0.0f64; n * m];
-    for i in 0..n {
-        for j in 0..m {
-            let v = cost(i, j);
-            assert!(
-                v.is_finite() && v >= -EPS,
-                "ground distances must be non-negative"
-            );
-            c[i * m + j] = v.max(0.0);
-        }
-    }
 
     // flow[i*m + j] — current shipment from source i to sink j.
     let mut flow = vec![0.0f64; n * m];
@@ -274,6 +343,49 @@ mod tests {
         // Optimal: s0(0.5)→t0 cost .55; s1: 0.4→t0 cost 0.9*0.4=.36,
         // 0.1→t1 cost 0. Total 0.91.
         assert!((d - 0.91).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn matrix_api_matches_closure_api() {
+        let s = [0.2, 0.5, 0.3];
+        let t = [0.6, 0.1, 0.3];
+        let costs: Vec<f64> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i as f64 - j as f64).abs()))
+            .collect();
+        let via_closure = emd_transport(&s, &t, |i, j| (i as f64 - j as f64).abs());
+        let via_matrix = emd_transport_matrix(&s, &t, &costs);
+        assert!((via_closure - via_matrix).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_source_fast_path_matches_general() {
+        let s = [2.5];
+        let t = [0.1, 0.4, 0.2, 0.3];
+        let costs = [1.0, 0.25, 0.0, 2.0];
+        let fast = emd_transport_matrix(&s, &t, &costs);
+        let general = emd_transport_general(&s, &t, &costs);
+        // Closed form: demand-weighted average of ground costs.
+        let expect = 0.1 * 1.0 + 0.4 * 0.25 + 0.2 * 0.0 + 0.3 * 2.0;
+        assert!((fast - expect).abs() < 1e-12, "got {fast}");
+        assert!((fast - general).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sink_fast_path_matches_general() {
+        let s = [3.0, 1.0];
+        let t = [5.0];
+        let costs = [0.5, 1.5];
+        let fast = emd_transport_matrix(&s, &t, &costs);
+        let general = emd_transport_general(&s, &t, &costs);
+        let expect = 0.75 * 0.5 + 0.25 * 1.5;
+        assert!((fast - expect).abs() < 1e-12, "got {fast}");
+        assert!((fast - general).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major")]
+    fn matrix_wrong_shape_panics() {
+        let _ = emd_transport_matrix(&[1.0, 1.0], &[1.0], &[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property-based tests for the numeric substrate.
 
 use proptest::prelude::*;
-use subdex_stats::distance::{emd_1d, emd_1d_normalized, kl_divergence, total_variation};
-use subdex_stats::emd::emd_transport;
+use subdex_stats::distance::{
+    emd_1d, emd_1d_from_cdfs, emd_1d_normalized, kl_divergence, total_variation,
+};
+use subdex_stats::emd::{emd_transport, emd_transport_general, emd_transport_matrix};
 use subdex_stats::moments::RunningMoments;
 use subdex_stats::normalize::{MinMaxNormalizer, Normalizer, ZLogisticNormalizer};
 use subdex_stats::special::{f_cdf, regularized_incomplete_beta};
@@ -161,6 +163,61 @@ proptest! {
         prop_assert!((1.0..=5.0).contains(&m));
         let sd = d.std_dev().unwrap();
         prop_assert!((0.0..=2.0 + 1e-9).contains(&sd), "sd of 1..5 scale is ≤ 2");
+    }
+
+    #[test]
+    fn cdf_into_is_bit_identical_to_cdf(d in dist_strategy()) {
+        // Pre-populated buffer must be cleared, not appended to.
+        let mut buf = vec![42.0; 3];
+        d.cdf_into(&mut buf);
+        let owned = d.cdf();
+        prop_assert_eq!(buf.len(), owned.len());
+        for (a, b) in buf.iter().zip(&owned) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "cdf_into must match cdf bitwise");
+        }
+    }
+
+    #[test]
+    fn emd_1d_from_cdfs_matches_emd_1d(a in dist_strategy(), b in dist_strategy()) {
+        let (ca, cb) = (a.cdf(), b.cdf());
+        let batched = emd_1d_from_cdfs(&ca, &cb);
+        prop_assert_eq!(batched.to_bits(), emd_1d(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn single_subgroup_fast_path_matches_general_solver(
+        solo in 0.1f64..10.0,
+        other in prop::collection::vec(0.01f64..5.0, 1..8),
+        costs in prop::collection::vec(0.0f64..3.0, 8),
+        flip in 0usize..2,
+    ) {
+        // The closed-form path (one source or one sink) must agree with the
+        // augmenting-path solver on the same instance.
+        let costs = &costs[..other.len()];
+        let (s, t): (&[f64], &[f64]) = if flip == 1 {
+            (&other, std::slice::from_ref(&solo))
+        } else {
+            (std::slice::from_ref(&solo), &other)
+        };
+        let fast = emd_transport_matrix(s, t, costs);
+        let general = emd_transport_general(s, t, costs);
+        prop_assert!(
+            (fast - general).abs() < 1e-9,
+            "fast {fast} vs general {general}"
+        );
+    }
+
+    #[test]
+    fn matrix_api_matches_closure_api(
+        s in prop::collection::vec(0.01f64..5.0, 2..6),
+        t in prop::collection::vec(0.01f64..5.0, 2..6),
+    ) {
+        let costs: Vec<f64> = (0..s.len())
+            .flat_map(|i| (0..t.len()).map(move |j| (i as f64 - j as f64).abs()))
+            .collect();
+        let via_matrix = emd_transport_matrix(&s, &t, &costs);
+        let via_closure = emd_transport(&s, &t, |i, j| (i as f64 - j as f64).abs());
+        prop_assert!((via_matrix - via_closure).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Cross-step cache of exact map-distance values.
+//!
+//! The selection phase (GMM, Section 4.2.2) evaluates `O(k²·l)` exact EMD
+//! transportation problems per step, and candidate pools overlap heavily
+//! across consecutive steps of one session and across sessions exploring
+//! the same dataset — the top-utility maps of a query change slowly as the
+//! user drills down. [`DistanceCache`] memoizes the exact distance of a
+//! *pair of rating maps*, keyed by order-normalized content hashes of the
+//! two maps, so a distance computed once is reused by every later step and
+//! session that meets the same pair.
+//!
+//! The cache lives in the store crate (alongside [`GroupCache`]) so it can
+//! be shared service-wide behind an `Arc` without the storage layer
+//! depending on the exploration engine; the engine supplies 128-bit content
+//! hashes and receives `f64` distances. Keys are **content** hashes — two
+//! maps with different identities but identical subgroup histograms
+//! legitimately share an entry, because the distance depends only on the
+//! histograms. The pair key is order-normalized (smaller hash first), and
+//! the engine computes distances in the same canonical order, so cached
+//! and freshly computed values agree bitwise regardless of argument order.
+//!
+//! Eviction is least-recently-used under a byte budget, mirroring
+//! [`GroupCache`]; entries are tiny and uniform, so the budget is in effect
+//! an entry-count bound.
+//!
+//! [`GroupCache`]: crate::cache::GroupCache
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cache::CacheStats;
+
+/// What one memoized distance charges against the byte budget: the pair key
+/// (32 bytes), the value, LRU clock, and amortized hash-map slot overhead.
+pub const DIST_ENTRY_BYTES: usize = 96;
+
+/// An order-normalized pair of 128-bit map content hashes.
+///
+/// Constructed via [`DistanceCache::pair_key`]; the smaller hash always
+/// comes first so `d(a, b)` and `d(b, a)` share one entry.
+pub type DistPairKey = (u128, u128);
+
+struct Entry {
+    distance: f64,
+    /// Logical clock value of the most recent touch.
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<DistPairKey, Entry>,
+    /// Monotonic logical clock; bumped on every touch.
+    tick: u64,
+}
+
+/// A thread-safe LRU memo of exact map distances, keyed by order-normalized
+/// content-hash pairs and bounded by resident bytes.
+///
+/// Shared across sessions behind an `Arc`; all methods take `&self`.
+pub struct DistanceCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for DistanceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DistanceCache {
+    /// Creates a cache bounded to roughly `capacity_bytes` of entries
+    /// (each entry costs [`DIST_ENTRY_BYTES`]).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Normalizes two content hashes into the symmetric pair key.
+    #[inline]
+    pub fn pair_key(a: u128, b: u128) -> DistPairKey {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Looks up the memoized distance for a hash pair, counting a hit or a
+    /// miss. The caller computes and [`insert`](Self::insert)s on a miss —
+    /// lookup and insert are split (unlike `GroupCache::get_or_insert_with`)
+    /// because the GMM update loop often *prunes* the pair via bounds after
+    /// a miss, in which case there is no exact value to insert.
+    pub fn get(&self, key: DistPairKey) -> Option<f64> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(entry.distance)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Memoizes an exact distance, evicting LRU entries past the budget.
+    /// A racing insert of the same key keeps the incumbent value (both
+    /// racers computed the same canonical-order distance).
+    pub fn insert(&self, key: DistPairKey, distance: f64) {
+        debug_assert!(distance.is_finite() && distance >= 0.0);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .map
+            .entry(key)
+            .and_modify(|e| e.last_used = tick)
+            .or_insert(Entry {
+                distance,
+                last_used: tick,
+            });
+        let budget_entries = (self.capacity_bytes / DIST_ENTRY_BYTES).max(1);
+        while inner.map.len() > budget_entries {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("map checked non-empty");
+            inner.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the pair currently has a resident entry (does not touch LRU
+    /// state or counters; intended for tests and introspection).
+    pub fn contains(&self, key: DistPairKey) -> bool {
+        self.inner.lock().map.contains_key(&key)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// A consistent snapshot of the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            resident_bytes: entries * DIST_ENTRY_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_key_is_order_normalized() {
+        assert_eq!(DistanceCache::pair_key(7, 3), (3, 7));
+        assert_eq!(DistanceCache::pair_key(3, 7), (3, 7));
+        assert_eq!(DistanceCache::pair_key(5, 5), (5, 5));
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        let key = DistanceCache::pair_key(1, 2);
+        assert_eq!(cache.get(key), None);
+        cache.insert(key, 0.25);
+        assert_eq!(cache.get(key), Some(0.25));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.resident_bytes, DIST_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn symmetric_lookups_share_an_entry() {
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        cache.insert(DistanceCache::pair_key(9, 4), 0.5);
+        assert_eq!(cache.get(DistanceCache::pair_key(4, 9)), Some(0.5));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = DistanceCache::new(2 * DIST_ENTRY_BYTES);
+        cache.insert((1, 2), 0.1);
+        cache.insert((3, 4), 0.2);
+        // Touch (1, 2) so (3, 4) is the LRU entry.
+        assert_eq!(cache.get((1, 2)), Some(0.1));
+        cache.insert((5, 6), 0.3);
+        assert!(cache.contains((1, 2)), "recently used entry kept");
+        assert!(!cache.contains((3, 4)), "LRU entry evicted");
+        assert!(cache.contains((5, 6)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().resident_bytes <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn reinsert_keeps_incumbent_value() {
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        cache.insert((1, 2), 0.1);
+        cache.insert((1, 2), 0.9);
+        assert_eq!(cache.get((1, 2)), Some(0.1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tiny_budget_still_holds_one_entry() {
+        let cache = DistanceCache::new(1);
+        cache.insert((1, 2), 0.1);
+        assert_eq!(cache.get((1, 2)), Some(0.1));
+        cache.insert((3, 4), 0.2);
+        assert_eq!(cache.len(), 1, "budget floor is one entry");
+    }
+
+    #[test]
+    fn clear_resets_entries_but_keeps_counters() {
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        cache.insert((1, 2), 0.1);
+        let _ = cache.get((1, 2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().resident_bytes, 0);
+    }
+}

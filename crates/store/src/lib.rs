@@ -31,6 +31,7 @@ pub mod cache;
 pub mod column;
 pub mod csv;
 pub mod database;
+pub mod distcache;
 pub mod group;
 pub mod index;
 pub mod parse;
@@ -44,6 +45,7 @@ pub mod value;
 pub use cache::{CacheStats, GroupCache};
 pub use column::{Column, CsrColumn};
 pub use database::{AttributeSummary, DbStats, SubjectiveDb};
+pub use distcache::{DistPairKey, DistanceCache};
 pub use group::{EntityGroup, RatingGroup};
 pub use parse::{parse_query, ParseError};
 pub use predicate::{AttrValue, SelectionQuery};
@@ -60,6 +62,7 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<SubjectiveDb>();
     assert_send_sync::<GroupCache>();
+    assert_send_sync::<DistanceCache>();
     assert_send_sync::<RatingGroup>();
     assert_send_sync::<SelectionQuery>();
 };
