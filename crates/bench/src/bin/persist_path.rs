@@ -1,0 +1,217 @@
+//! Persist-path benchmark: snapshot warm start versus CSV cold start.
+//!
+//! Times, for the MovieLens- and Yelp-like datasets, the two ways a
+//! process can obtain a ready-to-query [`SubjectiveDb`]:
+//!
+//! 1. **CSV ingest** ([`subdex_store::csv::load_dir`]): parse three CSV
+//!    files, re-intern every dictionary, rebuild both inverted indexes —
+//!    what every start used to cost.
+//! 2. **Snapshot load** ([`subdex_persist::read_snapshot`]): one
+//!    checksummed bulk read of the columnar layout.
+//!
+//! Before timing, the run asserts the two paths agree with the original
+//! database — identical [`DbStats`](subdex_store::DbStats), identical
+//! canonical record sets for a spread of selection queries, identical
+//! seeded [`rating_group`](subdex_store::SubjectiveDb::rating_group)
+//! shuffles — so the speedup is between *equivalent* results, not a fast
+//! path that dropped work. Results print as a table and land in a JSON
+//! file (default `BENCH_persist.json`); `--quick` switches to smoke scale
+//! for CI.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use subdex_bench::harness::{movielens_at, yelp_at, Scale};
+use subdex_persist::{read_snapshot, write_snapshot};
+use subdex_store::{csv, AttrValue, Entity, SelectionQuery, SubjectiveDb};
+
+/// One dataset's measurements.
+struct Row {
+    name: &'static str,
+    ratings: usize,
+    csv_bytes: u64,
+    snapshot_bytes: u64,
+    csv_load_ms: f64,
+    snapshot_load_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.csv_load_ms / self.snapshot_load_ms.max(1e-9)
+    }
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok().and_then(|e| e.metadata().ok()))
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Queries exercising both entity sides and a multi-valued attribute when
+/// one exists: the identity check compares canonical record sets under
+/// each of these. Predicates carry `ValueId`s, so matching record sets
+/// also prove both loaders preserved dictionary code assignment.
+fn probe_queries(db: &SubjectiveDb) -> Vec<SelectionQuery> {
+    let mut queries = vec![SelectionQuery::all()];
+    for entity in [Entity::Reviewer, Entity::Item] {
+        let table = db.table(entity);
+        for attr in table.schema().attr_ids().take(2) {
+            if let Some((vid, _)) = table.dictionary(attr).iter().next() {
+                queries.push(SelectionQuery::from_preds([AttrValue::new(
+                    entity, attr, vid,
+                )]));
+            }
+        }
+    }
+    queries
+}
+
+/// Panics unless `loaded` answers every probe exactly like `original`.
+fn assert_equivalent(original: &SubjectiveDb, loaded: &SubjectiveDb, what: &str) {
+    assert_eq!(original.stats(), loaded.stats(), "{what}: DbStats differ");
+    for (i, q) in probe_queries(original).iter().enumerate() {
+        assert_eq!(
+            original.collect_group_records(q),
+            loaded.collect_group_records(q),
+            "{what}: probe query {i} record set differs"
+        );
+        let seed = 0xD1CE + i as u64;
+        assert_eq!(
+            original.rating_group(q, seed).records(),
+            loaded.rating_group(q, seed).records(),
+            "{what}: probe query {i} seeded shuffle differs"
+        );
+    }
+}
+
+fn bench_dataset(name: &'static str, db: &SubjectiveDb, reps: u32, work: &Path) -> Row {
+    let csv_dir = work.join(format!("{name}-csv"));
+    let snap_path = work.join(format!("{name}.sdx"));
+    let _ = std::fs::remove_dir_all(&csv_dir);
+    std::fs::create_dir_all(&csv_dir).expect("create csv dir");
+
+    csv::save_dir(db, &csv_dir).expect("save csv");
+    let snapshot_bytes = write_snapshot(db, 0, &snap_path).expect("write snapshot");
+
+    // Identity first: both paths must reconstruct the same database.
+    let from_csv = csv::load_dir(&csv_dir).expect("load csv");
+    assert_equivalent(db, &from_csv, "csv round trip");
+    let (from_snap, meta) = read_snapshot(&snap_path).expect("read snapshot");
+    assert_equivalent(db, &from_snap, "snapshot round trip");
+    assert_eq!(meta.bytes, snapshot_bytes);
+    drop((from_csv, from_snap));
+
+    // Rep 0 warms the page cache for both paths alike; the mean is over
+    // the remaining reps.
+    let mut csv_total = 0.0;
+    let mut snap_total = 0.0;
+    for rep in 0..=reps {
+        let t = Instant::now();
+        let loaded = csv::load_dir(&csv_dir).expect("load csv");
+        let csv_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(loaded.ratings().len(), db.ratings().len());
+
+        let t = Instant::now();
+        let (loaded, _) = read_snapshot(&snap_path).expect("read snapshot");
+        let snap_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(loaded.ratings().len(), db.ratings().len());
+
+        if rep > 0 {
+            csv_total += csv_ms;
+            snap_total += snap_ms;
+        }
+    }
+
+    Row {
+        name,
+        ratings: db.ratings().len(),
+        csv_bytes: dir_bytes(&csv_dir),
+        snapshot_bytes,
+        csv_load_ms: csv_total / f64::from(reps),
+        snapshot_load_ms: snap_total / f64::from(reps),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_persist.json".to_string());
+
+    let (scale, scale_name, reps) = if quick {
+        (Scale::Smoke, "smoke", 3u32)
+    } else {
+        (Scale::Study, "study", 10u32)
+    };
+    let work = std::env::temp_dir().join(format!("subdex-persist-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("create work dir");
+
+    let mut rows = Vec::new();
+    for (name, db) in [
+        ("movielens", Arc::new(movielens_at(scale).db)),
+        ("yelp", Arc::new(yelp_at(scale).db)),
+    ] {
+        eprintln!("benchmarking {name} at {scale_name} scale...");
+        rows.push(bench_dataset(name, &db, reps, &work));
+    }
+
+    println!("warm start vs CSV cold start ({scale_name} scale, mean over {reps} reps)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "dataset", "ratings", "csv bytes", "snap bytes", "csv ms", "snap ms", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>12.2} {:>12.2} {:>8.1}x",
+            r.name,
+            r.ratings,
+            r.csv_bytes,
+            r.snapshot_bytes,
+            r.csv_load_ms,
+            r.snapshot_load_ms,
+            r.speedup()
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"datasets\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ratings\": {}, \"csv_bytes\": {}, \
+             \"snapshot_bytes\": {}, \"csv_load_ms\": {:.3}, \"snapshot_load_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.ratings,
+            r.csv_bytes,
+            r.snapshot_bytes,
+            r.csv_load_ms,
+            r.snapshot_load_ms,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_persist.json");
+    eprintln!("wrote {out_path}");
+
+    let _ = std::fs::remove_dir_all(&work);
+
+    let worst = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
+    assert!(
+        worst >= 1.0,
+        "snapshot load slower than CSV ingest ({worst:.2}x)"
+    );
+}

@@ -144,14 +144,18 @@ fn main() {
     let mat_reps = reps * 20;
     let hit_cache = GroupCache::new(256 << 20);
     for (case, q, p) in &refinements {
-        hit_cache.get_or_insert_with(q, || db.derive_refinement_columns(&case.parent, p));
+        hit_cache.get_or_insert_with(q, db.epoch(), || {
+            db.derive_refinement_columns(&case.parent, p)
+        });
     }
     type PathFn<'a> = &'a dyn Fn(&BenchCase, &SelectionQuery, &AttrValue) -> usize;
     let walk_path: PathFn = &|_case, q, _p| db.collect_group_columns(q).len();
     let derive_path: PathFn = &|case, _q, p| db.derive_refinement_columns(&case.parent, p).len();
     let hit_path: PathFn = &|case, q, p| {
         hit_cache
-            .get_or_insert_with(q, || db.derive_refinement_columns(&case.parent, p))
+            .get_or_insert_with(q, db.epoch(), || {
+                db.derive_refinement_columns(&case.parent, p)
+            })
             .len()
     };
     // Mean µs per group build for each path over `subset`, rep 0 a warmup.

@@ -222,6 +222,10 @@ pub struct StepResult {
     /// recommendation candidate's preview) resolved their distance
     /// evaluations: exact solves, bound-pruned pairs, and cache hits.
     pub selection: SelectionStats,
+    /// Append epoch of the database this step executed against. A persistent
+    /// service compares it to the store's current epoch to tell whether the
+    /// step saw the latest ratings.
+    pub db_epoch: u64,
 }
 
 /// The SubDEx engine: owns the seen-context and normalizer state of one
@@ -335,7 +339,7 @@ impl SdeEngine {
         let parent_cols: Arc<GroupColumns> = match &self.group_cache {
             Some(cache) => {
                 let mut computed = false;
-                let arc = cache.get_or_insert_with(query, || {
+                let arc = cache.get_or_insert_with(query, self.db.epoch(), || {
                     computed = true;
                     self.db.collect_group_columns(query)
                 });
@@ -430,6 +434,7 @@ impl SdeEngine {
             generator_stats: (total, ci, mab),
             materialization,
             selection,
+            db_epoch: self.db.epoch(),
         }
     }
 }

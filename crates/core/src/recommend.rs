@@ -355,7 +355,7 @@ pub fn recommend_with_stats(
         let group = match (cache, derivable) {
             (Some(c), Some((cols, p))) => {
                 let mut computed = false;
-                let arc = c.get_or_insert_with(q, || {
+                let arc = c.get_or_insert_with(q, db.epoch(), || {
                     computed = true;
                     stats.records_filtered += cols.len() as u64;
                     db.derive_refinement_columns(cols, &p)
@@ -369,7 +369,7 @@ pub fn recommend_with_stats(
             }
             (Some(c), None) => {
                 let mut computed = false;
-                let arc = c.get_or_insert_with(q, || {
+                let arc = c.get_or_insert_with(q, db.epoch(), || {
                     computed = true;
                     db.collect_group_columns(q)
                 });

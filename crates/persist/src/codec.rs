@@ -1,0 +1,239 @@
+//! Little-endian binary encoding primitives shared by the snapshot and WAL
+//! formats.
+//!
+//! The write side appends to a `Vec<u8>`; the read side is a bounds-checked
+//! [`Cursor`] whose every method returns a [`StoreError`] instead of
+//! panicking, which is what lets the crash-consistency proptests assert
+//! that *no* byte mutation of a persisted file can panic the reader.
+//! Length prefixes are sanity-checked against the bytes actually remaining,
+//! so a corrupted length can never trigger a multi-gigabyte allocation.
+
+use subdex_store::{StoreError, Value};
+
+/// Appends a `u16` (little-endian).
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` (little-endian).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` (little-endian).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a length-prefixed `u32` slice.
+pub fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_u32(out, x);
+    }
+}
+
+/// Appends a length-prefixed byte slice.
+pub fn put_u8_slice(out: &mut Vec<u8>, v: &[u8]) {
+    put_u64(out, v.len() as u64);
+    out.extend_from_slice(v);
+}
+
+/// Appends a length-prefixed attribute value.
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push(0);
+            put_str(out, s);
+        }
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+}
+
+/// A bounds-checked reader over a byte slice.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Label used in error contexts, e.g. `"snapshot section meta"`.
+    what: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor over `bytes`; `what` labels errors.
+    pub fn new(bytes: &'a [u8], what: &'a str) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            what,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn truncated(&self) -> StoreError {
+        StoreError::corrupt(format!("{}: truncated at byte {}", self.what, self.pos))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(self.truncated());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length prefix that counts items of `item_bytes` each,
+    /// verifying the advertised length fits in the remaining bytes (so a
+    /// corrupt length cannot drive an absurd allocation).
+    pub fn len_prefix(&mut self, item_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.u64()?;
+        let need = (n as usize).checked_mul(item_bytes.max(1));
+        match need {
+            Some(need) if need <= self.remaining() => Ok(n as usize),
+            _ => Err(StoreError::corrupt(format!(
+                "{}: length {n} exceeds remaining {} bytes",
+                self.what,
+                self.remaining()
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StoreError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(self.truncated());
+        }
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::corrupt(format!("{}: invalid UTF-8 string", self.what)))
+    }
+
+    /// Reads a length-prefixed `u32` vector in one bulk take — the hot
+    /// path of snapshot load (rating columns, CSR arrays, posting lists).
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, StoreError> {
+        let n = self.len_prefix(4)?;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads a length-prefixed byte vector.
+    pub fn u8_vec(&mut self) -> Result<Vec<u8>, StoreError> {
+        let n = self.len_prefix(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed attribute value.
+    pub fn value(&mut self) -> Result<Value, StoreError> {
+        match self.u8()? {
+            0 => Ok(Value::Str(self.str()?)),
+            1 => Ok(Value::Int(self.i64()?)),
+            tag => Err(StoreError::corrupt(format!(
+                "{}: unknown value tag {tag}",
+                self.what
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_str(&mut buf, "caffè");
+        put_u32_slice(&mut buf, &[1, 2, 3]);
+        put_u8_slice(&mut buf, &[9, 8]);
+        put_value(&mut buf, &Value::str("NYC"));
+        put_value(&mut buf, &Value::int(-5));
+
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.u16().unwrap(), 7);
+        assert_eq!(c.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.str().unwrap(), "caffè");
+        assert_eq!(c.u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.u8_vec().unwrap(), vec![9, 8]);
+        assert_eq!(c.value().unwrap(), Value::str("NYC"));
+        assert_eq!(c.value().unwrap(), Value::int(-5));
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        let mut c = Cursor::new(&buf[..5], "test");
+        assert!(c.u64().is_err());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // claims u64::MAX u32 items follow
+        let mut c = Cursor::new(&buf, "test");
+        let err = c.u32_vec().unwrap_err();
+        assert!(err.context.contains("exceeds remaining"), "{err}");
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut c = Cursor::new(&buf, "test");
+        assert!(c.str().is_err());
+    }
+}

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use subdex_core::{Materialization, SelectionStats};
+use subdex_persist::PersistStats;
 use subdex_store::CacheStats;
 
 /// Upper bounds (inclusive, microseconds) of the step-latency histogram
@@ -117,11 +118,13 @@ impl ServiceMetrics {
 
     /// A snapshot of the counters; `cache` carries the shared group cache's
     /// statistics and `dist_cache` the shared distance cache's, when the
-    /// service runs with the respective cache enabled.
+    /// service runs with the respective cache enabled. `persist` carries the
+    /// durable store's counters when the service was warm-started from one.
     pub fn snapshot(
         &self,
         cache: Option<CacheStats>,
         dist_cache: Option<CacheStats>,
+        persist: Option<PersistStats>,
     ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests_served: self.served.load(Ordering::Relaxed),
@@ -149,6 +152,7 @@ impl ServiceMetrics {
             },
             cache,
             dist_cache,
+            persist,
         }
     }
 }
@@ -175,6 +179,8 @@ pub struct MetricsSnapshot {
     pub cache: Option<CacheStats>,
     /// Shared distance-cache statistics (None when disabled).
     pub dist_cache: Option<CacheStats>,
+    /// Durable-store counters (None when the service is in-memory only).
+    pub persist: Option<PersistStats>,
 }
 
 impl MetricsSnapshot {
@@ -218,23 +224,44 @@ impl std::fmt::Display for MetricsSnapshot {
         if let Some(c) = &self.cache {
             writeln!(
                 f,
-                "cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes",
+                "cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes, \
+                 {} evicted, {} rejected",
                 c.hits,
                 c.misses,
                 100.0 * c.hit_rate(),
                 c.entries,
-                c.resident_bytes
+                c.resident_bytes,
+                c.evictions,
+                c.rejected_inserts
             )?;
         }
         if let Some(c) = &self.dist_cache {
             writeln!(
                 f,
-                "dist-cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes",
+                "dist-cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes, \
+                 {} evicted, {} rejected",
                 c.hits,
                 c.misses,
                 100.0 * c.hit_rate(),
                 c.entries,
-                c.resident_bytes
+                c.resident_bytes,
+                c.evictions,
+                c.rejected_inserts
+            )?;
+        }
+        if let Some(p) = &self.persist {
+            writeln!(
+                f,
+                "persist: snapshot {} bytes, load {}µs, wal replayed {} batches / {} records, \
+                 {} appended ({} dirty), {} checkpoints, epoch {}",
+                p.snapshot_bytes,
+                p.load_micros,
+                p.wal_replayed_batches,
+                p.wal_replayed_records,
+                p.appended_records,
+                p.dirty_records,
+                p.checkpoints,
+                p.epoch
             )?;
         }
         write!(f, "latency:")?;
@@ -258,7 +285,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_served(Duration::from_micros(500));
         m.record_served(Duration::from_secs(10)); // overflow bucket
-        let snap = m.snapshot(None, None);
+        let snap = m.snapshot(None, None, None);
         assert_eq!(snap.requests_served, 2);
         assert_eq!(snap.latency_count(), 2);
         assert_eq!(snap.latency_buckets[1], (1_000, 1));
@@ -270,7 +297,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_scan_time(Duration::from_micros(300));
         m.record_scan_time(Duration::from_micros(700));
-        let snap = m.snapshot(None, None);
+        let snap = m.snapshot(None, None, None);
         assert_eq!(snap.scan_time_total, Duration::from_micros(1_000));
         assert!(snap.to_string().contains("scan 1000µs"));
     }
@@ -281,7 +308,7 @@ mod tests {
         m.observe_queue_depth(3);
         m.observe_queue_depth(9);
         m.observe_queue_depth(5);
-        assert_eq!(m.snapshot(None, None).queue_depth_hwm, 9);
+        assert_eq!(m.snapshot(None, None, None).queue_depth_hwm, 9);
     }
 
     #[test]
@@ -289,7 +316,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_rejected();
         m.record_rejected();
-        let snap = m.snapshot(None, None);
+        let snap = m.snapshot(None, None, None);
         assert_eq!(snap.requests_rejected, 2);
         assert_eq!(snap.requests_served, 0);
     }
@@ -297,7 +324,7 @@ mod tests {
     #[test]
     fn selection_accumulates_and_renders() {
         let m = ServiceMetrics::new();
-        let snap = m.snapshot(None, None);
+        let snap = m.snapshot(None, None, None);
         assert_eq!(snap.selection, SelectionStats::default());
         assert!(!snap.to_string().contains("selection:"));
 
@@ -315,7 +342,7 @@ mod tests {
             cache_hits: 0,
             select_time: Duration::from_micros(30),
         });
-        let snap = m.snapshot(None, None);
+        let snap = m.snapshot(None, None, None);
         assert_eq!(snap.selection.exact_solves, 5);
         assert_eq!(snap.selection.pruned(), 5);
         assert_eq!(snap.selection.cache_hits, 3);
@@ -328,7 +355,7 @@ mod tests {
     #[test]
     fn materialization_accumulates_and_renders() {
         let m = ServiceMetrics::new();
-        let snap = m.snapshot(None, None);
+        let snap = m.snapshot(None, None, None);
         assert_eq!(snap.materialization, Materialization::default());
         assert!(!snap.to_string().contains("groups:"));
 
@@ -346,7 +373,7 @@ mod tests {
             skipped_empty: 0,
             records_filtered: 50,
         });
-        let snap = m.snapshot(None, None);
+        let snap = m.snapshot(None, None, None);
         assert_eq!(snap.materialization.derived, 6);
         assert_eq!(snap.materialization.walked, 2);
         assert_eq!(snap.materialization.cached, 5);
@@ -360,7 +387,7 @@ mod tests {
     #[test]
     fn display_renders_cache_line_only_when_present() {
         let m = ServiceMetrics::new();
-        let without = m.snapshot(None, None).to_string();
+        let without = m.snapshot(None, None, None).to_string();
         assert!(!without.contains("cache:"));
         let with = m
             .snapshot(
@@ -368,16 +395,19 @@ mod tests {
                     hits: 3,
                     misses: 1,
                     evictions: 0,
+                    rejected_inserts: 0,
                     entries: 1,
                     resident_bytes: 64,
                 }),
                 Some(CacheStats {
                     hits: 9,
                     misses: 1,
-                    evictions: 0,
+                    evictions: 2,
+                    rejected_inserts: 1,
                     entries: 4,
                     resident_bytes: 384,
                 }),
+                None,
             )
             .to_string();
         assert!(with.contains("cache: 3 hits / 1 misses (75.0% hit rate)"));

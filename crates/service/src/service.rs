@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
@@ -25,7 +25,10 @@ use crate::registry::{SessionId, SessionRegistry};
 use subdex_core::{
     EngineConfig, ExplorationMode, ExplorationSession, SdeEngine, SessionError, StepResult,
 };
-use subdex_store::{DistanceCache, GroupCache, SelectionQuery, SubjectiveDb};
+use subdex_persist::PersistentStore;
+use subdex_store::{
+    DistanceCache, GroupCache, RatingDraft, SelectionQuery, StoreError, SubjectiveDb,
+};
 
 /// Service-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +56,12 @@ pub struct ServiceConfig {
     pub engine: EngineConfig,
     /// Exploration mode of new sessions.
     pub mode: ExplorationMode,
+    /// How long the background checkpointer waits between looking for dirty
+    /// WAL records to fold into a snapshot (persistent services only).
+    pub checkpoint_interval: Duration,
+    /// Dirty-record count that triggers an early checkpoint, ahead of the
+    /// interval (persistent services only).
+    pub checkpoint_dirty_threshold: u64,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +76,8 @@ impl Default for ServiceConfig {
             dist_cache_enabled: true,
             engine: EngineConfig::default(),
             mode: ExplorationMode::RecommendationPowered,
+            checkpoint_interval: Duration::from_secs(30),
+            checkpoint_dirty_threshold: 10_000,
         }
     }
 }
@@ -121,6 +132,10 @@ pub enum ServiceError {
     },
     /// The service shut down before the step could run.
     ShuttingDown,
+    /// The durable store refused the request (invalid drafts, I/O failure).
+    Persist(StoreError),
+    /// A persistence-only call on a service started without a store.
+    NotPersistent,
 }
 
 impl From<SubmitError> for ServiceError {
@@ -141,6 +156,10 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "submit queue full (depth {queue_depth})")
             }
             ServiceError::ShuttingDown => write!(f, "service shutting down"),
+            ServiceError::Persist(e) => write!(f, "persist error: {e}"),
+            ServiceError::NotPersistent => {
+                write!(f, "service was started without a persistent store")
+            }
         }
     }
 }
@@ -172,6 +191,13 @@ impl StepTicket {
     }
 }
 
+/// The background checkpointer's handle: a nudge channel (appends poke it
+/// when the dirty set crosses the threshold) and the thread itself.
+struct Checkpointer {
+    nudge: Sender<()>,
+    handle: JoinHandle<()>,
+}
+
 /// A concurrent multi-session exploration server over one shared database.
 pub struct SubdexService {
     db: Arc<SubjectiveDb>,
@@ -180,8 +206,10 @@ pub struct SubdexService {
     metrics: Arc<ServiceMetrics>,
     cache: Option<Arc<GroupCache>>,
     dist_cache: Option<Arc<DistanceCache>>,
+    store: Option<Arc<PersistentStore>>,
     submit_tx: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    checkpointer: Mutex<Option<Checkpointer>>,
 }
 
 impl SubdexService {
@@ -191,6 +219,40 @@ impl SubdexService {
     /// # Panics
     /// Panics if `config.queue_capacity == 0`.
     pub fn start(db: Arc<SubjectiveDb>, config: ServiceConfig) -> Self {
+        Self::start_inner(db, None, config)
+    }
+
+    /// Warm-starts the worker pool from a durable store: sessions explore
+    /// the store's published database,
+    /// [`append_ratings`](Self::append_ratings) goes through its WAL, and
+    /// a background
+    /// checkpointer folds the log into fresh snapshots on the configured
+    /// interval (or earlier, once `checkpoint_dirty_threshold` records are
+    /// dirty). [`shutdown`](Self::shutdown) drains the checkpointer too: a
+    /// final compaction leaves the directory snapshot-only.
+    ///
+    /// # Panics
+    /// Panics if `config.queue_capacity == 0`.
+    pub fn start_persistent(store: Arc<PersistentStore>, config: ServiceConfig) -> Self {
+        let service = Self::start_inner(store.db(), Some(Arc::clone(&store)), config);
+        let (nudge_tx, nudge_rx) = channel::bounded::<()>(1);
+        let interval = config.checkpoint_interval;
+        let threshold = config.checkpoint_dirty_threshold.max(1);
+        let handle = std::thread::spawn(move || {
+            checkpointer_loop(&store, interval, threshold, &nudge_rx);
+        });
+        *service.checkpointer.lock() = Some(Checkpointer {
+            nudge: nudge_tx,
+            handle,
+        });
+        service
+    }
+
+    fn start_inner(
+        db: Arc<SubjectiveDb>,
+        store: Option<Arc<PersistentStore>>,
+        config: ServiceConfig,
+    ) -> Self {
         let worker_count = subdex_core::resolve_threads(config.workers);
         assert!(config.queue_capacity > 0, "need a nonzero queue");
         let registry = Arc::new(SessionRegistry::new());
@@ -217,14 +279,33 @@ impl SubdexService {
             metrics,
             cache,
             dist_cache,
+            store,
             submit_tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
+            checkpointer: Mutex::new(None),
         }
     }
 
-    /// The served database.
+    /// The database the service booted with. Persistent services may have
+    /// appended ratings since; [`current_db`](Self::current_db) follows
+    /// those.
     pub fn db(&self) -> &Arc<SubjectiveDb> {
         &self.db
+    }
+
+    /// The latest published database: the store's current version for a
+    /// persistent service, the boot database otherwise. New sessions always
+    /// start from this.
+    pub fn current_db(&self) -> Arc<SubjectiveDb> {
+        match &self.store {
+            Some(store) => store.db(),
+            None => Arc::clone(&self.db),
+        }
+    }
+
+    /// The durable store behind a persistent service (None otherwise).
+    pub fn store(&self) -> Option<&Arc<PersistentStore>> {
+        self.store.as_ref()
     }
 
     /// The service configuration.
@@ -256,7 +337,7 @@ impl SubdexService {
             // display recommendations, so don't compute them.
             engine_cfg.recommendations = false;
         }
-        let mut engine = SdeEngine::new(Arc::clone(&self.db), engine_cfg);
+        let mut engine = SdeEngine::new(self.current_db(), engine_cfg);
         if let Some(cache) = &self.cache {
             engine = engine.with_group_cache(Arc::clone(cache));
         }
@@ -317,21 +398,61 @@ impl SubdexService {
         ticket.wait()
     }
 
+    /// Durably appends ratings through the store's WAL, publishes the new
+    /// database version, and invalidates the shared caches up to the new
+    /// epoch (cached groups and distances may describe superseded data).
+    /// Sessions created before the append keep their epoch-consistent view;
+    /// sessions created after see the new ratings. Returns the new epoch.
+    ///
+    /// Fails with [`ServiceError::NotPersistent`] on an in-memory service
+    /// and never partially applies: a rejected batch leaves database, WAL
+    /// and caches untouched.
+    pub fn append_ratings(&self, drafts: &[RatingDraft]) -> Result<u64, ServiceError> {
+        let store = self.store.as_ref().ok_or(ServiceError::NotPersistent)?;
+        let epoch = store
+            .append_ratings(drafts)
+            .map_err(ServiceError::Persist)?;
+        if let Some(cache) = &self.cache {
+            cache.bump_epoch(epoch);
+        }
+        if let Some(cache) = &self.dist_cache {
+            cache.bump_epoch(epoch);
+        }
+        if store.dirty_records() >= self.config.checkpoint_dirty_threshold {
+            if let Some(cp) = self.checkpointer.lock().as_ref() {
+                // A full nudge channel means a wake-up is already pending.
+                let _ = cp.nudge.try_send(());
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Forces a checkpoint now (folds the WAL into a fresh snapshot),
+    /// returning the snapshot size in bytes. Requires a persistent service.
+    pub fn checkpoint(&self) -> Result<u64, ServiceError> {
+        let store = self.store.as_ref().ok_or(ServiceError::NotPersistent)?;
+        store.compact().map_err(ServiceError::Persist)
+    }
+
     /// Evicts sessions idle past the configured TTL, returning their ids.
     pub fn evict_idle(&self) -> Vec<SessionId> {
         self.registry.evict_idle(self.config.session_ttl)
     }
 
-    /// Current metrics, including cache statistics when caching is on.
+    /// Current metrics, including cache statistics when caching is on and
+    /// persistence counters when the service runs over a durable store.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot(
             self.cache.as_ref().map(|c| c.stats()),
             self.dist_cache.as_ref().map(|c| c.stats()),
+            self.store.as_ref().map(|s| s.stats()),
         )
     }
 
-    /// Stops accepting work, drains every accepted job, and joins the
-    /// workers. Idempotent; also invoked on drop.
+    /// Stops accepting work, drains every accepted job, joins the workers,
+    /// and (on a persistent service) drains the checkpointer — its final
+    /// act is compacting any dirty WAL records into a snapshot. Idempotent;
+    /// also invoked on drop.
     pub fn shutdown(&self) {
         // Dropping the only Sender closes the channel; workers finish the
         // queued jobs (crossbeam receivers drain before disconnecting) and
@@ -341,12 +462,51 @@ impl SubdexService {
         for h in handles {
             let _ = h.join();
         }
+        // Workers are done, so no more appends race the final compaction.
+        if let Some(cp) = self.checkpointer.lock().take() {
+            drop(cp.nudge);
+            let _ = cp.handle.join();
+        }
     }
 }
 
 impl Drop for SubdexService {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Background checkpointing: wake on a nudge (dirty set crossed the
+/// threshold) or on the interval, compact when there is anything dirty, and
+/// run one final compaction when the service drops the nudge sender at
+/// shutdown. Compaction errors are swallowed deliberately — the WAL still
+/// holds every acknowledged append, so a failed fold loses nothing and the
+/// next pass retries.
+fn checkpointer_loop(
+    store: &PersistentStore,
+    interval: Duration,
+    threshold: u64,
+    nudge: &Receiver<()>,
+) {
+    loop {
+        match nudge.recv_timeout(interval) {
+            Ok(()) => {
+                if store.dirty_records() >= threshold {
+                    let _ = store.compact();
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if store.dirty_records() > 0 {
+                    let _ = store.compact();
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                if store.dirty_records() > 0 {
+                    let _ = store.compact();
+                }
+                return;
+            }
+        }
     }
 }
 
@@ -659,6 +819,145 @@ mod tests {
             .unwrap();
         assert!(service.distance_cache().is_none());
         assert!(service.metrics().dist_cache.is_none());
+    }
+
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("subdex-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn drafts(n: u32) -> Vec<RatingDraft> {
+        (0..n)
+            .map(|i| RatingDraft::new(i % 10, i % 4, vec![1 + (i % 5) as u8, 1 + (i % 5) as u8]))
+            .collect()
+    }
+
+    #[test]
+    fn persistent_service_appends_survive_restart() {
+        let dir = persist_dir("restart");
+        let db = Arc::unwrap_or_clone(test_db());
+        let base_ratings = db.ratings().len();
+        {
+            let store = Arc::new(PersistentStore::create(&dir, db).unwrap());
+            let service = SubdexService::start_persistent(Arc::clone(&store), quick_config());
+            let id = service.create_session();
+            let step = service
+                .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+                .unwrap();
+            assert_eq!(step.db_epoch, 0);
+
+            let epoch = service.append_ratings(&drafts(6)).unwrap();
+            assert_eq!(epoch, 1);
+            // The pre-append session keeps its consistent view...
+            let step = service
+                .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+                .unwrap();
+            assert_eq!(step.db_epoch, 0);
+            assert_eq!(step.group_size, base_ratings);
+            // ...while a fresh session sees the appended ratings.
+            let id2 = service.create_session();
+            let step2 = service
+                .run_step(id2, StepRequest::Operation(SelectionQuery::all()))
+                .unwrap();
+            assert_eq!(step2.db_epoch, 1);
+            assert_eq!(step2.group_size, base_ratings + 6);
+
+            let m = service.metrics();
+            let p = m.persist.expect("persistent service reports stats");
+            assert_eq!(p.appended_records, 6);
+            assert!(m.to_string().contains("persist: snapshot"));
+            service.shutdown();
+            // Shutdown's final checkpoint folded the WAL.
+            assert_eq!(store.dirty_records(), 0);
+            assert!(store.stats().checkpoints >= 1);
+        }
+        // A later process warm-starts with nothing to replay.
+        let store = Arc::new(PersistentStore::open(&dir).unwrap());
+        assert_eq!(store.stats().wal_replayed_records, 0);
+        let service = SubdexService::start_persistent(Arc::clone(&store), quick_config());
+        assert_eq!(service.current_db().ratings().len(), base_ratings + 6);
+        let id = service.create_session();
+        let step = service
+            .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        assert_eq!(step.group_size, base_ratings + 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_invalidates_shared_caches_by_epoch() {
+        let dir = persist_dir("epoch-bump");
+        let db = Arc::unwrap_or_clone(test_db());
+        let store = Arc::new(PersistentStore::create(&dir, db).unwrap());
+        let service = SubdexService::start_persistent(store, quick_config());
+        let id = service.create_session();
+        service
+            .run_step(id, StepRequest::Operation(SelectionQuery::all()))
+            .unwrap();
+        let cache = service.cache().unwrap();
+        assert!(cache.stats().entries > 0, "step populated the group cache");
+
+        service.append_ratings(&drafts(3)).unwrap();
+        assert_eq!(cache.stats().entries, 0, "append invalidated cached groups");
+        assert_eq!(cache.epoch(), 1);
+        assert_eq!(service.distance_cache().unwrap().epoch(), 1);
+        let _ = std::fs::remove_dir_all(service.store().unwrap().dir());
+    }
+
+    #[test]
+    fn dirty_threshold_triggers_background_checkpoint() {
+        let dir = persist_dir("threshold");
+        let db = Arc::unwrap_or_clone(test_db());
+        let store = Arc::new(PersistentStore::create(&dir, db).unwrap());
+        let config = ServiceConfig {
+            // Interval far beyond the test: only the nudge can fire.
+            checkpoint_interval: Duration::from_secs(3_600),
+            checkpoint_dirty_threshold: 4,
+            ..quick_config()
+        };
+        let service = SubdexService::start_persistent(Arc::clone(&store), config);
+        service.append_ratings(&drafts(6)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while store.stats().checkpoints == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(store.stats().checkpoints >= 1, "nudge compacted the WAL");
+        assert_eq!(store.dirty_records(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_service_refuses_persistence_calls() {
+        let service = SubdexService::start(test_db(), quick_config());
+        assert_eq!(
+            service.append_ratings(&drafts(1)).unwrap_err(),
+            ServiceError::NotPersistent
+        );
+        assert_eq!(
+            service.checkpoint().unwrap_err(),
+            ServiceError::NotPersistent
+        );
+        assert!(service.store().is_none());
+        assert!(service.metrics().persist.is_none());
+    }
+
+    #[test]
+    fn invalid_append_is_rejected_and_changes_nothing() {
+        let dir = persist_dir("invalid");
+        let db = Arc::unwrap_or_clone(test_db());
+        let store = Arc::new(PersistentStore::create(&dir, db).unwrap());
+        let service = SubdexService::start_persistent(store, quick_config());
+        let bad = vec![RatingDraft::new(99, 0, vec![3, 3])]; // reviewer out of range
+        match service.append_ratings(&bad).unwrap_err() {
+            ServiceError::Persist(e) => {
+                assert_eq!(e.kind, subdex_store::StoreErrorKind::Invalid)
+            }
+            other => panic!("expected Persist error, got {other:?}"),
+        }
+        assert_eq!(service.current_db().epoch(), 0);
+        assert_eq!(service.store().unwrap().dirty_records(), 0);
+        let _ = std::fs::remove_dir_all(service.store().unwrap().dir());
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay within the byte budget.
     pub evictions: u64,
+    /// Inserts refused residency: entries larger than the whole budget
+    /// (`GroupCache`) or racing inserts that lost to an incumbent
+    /// (`DistanceCache`). A high rate signals a budget that is too small
+    /// for the workload's group sizes.
+    pub rejected_inserts: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Bytes currently charged against the budget.
@@ -91,6 +96,10 @@ pub struct GroupCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    rejected: AtomicU64,
+    /// Database epoch the resident entries were materialized against; see
+    /// [`bump_epoch`](Self::bump_epoch).
+    epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for GroupCache {
@@ -116,6 +125,8 @@ impl GroupCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -124,9 +135,45 @@ impl GroupCache {
         self.capacity_bytes
     }
 
+    /// The database epoch this cache's entries are valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates every resident entry if `db_epoch` is newer than the
+    /// epoch the entries were built against. Gather columns are a pure
+    /// function of `(query, database contents)`, so a rating append makes
+    /// every entry stale at once; dropping them wholesale is both correct
+    /// and cheap relative to the append's own index rebuild. Counters are
+    /// kept (invalidation is not an eviction). Returns whether anything was
+    /// dropped.
+    pub fn bump_epoch(&self, db_epoch: u64) -> bool {
+        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        // Re-check under the lock so racing bumps to the same epoch clear
+        // once.
+        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.epoch.store(db_epoch, Ordering::Relaxed);
+        inner.map.clear();
+        inner.resident_bytes = 0;
+        true
+    }
+
     /// Returns the cached gather columns for `query`, materializing them
     /// with `materialize` on a miss. The returned [`Arc`] stays valid even
     /// if the entry is evicted while the caller holds it.
+    ///
+    /// `db_epoch` is the append epoch of the database the caller would
+    /// materialize from. It keeps the shared map single-version: a caller
+    /// from a newer epoch lazily invalidates every older entry (as
+    /// [`bump_epoch`](Self::bump_epoch) would), and a caller pinned to an
+    /// older database version neither hits nor inserts — its columns
+    /// describe superseded data, so it materializes privately (counted as a
+    /// miss plus a rejected insert).
     ///
     /// `materialize` runs *outside* the cache lock, so a slow walk does not
     /// block other sessions; if two sessions miss on the same query
@@ -139,17 +186,23 @@ impl GroupCache {
     pub fn get_or_insert_with(
         &self,
         query: &SelectionQuery,
+        db_epoch: u64,
         materialize: impl FnOnce() -> GroupColumns,
     ) -> Arc<GroupColumns> {
         debug_assert!(query.is_canonical(), "cache key must be canonical");
+        self.bump_epoch(db_epoch);
         {
             let mut inner = self.inner.lock();
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some(entry) = inner.map.get_mut(query) {
-                entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.columns);
+            // `epoch` only moves under the `inner` lock, so this check is
+            // race-free with concurrent bumps.
+            if db_epoch == self.epoch.load(Ordering::Relaxed) {
+                if let Some(entry) = inner.map.get_mut(query) {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&entry.columns);
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -159,11 +212,25 @@ impl GroupCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        // The cache may have moved to a newer database version while we
+        // materialized (or we were stale from the start); inserting would
+        // serve superseded columns to up-to-date sessions.
+        if db_epoch != self.epoch.load(Ordering::Relaxed) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return columns;
+        }
         // A racing miss may have inserted meanwhile; keep the incumbent so
         // concurrent callers converge on one allocation.
         if let Some(entry) = inner.map.get_mut(query) {
             entry.last_used = tick;
             return Arc::clone(&entry.columns);
+        }
+        // An entry larger than the whole budget could only ever evict
+        // everything else and then be evicted itself on the next insert;
+        // refuse it residency instead (the caller keeps its Arc).
+        if bytes > self.capacity_bytes {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return columns;
         }
         inner.map.insert(
             query.clone(),
@@ -228,6 +295,7 @@ impl GroupCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            rejected_inserts: self.rejected.load(Ordering::Relaxed),
             entries,
             resident_bytes,
         }
@@ -267,8 +335,8 @@ mod tests {
     #[test]
     fn hit_returns_same_allocation() {
         let cache = GroupCache::new(budget_for(4, 10));
-        let a = cache.get_or_insert_with(&q(0, 0), || cols(10));
-        let b = cache.get_or_insert_with(&q(0, 0), || panic!("must not rematerialize"));
+        let a = cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
+        let b = cache.get_or_insert_with(&q(0, 0), 0, || panic!("must not rematerialize"));
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -278,7 +346,7 @@ mod tests {
     #[test]
     fn entry_cost_includes_gather_columns() {
         let cache = GroupCache::new(budget_for(4, 10));
-        cache.get_or_insert_with(&q(0, 0), || cols(10));
+        cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
         // 12 bytes per record: the row columns are charged, not just ids.
         assert_eq!(cache.stats().resident_bytes, 10 * 12 + ENTRY_OVERHEAD_BYTES);
     }
@@ -286,11 +354,11 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let cache = GroupCache::new(budget_for(2, 10));
-        cache.get_or_insert_with(&q(0, 0), || cols(10));
-        cache.get_or_insert_with(&q(0, 1), || cols(10));
+        cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
+        cache.get_or_insert_with(&q(0, 1), 0, || cols(10));
         // Touch (0,0) so (0,1) is the LRU entry.
-        cache.get_or_insert_with(&q(0, 0), || unreachable!());
-        cache.get_or_insert_with(&q(0, 2), || cols(10));
+        cache.get_or_insert_with(&q(0, 0), 0, || unreachable!());
+        cache.get_or_insert_with(&q(0, 2), 0, || cols(10));
         assert!(cache.contains(&q(0, 0)), "recently used entry kept");
         assert!(!cache.contains(&q(0, 1)), "LRU entry evicted");
         assert!(cache.contains(&q(0, 2)));
@@ -302,31 +370,75 @@ mod tests {
         // Budget fits four small entries or one big one.
         let cache = GroupCache::new(budget_for(4, 10));
         for v in 0..4 {
-            cache.get_or_insert_with(&q(0, v), || cols(10));
+            cache.get_or_insert_with(&q(0, v), 0, || cols(10));
         }
         assert_eq!(cache.len(), 4);
         // One entry with 4x the records forces several evictions.
-        cache.get_or_insert_with(&q(1, 0), || cols(40));
+        cache.get_or_insert_with(&q(1, 0), 0, || cols(40));
         assert!(cache.stats().resident_bytes <= cache.capacity_bytes());
         assert!(cache.contains(&q(1, 0)));
     }
 
     #[test]
-    fn oversized_entry_still_returned() {
+    fn oversized_entry_rejected_but_still_returned() {
         let cache = GroupCache::new(16); // smaller than any entry
-        let columns = cache.get_or_insert_with(&q(0, 0), || cols(100));
+        let columns = cache.get_or_insert_with(&q(0, 0), 0, || cols(100));
         assert_eq!(columns.len(), 100);
-        // It may not stay resident, but the caller's Arc is intact.
-        cache.get_or_insert_with(&q(0, 1), || cols(100));
+        // The entry never became resident — it was rejected, not evicted —
+        // but the caller's Arc is intact.
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.rejected_inserts, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        cache.get_or_insert_with(&q(0, 1), 0, || cols(100));
+        assert_eq!(cache.stats().rejected_inserts, 2);
         assert_eq!(columns.len(), 100);
-        assert!(cache.stats().resident_bytes <= 2 * budget_for(1, 100));
+    }
+
+    #[test]
+    fn bump_epoch_invalidates_entries_once() {
+        let cache = GroupCache::new(budget_for(4, 10));
+        cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
+        assert_eq!(cache.epoch(), 0);
+        // Stale bump (same epoch) is a no-op.
+        assert!(!cache.bump_epoch(0));
+        assert_eq!(cache.len(), 1);
+        // A newer database epoch drops everything.
+        assert!(cache.bump_epoch(3));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().resident_bytes, 0);
+        assert_eq!(cache.epoch(), 3);
+        // Repeating the same bump clears nothing further.
+        assert!(!cache.bump_epoch(3));
+        // Entries inserted by up-to-date sessions are resident again.
+        cache.get_or_insert_with(&q(0, 0), 3, || cols(10));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_caller_neither_hits_nor_poisons() {
+        let cache = GroupCache::new(budget_for(4, 10));
+        cache.get_or_insert_with(&q(0, 0), 1, || cols(10));
+        assert_eq!(cache.epoch(), 1, "caller epoch lazily bumps the cache");
+        // A session still pinned to epoch 0 materializes privately: no hit
+        // on the epoch-1 entry, and nothing inserted for fresh sessions to
+        // pick up.
+        cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.rejected_inserts, 1);
+        assert_eq!(cache.len(), 1);
+        // The up-to-date entry is untouched and still hits.
+        cache.get_or_insert_with(&q(0, 0), 1, || unreachable!());
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
     fn stats_stay_consistent_across_evictions() {
         let cache = GroupCache::new(budget_for(2, 10));
         for v in 0..6 {
-            cache.get_or_insert_with(&q(0, v), || cols(10));
+            cache.get_or_insert_with(&q(0, v), 0, || cols(10));
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 6);
@@ -342,8 +454,8 @@ mod tests {
     #[test]
     fn clear_resets_entries_but_keeps_counters() {
         let cache = GroupCache::new(budget_for(4, 10));
-        cache.get_or_insert_with(&q(0, 0), || cols(10));
-        cache.get_or_insert_with(&q(0, 0), || unreachable!());
+        cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
+        cache.get_or_insert_with(&q(0, 0), 0, || unreachable!());
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().resident_bytes, 0);

@@ -101,6 +101,41 @@ impl CsrColumn {
     pub fn total_values(&self) -> usize {
         self.values.len()
     }
+
+    /// The raw offset array (`rows + 1` entries, monotone, starting at 0).
+    /// Exposed for columnar serialization.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flattened value codes in row order. Exposed for columnar
+    /// serialization.
+    pub fn flat_values(&self) -> &[ValueId] {
+        &self.values
+    }
+
+    /// Reassembles a CSR column from its raw arrays (the inverse of
+    /// [`offsets`](Self::offsets) / [`flat_values`](Self::flat_values)),
+    /// validating the CSR invariants so a damaged file cannot produce a
+    /// column whose accessors panic or slice out of bounds.
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        values: Vec<ValueId>,
+    ) -> Result<Self, crate::error::StoreError> {
+        use crate::error::StoreError;
+        if offsets.first() != Some(&0) {
+            return Err(StoreError::invalid("CSR offsets must start at 0"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::invalid("CSR offsets must be monotone"));
+        }
+        if *offsets.last().expect("checked non-empty") as usize != values.len() {
+            return Err(StoreError::invalid(
+                "CSR final offset must equal the value count",
+            ));
+        }
+        Ok(Self { offsets, values })
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,13 @@ pub struct DbStats {
     pub item_count: usize,
 }
 
-/// An immutable subjective database with query indexes.
+/// An in-memory subjective database with query indexes.
+///
+/// The database is immutable through shared references; the only mutation
+/// is [`append_ratings`](Self::append_ratings), which requires `&mut self`
+/// and bumps the [`epoch`](Self::epoch). Holders of an `Arc<SubjectiveDb>`
+/// therefore always see an epoch-consistent view: the persistence layer
+/// publishes appends by cloning, mutating the clone, and swapping the `Arc`.
 #[derive(Debug, Clone)]
 pub struct SubjectiveDb {
     reviewers: EntityTable,
@@ -42,6 +48,9 @@ pub struct SubjectiveDb {
     ratings: RatingTable,
     reviewer_index: InvertedIndex,
     item_index: InvertedIndex,
+    /// Bumped on every rating append; group and distance caches key their
+    /// validity to this.
+    epoch: u64,
 }
 
 impl SubjectiveDb {
@@ -68,7 +77,83 @@ impl SubjectiveDb {
             ratings,
             reviewer_index,
             item_index,
+            epoch: 0,
         }
+    }
+
+    /// Reassembles a database from already-validated parts plus persisted
+    /// inverted indexes (the snapshot-load path, which skips index
+    /// rebuilding). Cross-checks that the indexes cover the tables and that
+    /// every rating references a real entity row.
+    pub fn from_parts(
+        reviewers: EntityTable,
+        items: EntityTable,
+        ratings: RatingTable,
+        reviewer_index: InvertedIndex,
+        item_index: InvertedIndex,
+        epoch: u64,
+    ) -> Result<Self, crate::error::StoreError> {
+        use crate::error::StoreError;
+        if reviewer_index.rows() != reviewers.len() || item_index.rows() != items.len() {
+            return Err(StoreError::invalid(
+                "inverted index row count disagrees with its entity table",
+            ));
+        }
+        if ratings
+            .reviewer_column()
+            .iter()
+            .any(|&r| (r as usize) >= reviewers.len())
+            || ratings
+                .item_column()
+                .iter()
+                .any(|&i| (i as usize) >= items.len())
+        {
+            return Err(StoreError::invalid(
+                "rating references a missing entity row",
+            ));
+        }
+        Ok(Self {
+            reviewers,
+            items,
+            ratings,
+            reviewer_index,
+            item_index,
+            epoch,
+        })
+    }
+
+    /// The append epoch: 0 for a freshly built database, bumped by every
+    /// [`append_ratings`](Self::append_ratings). Caches of derived group
+    /// state are valid only for the epoch they were built against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Validates drafts against this database without mutating anything
+    /// (arity, scale, and that both entity rows exist). The persistence
+    /// layer calls this before making a WAL record durable.
+    pub fn check_ratings(
+        &self,
+        drafts: &[crate::ratings::RatingDraft],
+    ) -> Result<(), crate::error::StoreError> {
+        self.ratings
+            .check_drafts(drafts, self.reviewers.len(), self.items.len())
+    }
+
+    /// Appends rating records, rebuilding the adjacency indexes and bumping
+    /// the epoch. The entity-side inverted indexes are untouched — appends
+    /// add ratings, not entities — but any cached rating-group
+    /// materialization is stale after this returns; callers invalidate
+    /// their `GroupCache`/`DistanceCache` via the new epoch.
+    pub fn append_ratings(
+        &mut self,
+        drafts: &[crate::ratings::RatingDraft],
+    ) -> Result<(), crate::error::StoreError> {
+        self.check_ratings(drafts)?;
+        self.ratings
+            .append_drafts(drafts, self.reviewers.len(), self.items.len());
+        self.epoch += 1;
+        Ok(())
     }
 
     /// The reviewer table `U`.
@@ -171,7 +256,8 @@ impl SubjectiveDb {
         seed: u64,
         cache: &GroupCache,
     ) -> RatingGroup {
-        let columns = cache.get_or_insert_with(query, || self.collect_group_columns(query));
+        let columns =
+            cache.get_or_insert_with(query, self.epoch(), || self.collect_group_columns(query));
         RatingGroup::from_columns(&columns, seed)
     }
 

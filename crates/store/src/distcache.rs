@@ -64,6 +64,10 @@ pub struct DistanceCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    rejected: AtomicU64,
+    /// Database epoch the resident entries were computed against; see
+    /// [`bump_epoch`](Self::bump_epoch).
+    epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for DistanceCache {
@@ -88,12 +92,40 @@ impl DistanceCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
     /// The configured byte budget.
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes
+    }
+
+    /// The database epoch this cache's entries are valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates every resident entry if `db_epoch` is newer than the
+    /// epoch the entries were computed against. Keys are content hashes of
+    /// rating maps, and appending ratings changes which maps exist for a
+    /// query, so the persistence layer clears this cache alongside the
+    /// [`GroupCache`](crate::cache::GroupCache) when it publishes an
+    /// append. Counters are kept. Returns whether anything was dropped.
+    pub fn bump_epoch(&self, db_epoch: u64) -> bool {
+        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        // Re-check under the lock so racing bumps to the same epoch clear
+        // once.
+        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.epoch.store(db_epoch, Ordering::Relaxed);
+        inner.map.clear();
+        true
     }
 
     /// Normalizes two content hashes into the symmetric pair key.
@@ -127,20 +159,25 @@ impl DistanceCache {
 
     /// Memoizes an exact distance, evicting LRU entries past the budget.
     /// A racing insert of the same key keeps the incumbent value (both
-    /// racers computed the same canonical-order distance).
+    /// racers computed the same canonical-order distance); the loser is
+    /// counted as a rejected insert.
     pub fn insert(&self, key: DistPairKey, distance: f64) {
         debug_assert!(distance.is_finite() && distance >= 0.0);
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner
-            .map
-            .entry(key)
-            .and_modify(|e| e.last_used = tick)
-            .or_insert(Entry {
-                distance,
-                last_used: tick,
-            });
+        match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().last_used = tick;
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Entry {
+                    distance,
+                    last_used: tick,
+                });
+            }
+        }
         let budget_entries = (self.capacity_bytes / DIST_ENTRY_BYTES).max(1);
         while inner.map.len() > budget_entries {
             let victim = inner
@@ -182,6 +219,7 @@ impl DistanceCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            rejected_inserts: self.rejected.load(Ordering::Relaxed),
             entries,
             resident_bytes: entries * DIST_ENTRY_BYTES,
         }
@@ -235,12 +273,26 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_keeps_incumbent_value() {
+    fn reinsert_keeps_incumbent_value_and_counts_rejection() {
         let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
         cache.insert((1, 2), 0.1);
         cache.insert((1, 2), 0.9);
         assert_eq!(cache.get((1, 2)), Some(0.1));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().rejected_inserts, 1);
+    }
+
+    #[test]
+    fn bump_epoch_invalidates_entries_once() {
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        cache.insert((1, 2), 0.1);
+        assert!(!cache.bump_epoch(0), "stale bump is a no-op");
+        assert!(cache.bump_epoch(2));
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 2);
+        assert!(!cache.bump_epoch(2), "repeat bump clears nothing");
+        cache.insert((1, 2), 0.4);
+        assert_eq!(cache.get((1, 2)), Some(0.4));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! The unified storage-layer error type.
+//!
+//! Every fallible path of the store — CSV ingest, query parsing, the binary
+//! snapshot reader, the rating WAL — reports failures as a [`StoreError`]:
+//! a [`StoreErrorKind`] classifying what went wrong plus a human-readable
+//! context string saying where. Keeping the payload a plain string (rather
+//! than nesting source errors) makes the type `Clone + PartialEq`, which the
+//! service layer needs for its own comparable error enums, and keeps
+//! corruption reports uniform no matter which reader produced them.
+
+use crate::csv::{CsvError, PersistError};
+use crate::parse::ParseError;
+
+/// Classification of a storage-layer failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreErrorKind {
+    /// Filesystem failure (open, read, write, fsync, rename).
+    Io,
+    /// CSV text failed to parse.
+    Csv,
+    /// A query string failed to parse.
+    Parse,
+    /// A persisted file is structurally not what was expected: wrong magic,
+    /// unsupported format version, malformed manifest.
+    Format,
+    /// A persisted file was recognized but its bytes are damaged: CRC
+    /// mismatch, truncated section, out-of-range offsets, impossible
+    /// lengths. Readers return this instead of loading silently-wrong data.
+    Corrupt,
+    /// Decoded data is internally inconsistent (dangling ids, non-monotone
+    /// CSR offsets, scores outside the scale).
+    Invalid,
+}
+
+impl StoreErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            StoreErrorKind::Io => "io",
+            StoreErrorKind::Csv => "csv",
+            StoreErrorKind::Parse => "parse",
+            StoreErrorKind::Format => "format",
+            StoreErrorKind::Corrupt => "corrupt",
+            StoreErrorKind::Invalid => "invalid",
+        }
+    }
+}
+
+/// A storage-layer error: what kind of failure, and where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// Failure classification.
+    pub kind: StoreErrorKind,
+    /// Human-readable context, e.g. `"snapshot section 3: crc mismatch"`.
+    pub context: String,
+}
+
+impl StoreError {
+    /// Creates an error of the given kind.
+    pub fn new(kind: StoreErrorKind, context: impl Into<String>) -> Self {
+        Self {
+            kind,
+            context: context.into(),
+        }
+    }
+
+    /// Shorthand for a [`StoreErrorKind::Io`] error.
+    pub fn io(context: impl Into<String>) -> Self {
+        Self::new(StoreErrorKind::Io, context)
+    }
+
+    /// Shorthand for a [`StoreErrorKind::Format`] error.
+    pub fn format(context: impl Into<String>) -> Self {
+        Self::new(StoreErrorKind::Format, context)
+    }
+
+    /// Shorthand for a [`StoreErrorKind::Corrupt`] error.
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        Self::new(StoreErrorKind::Corrupt, context)
+    }
+
+    /// Shorthand for a [`StoreErrorKind::Invalid`] error.
+    pub fn invalid(context: impl Into<String>) -> Self {
+        Self::new(StoreErrorKind::Invalid, context)
+    }
+
+    /// Wraps an [`std::io::Error`] with a location prefix.
+    pub fn from_io(context: &str, e: std::io::Error) -> Self {
+        Self::io(format!("{context}: {e}"))
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} error: {}", self.kind.label(), self.context)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::io(e.to_string())
+    }
+}
+
+impl From<CsvError> for StoreError {
+    fn from(e: CsvError) -> Self {
+        StoreError::new(StoreErrorKind::Csv, e.to_string())
+    }
+}
+
+impl From<ParseError> for StoreError {
+    fn from(e: ParseError) -> Self {
+        StoreError::new(StoreErrorKind::Parse, e.to_string())
+    }
+}
+
+impl From<PersistError> for StoreError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(io) => StoreError::io(io.to_string()),
+            PersistError::Csv(c) => c.into(),
+            PersistError::BadManifest => StoreError::format("missing or malformed manifest"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_context() {
+        let e = StoreError::corrupt("section 2: crc mismatch");
+        assert_eq!(e.to_string(), "corrupt error: section 2: crc mismatch");
+        assert_eq!(e.kind, StoreErrorKind::Corrupt);
+    }
+
+    #[test]
+    fn csv_errors_convert_with_line_context() {
+        let e: StoreError = CsvError::ArityMismatch { line: 7 }.into();
+        assert_eq!(e.kind, StoreErrorKind::Csv);
+        assert!(e.context.contains("line 7"), "{}", e.context);
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: StoreError = io.into();
+        assert_eq!(e.kind, StoreErrorKind::Io);
+        assert!(e.context.contains("nope"));
+    }
+
+    #[test]
+    fn persist_errors_map_to_kinds() {
+        let e: StoreError = PersistError::BadManifest.into();
+        assert_eq!(e.kind, StoreErrorKind::Format);
+        let e: StoreError = PersistError::Csv(CsvError::MissingHeader).into();
+        assert_eq!(e.kind, StoreErrorKind::Csv);
+    }
+
+    #[test]
+    fn errors_are_comparable_and_clonable() {
+        let a = StoreError::invalid("x");
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

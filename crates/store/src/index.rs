@@ -36,6 +36,40 @@ impl InvertedIndex {
         Self { postings, rows }
     }
 
+    /// Reassembles an index from its raw posting lists (the snapshot-load
+    /// path, which persists postings so load never re-scans the table).
+    /// Validates that every posting is a sorted list of in-range rows, so a
+    /// damaged file cannot smuggle dangling row ids into selections.
+    pub fn from_parts(
+        postings: Vec<Vec<Vec<u32>>>,
+        rows: usize,
+    ) -> Result<Self, crate::error::StoreError> {
+        use crate::error::StoreError;
+        for (attr, lists) in postings.iter().enumerate() {
+            for (value, list) in lists.iter().enumerate() {
+                // Sorted, duplicates tolerated: a row listing the same value
+                // twice in a multi-valued cell is indexed twice by `build`.
+                if list.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(StoreError::invalid(format!(
+                        "posting list attr {attr} value {value} is not sorted"
+                    )));
+                }
+                if list.last().is_some_and(|&r| r as usize >= rows) {
+                    return Err(StoreError::invalid(format!(
+                        "posting list attr {attr} value {value} references a row past {rows}"
+                    )));
+                }
+            }
+        }
+        Ok(Self { postings, rows })
+    }
+
+    /// The raw posting lists, `[attr][value] = sorted rows`. Exposed for
+    /// columnar serialization.
+    pub fn posting_lists(&self) -> &[Vec<Vec<u32>>] {
+        &self.postings
+    }
+
     /// Number of rows in the indexed table.
     pub fn rows(&self) -> usize {
         self.rows

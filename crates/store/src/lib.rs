@@ -32,6 +32,7 @@ pub mod column;
 pub mod csv;
 pub mod database;
 pub mod distcache;
+pub mod error;
 pub mod group;
 pub mod index;
 pub mod parse;
@@ -46,10 +47,12 @@ pub use cache::{CacheStats, GroupCache};
 pub use column::{Column, CsrColumn};
 pub use database::{AttributeSummary, DbStats, SubjectiveDb};
 pub use distcache::{DistPairKey, DistanceCache};
+pub use error::{StoreError, StoreErrorKind};
 pub use group::{EntityGroup, RatingGroup};
+pub use index::InvertedIndex;
 pub use parse::{parse_query, ParseError};
 pub use predicate::{AttrValue, SelectionQuery};
-pub use ratings::{DimId, RatingTable, RatingTableBuilder, RecordId};
+pub use ratings::{DimId, RatingDraft, RatingTable, RatingTableBuilder, RecordId};
 pub use scan::{GroupColumns, ScanBlock, ScanScratch};
 pub use schema::{AttrId, Entity, Schema};
 pub use table::{Cell, EntityTable, EntityTableBuilder};

@@ -25,6 +25,30 @@ impl DimId {
     }
 }
 
+/// One rating record awaiting append: a reviewer, an item, and one score
+/// per dimension. This is the unit the write-ahead log frames and the
+/// store's append path validates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatingDraft {
+    /// Reviewer row id.
+    pub reviewer: u32,
+    /// Item row id.
+    pub item: u32,
+    /// One score per rating dimension, each in `1..=scale`.
+    pub scores: Vec<u8>,
+}
+
+impl RatingDraft {
+    /// Convenience constructor.
+    pub fn new(reviewer: u32, item: u32, scores: Vec<u8>) -> Self {
+        Self {
+            reviewer,
+            item,
+            scores,
+        }
+    }
+}
+
 /// The rating table `R`.
 #[derive(Debug, Clone)]
 pub struct RatingTable {
@@ -157,6 +181,129 @@ impl RatingTable {
     /// Record ids rating `item`.
     pub fn records_of_item(&self, item: u32) -> &[RecordId] {
         self.by_item.records_of(item)
+    }
+
+    /// Reassembles a table from its raw columns (the snapshot-load path),
+    /// validating column agreement, id ranges and the score scale, then
+    /// rebuilding both adjacency indexes (cheaper to rebuild in one `O(R)`
+    /// pass than to store).
+    pub fn from_parts(
+        dim_names: Vec<String>,
+        scale: u8,
+        reviewers: Vec<u32>,
+        items: Vec<u32>,
+        scores: Vec<Vec<u8>>,
+        reviewer_count: usize,
+        item_count: usize,
+    ) -> Result<Self, crate::error::StoreError> {
+        use crate::error::StoreError;
+        if dim_names.is_empty() || scale == 0 {
+            return Err(StoreError::invalid(
+                "rating table needs at least one dimension and a positive scale",
+            ));
+        }
+        if scores.len() != dim_names.len() {
+            return Err(StoreError::invalid(format!(
+                "{} dimensions but {} score columns",
+                dim_names.len(),
+                scores.len()
+            )));
+        }
+        let n = reviewers.len();
+        if items.len() != n || scores.iter().any(|col| col.len() != n) {
+            return Err(StoreError::invalid(
+                "rating columns disagree on record count",
+            ));
+        }
+        if reviewers.iter().any(|&r| (r as usize) >= reviewer_count) {
+            return Err(StoreError::invalid("rating references a missing reviewer"));
+        }
+        if items.iter().any(|&i| (i as usize) >= item_count) {
+            return Err(StoreError::invalid("rating references a missing item"));
+        }
+        if scores
+            .iter()
+            .any(|col| col.iter().any(|&s| s == 0 || s > scale))
+        {
+            return Err(StoreError::invalid(format!(
+                "rating score outside 1..={scale}"
+            )));
+        }
+        let by_reviewer = Csr::build(&reviewers, reviewer_count);
+        let by_item = Csr::build(&items, item_count);
+        Ok(Self {
+            dim_names,
+            scale,
+            reviewers,
+            items,
+            scores,
+            by_reviewer,
+            by_item,
+        })
+    }
+
+    /// Validates a batch of drafts against this table's shape without
+    /// mutating anything — the WAL writer calls this *before* logging so a
+    /// record that would be rejected in memory is never made durable.
+    pub fn check_drafts(
+        &self,
+        drafts: &[RatingDraft],
+        reviewer_count: usize,
+        item_count: usize,
+    ) -> Result<(), crate::error::StoreError> {
+        use crate::error::StoreError;
+        for (i, d) in drafts.iter().enumerate() {
+            if d.scores.len() != self.dim_count() {
+                return Err(StoreError::invalid(format!(
+                    "draft {i}: {} scores, table has {} dimensions",
+                    d.scores.len(),
+                    self.dim_count()
+                )));
+            }
+            if d.scores.iter().any(|&s| s == 0 || s > self.scale) {
+                return Err(StoreError::invalid(format!(
+                    "draft {i}: score outside 1..={}",
+                    self.scale
+                )));
+            }
+            if (d.reviewer as usize) >= reviewer_count {
+                return Err(StoreError::invalid(format!(
+                    "draft {i}: reviewer {} out of range",
+                    d.reviewer
+                )));
+            }
+            if (d.item as usize) >= item_count {
+                return Err(StoreError::invalid(format!(
+                    "draft {i}: item {} out of range",
+                    d.item
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends validated drafts, extending every column and rebuilding both
+    /// adjacency indexes. Callers must have run
+    /// [`check_drafts`](Self::check_drafts) (re-checked here in debug
+    /// builds).
+    pub fn append_drafts(
+        &mut self,
+        drafts: &[RatingDraft],
+        reviewer_count: usize,
+        item_count: usize,
+    ) {
+        debug_assert!(self
+            .check_drafts(drafts, reviewer_count, item_count)
+            .is_ok());
+        for d in drafts {
+            self.reviewers.push(d.reviewer);
+            self.items.push(d.item);
+            for (col, &s) in self.scores.iter_mut().zip(&d.scores) {
+                col.push(s);
+            }
+        }
+        self.by_reviewer = Csr::build(&self.reviewers, reviewer_count);
+        self.by_item = Csr::build(&self.items, item_count);
     }
 }
 

@@ -52,6 +52,67 @@ pub struct EntityTable {
 }
 
 impl EntityTable {
+    /// Reassembles a table from its parts (the snapshot-load path),
+    /// validating that the parts agree with each other: one dictionary and
+    /// one column per attribute, column arity matching the schema, every
+    /// row present in every column, and every stored code resolvable in its
+    /// attribute's dictionary. A table that passes can never panic inside
+    /// the accessors below on in-range rows.
+    pub fn from_parts(
+        schema: Schema,
+        dicts: Vec<Dictionary>,
+        columns: Vec<Column>,
+        rows: usize,
+    ) -> Result<Self, crate::error::StoreError> {
+        use crate::error::StoreError;
+        if dicts.len() != schema.len() || columns.len() != schema.len() {
+            return Err(StoreError::invalid(format!(
+                "entity table has {} attributes but {} dictionaries / {} columns",
+                schema.len(),
+                dicts.len(),
+                columns.len()
+            )));
+        }
+        for (i, ((attr, def), (dict, col))) in schema
+            .iter()
+            .zip(dicts.iter().zip(columns.iter()))
+            .enumerate()
+        {
+            let _ = attr;
+            if col.len() != rows {
+                return Err(StoreError::invalid(format!(
+                    "column {i} ({}) has {} rows, table has {rows}",
+                    def.name,
+                    col.len()
+                )));
+            }
+            let multi = matches!(col, Column::Multi(_));
+            if multi != def.multi_valued {
+                return Err(StoreError::invalid(format!(
+                    "column {i} ({}) arity does not match schema",
+                    def.name
+                )));
+            }
+            let max = dict.len() as u32;
+            let in_range = match col {
+                Column::Single(v) => v.iter().all(|id| id.0 < max),
+                Column::Multi(c) => c.flat_values().iter().all(|id| id.0 < max),
+            };
+            if !in_range {
+                return Err(StoreError::invalid(format!(
+                    "column {i} ({}) stores a code outside its dictionary",
+                    def.name
+                )));
+            }
+        }
+        Ok(Self {
+            schema,
+            dicts,
+            columns,
+            rows,
+        })
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -90,6 +90,21 @@ impl Dictionary {
         Self::default()
     }
 
+    /// Rebuilds a dictionary from its code-ordered value list (the inverse
+    /// of serializing [`iter`](Self::iter)). Fails on duplicate values,
+    /// which could never have been produced by interning.
+    pub fn from_values(values: Vec<Value>) -> Result<Self, crate::error::StoreError> {
+        let mut codes = HashMap::with_capacity(values.len());
+        for (i, v) in values.iter().enumerate() {
+            if codes.insert(v.clone(), ValueId(i as u32)).is_some() {
+                return Err(crate::error::StoreError::invalid(format!(
+                    "dictionary value {v} appears twice"
+                )));
+            }
+        }
+        Ok(Self { values, codes })
+    }
+
     /// Interns `value`, returning its (possibly pre-existing) code.
     pub fn intern(&mut self, value: Value) -> ValueId {
         if let Some(&id) = self.codes.get(&value) {

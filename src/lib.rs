@@ -22,7 +22,9 @@
 //! * [`sim`] — the simulated user-study harness;
 //! * [`stats`] — the numeric substrate (distributions, EMD, bounds, ANOVA);
 //! * [`service`] — a concurrent multi-session exploration server with a
-//!   shared group cache and bounded-queue backpressure.
+//!   shared group cache and bounded-queue backpressure;
+//! * [`persist`] — versioned columnar snapshots and a rating write-ahead
+//!   log: durable databases with crash recovery and warm start.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 pub use subdex_baselines as baselines;
 pub use subdex_core as core;
 pub use subdex_data as data;
+pub use subdex_persist as persist;
 pub use subdex_service as service;
 pub use subdex_sim as sim;
 pub use subdex_stats as stats;
@@ -55,6 +58,9 @@ pub mod prelude {
         Recommendation, ScoredRatingMap, SdeEngine, StepResult,
     };
     pub use subdex_data::{GenParams, Insight, IrregularSpec};
+    pub use subdex_persist::{PersistStats, PersistentStore};
     pub use subdex_service::{ServiceConfig, SessionId, StepRequest, SubdexService, SubmitError};
-    pub use subdex_store::{AttrValue, Entity, GroupCache, SelectionQuery, SubjectiveDb, Value};
+    pub use subdex_store::{
+        AttrValue, Entity, GroupCache, RatingDraft, SelectionQuery, StoreError, SubjectiveDb, Value,
+    };
 }
