@@ -1,34 +1,86 @@
 //! Service throughput: aggregate steps/sec of the multi-session server as
-//! a function of worker-pool size and the shared group cache.
+//! a function of worker-pool size and the shared group cache, plus a
+//! steady-state allocation probe for the per-session `ExecContext`.
 //!
 //! ```text
-//! service_throughput [--quick]
+//! service_throughput [--quick] [--out BENCH_service.json]
 //! ```
 //!
 //! For every cell of workers {1, 2, 4} × cache {off, on}, the benchmark
 //! starts a fresh `SubdexService` over the same Yelp-like database, drives
 //! 16 recommendation-powered sessions (overlapping scripts, so the cache
 //! has real sharing to exploit) from 8 client threads, and reports
-//! steps/sec plus the observed cache hit rate. The `--quick` flag shrinks
-//! the dataset and step count for smoke runs.
+//! steps/sec plus the observed cache hit rate.
+//!
+//! The steady-state probe runs one serial engine through repeated steps of
+//! one session and counts heap allocations per step through a counting
+//! global allocator: step 1 pays for growing the pooled scratch
+//! (scan gathers, distance matrices, selection buffers, candidate
+//! vectors); steps 2..n should re-use it, so their allocation count is the
+//! regression signal for ExecContext pooling. The `--quick` flag shrinks
+//! the dataset and step counts for smoke runs; results are written to a
+//! machine-readable JSON file (default `BENCH_service.json`).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use subdex_bench::harness::{yelp_at, Scale};
-use subdex_core::{EngineConfig, ExplorationMode};
+use subdex_core::{EngineConfig, ExplorationMode, SdeEngine};
 use subdex_service::{ServiceConfig, ServiceError, SessionId, StepRequest, SubdexService};
 use subdex_store::{SelectionQuery, SubjectiveDb};
 
 const CLIENT_THREADS: usize = 8;
 const SESSIONS: usize = 16;
 
+/// Counts every heap allocation (and allocated bytes) the process makes;
+/// the probe reads the counters around single engine steps.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (scale, steps) = if quick {
-        (Scale::Smoke, 3)
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".into());
+    let (scale, scale_name, steps, probe_steps) = if quick {
+        (Scale::Smoke, "smoke", 3, 10)
     } else {
-        (Scale::Study, 5)
+        (Scale::Study, "study", 5, 20)
     };
     let db = Arc::new(yelp_at(scale).db);
     let stats = db.stats();
@@ -40,12 +92,27 @@ fn main() {
         "# Yelp-like db: {} reviewers, {} items, {} ratings\n",
         stats.reviewer_count, stats.item_count, stats.rating_count
     );
+
+    // The probe runs first, while this is the only thread touching the
+    // allocator, so the counters attribute cleanly to engine steps.
+    let (first, steady) = steady_state_probe(&db, probe_steps);
+    println!("# Steady-state single-session probe ({probe_steps} steps after warm-up):");
+    println!(
+        "#   step 1 (cold scratch): {:>8} allocs {:>12} bytes {:>10.1}µs",
+        first.allocs, first.bytes, first.us
+    );
+    println!(
+        "#   steps 2..n (mean):     {:>8.0} allocs {:>12.0} bytes {:>10.1}µs\n",
+        steady.allocs, steady.bytes, steady.us
+    );
+
     println!(
         "| {:>7} | {:>5} | {:>9} | {:>9} | {:>8} | {:>8} |",
         "workers", "cache", "steps/sec", "hit rate", "rejects", "q hwm"
     );
     println!("|---------|-------|-----------|-----------|----------|----------|");
 
+    let mut json_rows: Vec<String> = Vec::new();
     for &workers in &[1usize, 2, 4] {
         for &cache_enabled in &[false, true] {
             let cell = run_cell(&db, workers, cache_enabled, steps);
@@ -60,8 +127,82 @@ fn main() {
                 cell.rejected,
                 cell.queue_hwm,
             );
+            json_rows.push(format!(
+                "    {{\"workers\": {workers}, \"cache\": {cache_enabled}, \"steps_per_sec\": {:.3}, \"rejected\": {}, \"queue_hwm\": {}}}",
+                cell.steps_per_sec, cell.rejected, cell.queue_hwm
+            ));
         }
     }
+
+    // Hand-rolled JSON (no serde_json in the vendored set); every value is
+    // a number or a plain ASCII string, so no escaping is needed.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"service_throughput\",\n");
+    json.push_str("  \"dataset\": \"yelp\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"ratings\": {},\n", stats.rating_count));
+    json.push_str(&format!("  \"sessions\": {SESSIONS},\n"));
+    json.push_str(&format!("  \"steps\": {steps},\n"));
+    json.push_str(&format!("  \"client_threads\": {CLIENT_THREADS},\n"));
+    json.push_str(&format!(
+        "  \"probe\": {{\"steps\": {probe_steps}, \"first_step\": {{\"allocs\": {}, \"bytes\": {}, \"us\": {:.1}}}, \"steady_per_step\": {{\"allocs\": {:.1}, \"bytes\": {:.1}, \"us\": {:.1}}}}},\n",
+        first.allocs, first.bytes, first.us, steady.allocs, steady.bytes, steady.us
+    ));
+    json.push_str("  \"grid\": [\n");
+    json.push_str(&json_rows.join(",\n"));
+    json.push_str("\n  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_service.json");
+    eprintln!("wrote {out_path}");
+}
+
+#[derive(Clone, Copy, Default)]
+struct ProbeSample {
+    allocs: f64,
+    bytes: f64,
+    us: f64,
+}
+
+/// Drives one serial engine through `1 + probe_steps` steps of the same
+/// session and reports (step-1 cost, mean steps-2..n cost). Runs serially
+/// (`parallel: false`) so no worker thread perturbs the process-wide
+/// allocation counters.
+fn steady_state_probe(db: &Arc<SubjectiveDb>, probe_steps: usize) -> (ProbeSample, ProbeSample) {
+    let cfg = EngineConfig {
+        parallel: false,
+        max_candidates: 8,
+        ..EngineConfig::default()
+    };
+    let mut engine = SdeEngine::new(Arc::clone(db), cfg);
+    let query = SelectionQuery::all();
+    let mut measure = || {
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        let t = Instant::now();
+        let res = engine.step(&query);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(&res);
+        drop(res);
+        ProbeSample {
+            allocs: (ALLOCS.load(Ordering::Relaxed) - a0) as f64,
+            bytes: (ALLOC_BYTES.load(Ordering::Relaxed) - b0) as f64,
+            us,
+        }
+    };
+    let first = measure();
+    let mut steady = ProbeSample::default();
+    for _ in 0..probe_steps.max(1) {
+        let s = measure();
+        steady.allocs += s.allocs;
+        steady.bytes += s.bytes;
+        steady.us += s.us;
+    }
+    let n = probe_steps.max(1) as f64;
+    steady.allocs /= n;
+    steady.bytes /= n;
+    steady.us /= n;
+    (first, steady)
 }
 
 struct Cell {

@@ -144,7 +144,7 @@ pub fn mean_step_time(db: &Arc<SubjectiveDb>, cfg: &EngineConfig, steps: usize) 
     let mut executed = 0u32;
     for _ in 0..steps {
         let res = engine.step(&query);
-        total += res.elapsed;
+        total += res.stats.elapsed;
         executed += 1;
         match res.recommendations.first() {
             Some(r) if r.query != query => query = r.query.clone(),

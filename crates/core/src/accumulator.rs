@@ -40,6 +40,43 @@ pub struct RawScores {
     pub global_peculiarity: f64,
 }
 
+/// Reusable buffers for the per-phase score re-estimation
+/// ([`FamilyAccumulator::raw_scores_pooled`]): the non-empty subgroup
+/// distributions and the overall distribution a candidate's criteria are
+/// computed from.
+///
+/// Re-estimation runs `candidates × phases` times per generate call and
+/// used to allocate one distribution per non-empty subgroup each time —
+/// the dominant steady-state heap traffic of an exploration step. Holding
+/// one of these across calls (the engine pools it inside
+/// [`crate::plan::ExecContext`], the recommendation evaluator inside its
+/// per-worker scratch) recycles that capacity; every value is still
+/// recomputed from the count matrix on every call, so pooled and fresh
+/// scratch produce byte-identical scores.
+#[derive(Debug)]
+pub struct EstimateScratch {
+    /// Grown-but-never-shrunk pool of subgroup distributions; only the
+    /// first `live` entries of the current estimation are meaningful.
+    dists: Vec<RatingDistribution>,
+    overall: RatingDistribution,
+}
+
+impl Default for EstimateScratch {
+    fn default() -> Self {
+        Self {
+            dists: Vec::new(),
+            overall: RatingDistribution::new(1),
+        }
+    }
+}
+
+impl EstimateScratch {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Count-matrix accumulator for one grouping attribute and all of its
 /// still-active rating dimensions.
 #[derive(Debug, Clone)]
@@ -248,13 +285,43 @@ impl FamilyAccumulator {
         seen: &[RatingDistribution],
         measure: interest::PeculiarityMeasure,
     ) -> RawScores {
-        let (subs, overall) = self.distributions(dim_pos);
-        let dists: Vec<RatingDistribution> = subs.iter().map(|(_, d)| d.clone()).collect();
+        self.raw_scores_pooled(dim_pos, seen, measure, &mut EstimateScratch::new())
+    }
+
+    /// [`Self::raw_scores_with`] over caller-pooled buffers: byte-identical
+    /// scores, but the subgroup and overall distributions are written into
+    /// `scratch` instead of freshly allocated. Only capacity is recycled —
+    /// every distribution is refilled from the count matrix on each call.
+    pub fn raw_scores_pooled(
+        &self,
+        dim_pos: usize,
+        seen: &[RatingDistribution],
+        measure: interest::PeculiarityMeasure,
+        scratch: &mut EstimateScratch,
+    ) -> RawScores {
+        let counts = &self.counts[dim_pos];
+        scratch.overall.reset(self.scale);
+        let mut live = 0usize;
+        for v in 0..self.value_count {
+            let slice = &counts[v * self.scale..(v + 1) * self.scale];
+            if slice.iter().all(|&c| c == 0) {
+                continue;
+            }
+            match scratch.dists.get_mut(live) {
+                Some(d) => d.copy_from_counts(slice),
+                None => scratch
+                    .dists
+                    .push(RatingDistribution::from_counts(slice.to_vec())),
+            }
+            scratch.overall.merge(&scratch.dists[live]);
+            live += 1;
+        }
+        let dists = &scratch.dists[..live];
         RawScores {
-            conciseness: interest::conciseness_raw(self.records_processed, dists.len()),
-            agreement: interest::agreement_raw(&dists),
-            self_peculiarity: interest::self_peculiarity_with(&dists, &overall, measure),
-            global_peculiarity: interest::global_peculiarity_with(&overall, seen, measure),
+            conciseness: interest::conciseness_raw(self.records_processed, live),
+            agreement: interest::agreement_raw(dists),
+            self_peculiarity: interest::self_peculiarity_with(dists, &scratch.overall, measure),
+            global_peculiarity: interest::global_peculiarity_with(&scratch.overall, seen, measure),
         }
     }
 
@@ -451,6 +518,31 @@ mod tests {
         assert!(raw.agreement > 0.0 && raw.agreement <= 1.0);
         assert!((0.0..=1.0).contains(&raw.self_peculiarity));
         assert_eq!(raw.global_peculiarity, 0.0, "nothing seen yet");
+    }
+
+    #[test]
+    fn pooled_estimation_matches_fresh_scratch() {
+        // One scratch reused across families, dims, and repeated calls must
+        // give the same scores as a throwaway scratch every time — stale
+        // distributions beyond the live prefix must never leak in.
+        let db = fixture::build();
+        let seen = vec![RatingDistribution::from_counts(vec![4, 1, 0, 0, 3])];
+        let mut scratch = EstimateScratch::new();
+        for attr_name in ["city", "tags"] {
+            let attr = db.items().schema().attr_by_name(attr_name).unwrap();
+            let mut fam = FamilyAccumulator::new(&db, Entity::Item, attr, vec![DimId(0), DimId(1)]);
+            fam.update(&db, &(0..8).collect::<Vec<_>>());
+            for dim_pos in 0..2 {
+                for measure in [
+                    interest::PeculiarityMeasure::TotalVariation,
+                    interest::PeculiarityMeasure::KlDivergence,
+                ] {
+                    let fresh = fam.raw_scores_with(dim_pos, &seen, measure);
+                    let pooled = fam.raw_scores_pooled(dim_pos, &seen, measure, &mut scratch);
+                    assert_eq!(fresh, pooled, "{attr_name} dim {dim_pos}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,22 +10,19 @@
 //! constructors for the scalability baselines of Section 5.1
 //! (No-Pruning, CI Pruning, MAB Pruning, No-Parallelism, Naive).
 
-use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
-use crate::mapdist::{DistanceEngine, SelectionStats};
+use crate::generator::{CriterionNormalizers, GeneratorConfig, SeenContext};
+use crate::plan::{ExecContext, StepExecutor, StepPlan, StepStats};
 use crate::pruning::PruningStrategy;
 use crate::ratingmap::ScoredRatingMap;
-use crate::recommend::{self, Materialization, RecommendConfig, Recommendation};
-use crate::selector::{select_diverse_tracked, SelectionStrategy};
+use crate::recommend::{RecommendConfig, Recommendation};
+use crate::selector::SelectionStrategy;
 use crate::utility::UtilityCombiner;
 use std::sync::Arc;
-use std::time::Duration;
 use subdex_stats::normalize::NormalizerKind;
-use subdex_store::{
-    DistanceCache, GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery, SubjectiveDb,
-};
+use subdex_store::{DistanceCache, GroupCache, SelectionQuery, SubjectiveDb};
 
 /// Full engine configuration (defaults follow Table 3 of the paper).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Rating maps displayed per step (`k`, default 3).
     pub k: usize,
@@ -104,7 +101,7 @@ impl EngineConfig {
     pub fn no_pruning() -> Self {
         Self {
             pruning: PruningStrategy::None,
-            ..Self::default()
+            ..Self::subdex()
         }
     }
 
@@ -112,7 +109,7 @@ impl EngineConfig {
     pub fn ci_pruning() -> Self {
         Self {
             pruning: PruningStrategy::ConfidenceInterval,
-            ..Self::default()
+            ..Self::subdex()
         }
     }
 
@@ -120,7 +117,7 @@ impl EngineConfig {
     pub fn mab_pruning() -> Self {
         Self {
             pruning: PruningStrategy::Mab,
-            ..Self::default()
+            ..Self::subdex()
         }
     }
 
@@ -128,7 +125,7 @@ impl EngineConfig {
     pub fn no_parallelism() -> Self {
         Self {
             parallel: false,
-            ..Self::default()
+            ..Self::subdex()
         }
     }
 
@@ -137,7 +134,7 @@ impl EngineConfig {
         Self {
             pruning: PruningStrategy::None,
             parallel: false,
-            ..Self::default()
+            ..Self::subdex()
         }
     }
 
@@ -153,7 +150,11 @@ impl EngineConfig {
         self
     }
 
-    fn generator_config(&self) -> GeneratorConfig {
+    /// Compiles the generate-phase configuration this engine config
+    /// implies (the `k′ = k·l` focus, the Diversity-Only pruning
+    /// override, the thread counts). Public so the plan compiler and the
+    /// equivalence tests see the exact same derivation the engine uses.
+    pub fn generator_config(&self) -> GeneratorConfig {
         let k_prime = match self.selection {
             SelectionStrategy::UtilityOnly => self.k,
             SelectionStrategy::Hybrid { l } => self.k * l.max(1),
@@ -177,7 +178,10 @@ impl EngineConfig {
         }
     }
 
-    fn recommend_config(&self) -> RecommendConfig {
+    /// Compiles the recommendation-phase configuration this engine config
+    /// implies. Public for the same reason as
+    /// [`EngineConfig::generator_config`].
+    pub fn recommend_config(&self) -> RecommendConfig {
         RecommendConfig {
             o: self.o,
             k: self.k,
@@ -204,28 +208,11 @@ pub struct StepResult {
     pub maps: Vec<ScoredRatingMap>,
     /// The top-`o` next-step recommendations (empty when disabled).
     pub recommendations: Vec<Recommendation>,
-    /// Wall-clock time between operation pick and display — the quantity
-    /// Figures 10–11 report.
-    pub elapsed: Duration,
-    /// Time the step's map generation spent in phase scans (gathering
-    /// blocks + count kernels); a component of `elapsed` the service
-    /// surfaces as a metric.
-    pub scan_elapsed: Duration,
-    /// Candidates considered / pruned by CI / pruned by MAB.
-    pub generator_stats: (usize, usize, usize),
-    /// How this step's rating groups (the stepped query plus every
-    /// recommendation candidate) were materialized: derived from the
-    /// parent's columns, fully walked, served from the shared cache, or
-    /// skipped outright as provably empty.
-    pub materialization: Materialization,
-    /// How this step's diverse selections (the displayed maps plus every
-    /// recommendation candidate's preview) resolved their distance
-    /// evaluations: exact solves, bound-pruned pairs, and cache hits.
-    pub selection: SelectionStats,
-    /// Append epoch of the database this step executed against. A persistent
-    /// service compares it to the store's current epoch to tell whether the
-    /// step saw the latest ratings.
-    pub db_epoch: u64,
+    /// The step's unified statistics aggregate: total + per-phase wall
+    /// time, generator counters, materialization and selection breakdowns,
+    /// and the database epoch — emitted at one instrumentation point by
+    /// the executor (see [`StepStats`]).
+    pub stats: StepStats,
 }
 
 /// The SubDEx engine: owns the seen-context and normalizer state of one
@@ -238,9 +225,9 @@ pub struct SdeEngine {
     step_counter: usize,
     group_cache: Option<Arc<GroupCache>>,
     dist_cache: Option<Arc<DistanceCache>>,
-    /// Gather buffers reused across steps so steady-state phase scans
-    /// allocate nothing.
-    scratch: ScanScratch,
+    /// Pooled execution scratch reused across steps so steady-state steps
+    /// allocate ~nothing on the hot path (see [`ExecContext`]).
+    ctx: ExecContext,
 }
 
 impl SdeEngine {
@@ -255,7 +242,7 @@ impl SdeEngine {
             step_counter: 0,
             group_cache: None,
             dist_cache: None,
-            scratch: ScanScratch::new(),
+            ctx: ExecContext::new(),
         }
     }
 
@@ -319,123 +306,30 @@ impl SdeEngine {
         self.step_counter
     }
 
-    /// Executes one exploration operation: selects the rating group,
-    /// generates and selects the `k` diverse rating maps, registers them as
-    /// seen, and (unless disabled) computes the top-`o` recommendations.
+    /// Compiles the phase plan executing `query` would run, without
+    /// running it. Useful for logging / inspecting what a step will do.
+    pub fn plan(&self, query: &SelectionQuery) -> StepPlan {
+        StepPlan::compile(&self.config, query)
+    }
+
+    /// Executes one exploration operation: compiles the step's phase plan
+    /// and interprets it against this session's pooled [`ExecContext`] —
+    /// selecting the rating group, generating and selecting the `k`
+    /// diverse rating maps, registering them as seen, and (unless
+    /// disabled) computing the top-`o` recommendations.
     pub fn step(&mut self, query: &SelectionQuery) -> StepResult {
-        let start = std::time::Instant::now();
         let step = self.step_counter;
         self.step_counter += 1;
-
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(step as u64);
-        // Keep the parent's pre-shuffle columns alive past the group build:
-        // every add-predicate recommendation candidate derives its group by
-        // filtering them, skipping the posting-list walk entirely.
-        let mut materialization = Materialization::default();
-        let parent_cols: Arc<GroupColumns> = match &self.group_cache {
-            Some(cache) => {
-                let mut computed = false;
-                let arc = cache.get_or_insert_with(query, self.db.epoch(), || {
-                    computed = true;
-                    self.db.collect_group_columns(query)
-                });
-                if computed {
-                    materialization.walked += 1;
-                } else {
-                    materialization.cached += 1;
-                }
-                arc
-            }
-            None => {
-                materialization.walked += 1;
-                Arc::new(self.db.collect_group_columns(query))
-            }
-        };
-        let group = RatingGroup::from_columns(&parent_cols, seed);
-        let gen_cfg = self.config.generator_config();
-        let out = generator::generate_with_scratch(
-            &self.db,
-            &group,
-            query,
-            &self.seen,
-            &mut self.normalizers,
-            &gen_cfg,
-            &mut self.scratch,
-        );
-        let (total, ci, mab) = (out.candidates_total, out.pruned_ci, out.pruned_mab);
-        let scan_elapsed = out.scan_time;
-        let pool_size = self
-            .config
-            .selection
-            .pool_size(self.config.k, out.pool.len());
-        let pool: Vec<ScoredRatingMap> = out
-            .pool
-            .into_iter()
-            .take(pool_size.max(self.config.k))
-            .collect();
-        let dist_engine = DistanceEngine::new()
-            .with_bounds(self.config.distance_bounds)
-            .with_cache(self.dist_cache.clone())
-            .with_threads(if self.config.parallel {
-                self.config.threads
-            } else {
-                1
-            });
-        let (maps, mut selection) = select_diverse_tracked(
-            pool.clone(),
-            self.config.k,
-            self.config.selection,
-            &dist_engine,
-        );
-
-        for m in &maps {
-            self.seen.record_displayed(&m.map);
+        let plan = StepPlan::compile(&self.config, query);
+        StepExecutor {
+            db: &self.db,
+            group_cache: self.group_cache.as_deref(),
+            dist_cache: self.dist_cache.as_ref(),
+            seen: &mut self.seen,
+            normalizers: &mut self.normalizers,
+            ctx: &mut self.ctx,
         }
-
-        let recommendations = if self.config.recommendations {
-            // Candidate operations are anchored on the *pool* (the top
-            // k·l maps by DW utility), not only the k displayed ones: the
-            // pool is exactly where high-peculiarity pockets that narrowly
-            // missed display live, and the paper's candidate space ("q may
-            // add a new attribute-value pair") is not limited to displayed
-            // maps either.
-            let (recs, rec_stats, rec_sel) = recommend::recommend_with_stats(
-                &self.db,
-                query,
-                &pool,
-                &self.seen,
-                &self.normalizers,
-                &gen_cfg,
-                &self.config.recommend_config(),
-                seed,
-                self.group_cache.as_deref(),
-                Some(&parent_cols),
-                Some(&dist_engine),
-            );
-            materialization.merge(&rec_stats);
-            selection.merge(&rec_sel);
-            recs
-        } else {
-            Vec::new()
-        };
-
-        StepResult {
-            step,
-            query: query.clone(),
-            group_size: group.len(),
-            maps,
-            recommendations,
-            elapsed: start.elapsed(),
-            scan_elapsed,
-            generator_stats: (total, ci, mab),
-            materialization,
-            selection,
-            db_epoch: self.db.epoch(),
-        }
+        .run(&plan, query, step)
     }
 }
 
@@ -615,7 +509,7 @@ mod tests {
         // candidate is derived from it, and no path reports cache hits.
         let mut engine = SdeEngine::new(db.clone(), cfg);
         let r = engine.step(&SelectionQuery::all());
-        let m = r.materialization;
+        let m = r.stats.materialization;
         assert!(m.walked >= 1, "{m:?}");
         assert!(m.derived > 0, "drill-down candidates derive: {m:?}");
         assert!(m.records_filtered > 0, "{m:?}");
@@ -626,12 +520,12 @@ mod tests {
         let cache = Arc::new(GroupCache::new(1 << 20));
         let mut first = SdeEngine::new(db.clone(), cfg);
         first.set_group_cache(Some(cache.clone()));
-        let warm = first.step(&SelectionQuery::all()).materialization;
+        let warm = first.step(&SelectionQuery::all()).stats.materialization;
         assert!(warm.derived > 0, "{warm:?}");
 
         let mut second = SdeEngine::new(db, cfg);
         second.set_group_cache(Some(cache));
-        let hot = second.step(&SelectionQuery::all()).materialization;
+        let hot = second.step(&SelectionQuery::all()).stats.materialization;
         assert_eq!(hot.derived, 0, "{hot:?}");
         assert_eq!(hot.walked, 0, "{hot:?}");
         assert!(hot.cached > 0, "{hot:?}");
@@ -648,10 +542,14 @@ mod tests {
         };
         let mut engine = SdeEngine::new(db, cfg);
         let r = engine.step(&SelectionQuery::all());
-        let s = r.selection;
+        let s = r.stats.selection;
         assert!(s.exact_solves > 0, "{s:?}");
         assert!(s.evaluations() >= s.exact_solves);
-        assert!(s.select_time > Duration::ZERO);
+        assert!(s.select_time > std::time::Duration::ZERO);
+        // `stats.selection` also merges the recommendation candidates'
+        // preview selections, so the displayed-maps phase is a lower bound.
+        assert!(r.stats.phases.select <= s.select_time);
+        assert!(r.stats.elapsed >= r.stats.phases.select);
     }
 
     #[test]
@@ -678,7 +576,7 @@ mod tests {
         cold.set_distance_cache(Some(cache.clone()));
         let cold_step = cold.step(&SelectionQuery::all());
         assert_eq!(fingerprint(&cold_step), reference);
-        assert!(cold_step.selection.exact_solves > 0);
+        assert!(cold_step.stats.selection.exact_solves > 0);
         assert!(!cache.is_empty(), "cold step must populate the cache");
 
         // A sibling engine sharing the cache replays the identical step
@@ -688,11 +586,11 @@ mod tests {
         let warm_step = warm.step(&SelectionQuery::all());
         assert_eq!(fingerprint(&warm_step), reference);
         assert_eq!(
-            warm_step.selection.exact_solves, 0,
+            warm_step.stats.selection.exact_solves, 0,
             "{:?}",
-            warm_step.selection
+            warm_step.stats.selection
         );
-        assert!(warm_step.selection.cache_hits > 0);
+        assert!(warm_step.stats.selection.cache_hits > 0);
     }
 
     #[test]
@@ -711,6 +609,50 @@ mod tests {
             PruningStrategy::ConfidenceInterval
         );
         assert_eq!(EngineConfig::mab_pruning().pruning, PruningStrategy::Mab);
+    }
+
+    #[test]
+    fn presets_differ_from_subdex_only_in_documented_fields() {
+        // Every preset must be expressible as subdex() plus its documented
+        // deltas — so a field added to EngineConfig later cannot silently
+        // diverge across presets.
+        let base = EngineConfig::subdex();
+        assert_eq!(
+            EngineConfig::no_pruning(),
+            EngineConfig {
+                pruning: PruningStrategy::None,
+                ..base
+            }
+        );
+        assert_eq!(
+            EngineConfig::ci_pruning(),
+            EngineConfig {
+                pruning: PruningStrategy::ConfidenceInterval,
+                ..base
+            }
+        );
+        assert_eq!(
+            EngineConfig::mab_pruning(),
+            EngineConfig {
+                pruning: PruningStrategy::Mab,
+                ..base
+            }
+        );
+        assert_eq!(
+            EngineConfig::no_parallelism(),
+            EngineConfig {
+                parallel: false,
+                ..base
+            }
+        );
+        assert_eq!(
+            EngineConfig::naive(),
+            EngineConfig {
+                pruning: PruningStrategy::None,
+                parallel: false,
+                ..base
+            }
+        );
     }
 
     #[test]

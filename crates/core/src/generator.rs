@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use crate::accumulator::{candidate_keys, FamilyAccumulator, RawScores};
+use crate::accumulator::{candidate_keys, EstimateScratch, FamilyAccumulator, RawScores};
 use crate::parallel::resolve_threads;
 use crate::pruning::{ci_survivors, utility_envelope, PruningStrategy, SarDecision, SarState};
 use crate::ratingmap::{RatingMap, ScoredRatingMap};
@@ -145,7 +145,7 @@ impl CriterionNormalizers {
 }
 
 /// Generator tuning knobs (a subset of the engine configuration).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneratorConfig {
     /// Pool size `k′ = k·l` the pruning schemes aim for.
     pub k_prime: usize,
@@ -236,6 +236,10 @@ pub fn generate(
 }
 
 /// [`generate`] with caller-provided gather buffers.
+///
+/// Allocates a throwaway [`EstimateScratch`] for the per-phase score
+/// re-estimation; steady-state callers should pool one of those too and
+/// use [`generate_pooled`].
 pub fn generate_with_scratch(
     db: &SubjectiveDb,
     group: &RatingGroup,
@@ -244,6 +248,36 @@ pub fn generate_with_scratch(
     normalizers: &mut CriterionNormalizers,
     cfg: &GeneratorConfig,
     scratch: &mut ScanScratch,
+) -> GeneratorOutput {
+    generate_pooled(
+        db,
+        group,
+        query,
+        seen,
+        normalizers,
+        cfg,
+        scratch,
+        &mut EstimateScratch::new(),
+    )
+}
+
+/// [`generate_with_scratch`] with every reusable buffer caller-provided:
+/// the phase-gather set *and* the re-estimation scratch. This is the
+/// fully-pooled entry point the step executor and the recommendation
+/// evaluator run on ([`crate::plan::ExecContext`] owns the pools), so
+/// steps 2..n re-estimate `candidates × phases` times without allocating.
+/// Pooling recycles capacity only — output is byte-identical to
+/// [`generate`].
+#[allow(clippy::too_many_arguments)]
+pub fn generate_pooled(
+    db: &SubjectiveDb,
+    group: &RatingGroup,
+    query: &SelectionQuery,
+    seen: &SeenContext,
+    normalizers: &mut CriterionNormalizers,
+    cfg: &GeneratorConfig,
+    scratch: &mut ScanScratch,
+    est: &mut EstimateScratch,
 ) -> GeneratorOutput {
     let keys = candidate_keys(db, query);
     let mut families: Vec<FamilyAccumulator> = keys
@@ -321,7 +355,7 @@ pub fn generate_with_scratch(
             let Some(dim_pos) = fam.dims().iter().position(|&d| d == cand.dim) else {
                 continue;
             };
-            let raw = fam.raw_scores_with(dim_pos, seen_dists, cfg.peculiarity);
+            let raw = fam.raw_scores_pooled(dim_pos, seen_dists, cfg.peculiarity, est);
             cand.scores = normalizers.observe_and_normalize(&raw);
             let utility = cfg.combiner.combine(&cand.scores);
             cand.dw = if cfg.use_dw {

@@ -108,11 +108,16 @@ pub fn conciseness_raw(record_weight: u64, subgroup_count: usize) -> f64 {
 /// of the non-empty subgroups. Unanimous subgroups everywhere ⇒ 1.
 /// No subgroups ⇒ 0.
 pub fn agreement_raw(subgroups: &[RatingDistribution]) -> f64 {
-    let sds: Vec<f64> = subgroups.iter().filter_map(|d| d.std_dev()).collect();
-    if sds.is_empty() {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for sd in subgroups.iter().filter_map(|d| d.std_dev()) {
+        sum += sd;
+        n += 1;
+    }
+    if n == 0 {
         return 0.0;
     }
-    let avg_sd = sds.iter().sum::<f64>() / sds.len() as f64;
+    let avg_sd = sum / n as f64;
     1.0 / (1.0 + avg_sd)
 }
 

@@ -13,10 +13,11 @@
 //! recommending visualizations share one computation. Candidates are
 //! evaluated concurrently, up to the number of available cores.
 
+use crate::accumulator::EstimateScratch;
 use crate::generator::{self, CriterionNormalizers, GeneratorConfig, SeenContext};
 use crate::mapdist::{DistanceEngine, SelectionStats};
 use crate::ratingmap::ScoredRatingMap;
-use crate::selector::{select_diverse_tracked, SelectionStrategy};
+use crate::selector::{select_diverse_with, SelectScratch, SelectionStrategy};
 use std::collections::HashSet;
 use subdex_store::{
     AttrValue, Entity, GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery,
@@ -74,8 +75,30 @@ impl Materialization {
     }
 }
 
+/// One evaluation worker's reusable buffers: a phase-scan gather set, the
+/// per-phase re-estimation scratch, and a diverse-selection scratch. Each
+/// candidate a worker evaluates runs the full generate → select pipeline
+/// over these.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    scan: ScanScratch,
+    est: EstimateScratch,
+    select: SelectScratch,
+}
+
+/// Reusable buffers for one recommendation pass: the candidate-query
+/// vector plus one [`EvalScratch`] per evaluation worker. Pooled inside
+/// [`crate::plan::ExecContext`] so a session's steps 2..n re-use the
+/// grown-to-size buffers; the worker vector is sized lazily to the thread
+/// count actually used.
+#[derive(Debug, Default)]
+pub struct RecommendScratch {
+    workers: Vec<EvalScratch>,
+    candidates: Vec<SelectionQuery>,
+}
+
 /// Candidate-enumeration and evaluation knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecommendConfig {
     /// How many recommendations to return (`o`).
     pub o: usize,
@@ -125,6 +148,20 @@ pub fn enumerate_candidates(
     displayed: &[ScoredRatingMap],
     cfg: &RecommendConfig,
 ) -> Vec<SelectionQuery> {
+    let mut out = Vec::new();
+    enumerate_candidates_into(db, query, displayed, cfg, &mut out);
+    out
+}
+
+/// [`enumerate_candidates`] into a caller-pooled vector (cleared first).
+pub fn enumerate_candidates_into(
+    db: &SubjectiveDb,
+    query: &SelectionQuery,
+    displayed: &[ScoredRatingMap],
+    cfg: &RecommendConfig,
+    out: &mut Vec<SelectionQuery>,
+) {
+    out.clear();
     // Additions: drill into extreme subgroups of each displayed map.
     let mut adds: Vec<AttrValue> = Vec::new();
     for sm in displayed {
@@ -215,7 +252,6 @@ pub fn enumerate_candidates(
 
     // Round-robin across kinds until the cap: drill-downs, roll-ups,
     // changes, then combinations.
-    let mut out: Vec<SelectionQuery> = Vec::new();
     let mut emitted: HashSet<SelectionQuery> = HashSet::new();
     let mut lists = [
         drill.into_iter(),
@@ -238,7 +274,6 @@ pub fn enumerate_candidates(
             }
         }
     }
-    out
 }
 
 /// Evaluates candidates and returns the top-`o` recommendations
@@ -314,7 +349,47 @@ pub fn recommend_with_stats(
     parent: Option<&GroupColumns>,
     dist: Option<&DistanceEngine>,
 ) -> (Vec<Recommendation>, Materialization, SelectionStats) {
-    let candidates = enumerate_candidates(db, query, displayed, cfg);
+    recommend_with_stats_in(
+        db,
+        query,
+        displayed,
+        seen,
+        normalizers,
+        gen_cfg,
+        cfg,
+        seed,
+        cache,
+        parent,
+        dist,
+        &mut RecommendScratch::default(),
+    )
+}
+
+/// [`recommend_with_stats`] over a caller-pooled [`RecommendScratch`]:
+/// candidate vectors, per-worker gather buffers, and per-worker selection
+/// scratch are re-used across calls instead of reallocated. Output is
+/// byte-identical to the allocating path — the scratch recycles
+/// containers, never values.
+#[allow(clippy::too_many_arguments)]
+pub fn recommend_with_stats_in(
+    db: &SubjectiveDb,
+    query: &SelectionQuery,
+    displayed: &[ScoredRatingMap],
+    seen: &SeenContext,
+    normalizers: &CriterionNormalizers,
+    gen_cfg: &GeneratorConfig,
+    cfg: &RecommendConfig,
+    seed: u64,
+    cache: Option<&GroupCache>,
+    parent: Option<&GroupColumns>,
+    dist: Option<&DistanceEngine>,
+    scratch: &mut RecommendScratch,
+) -> (Vec<Recommendation>, Materialization, SelectionStats) {
+    let RecommendScratch {
+        workers,
+        candidates,
+    } = scratch;
+    enumerate_candidates_into(db, query, displayed, cfg, candidates);
     if candidates.is_empty() {
         return (
             Vec::new(),
@@ -333,7 +408,7 @@ pub fn recommend_with_stats(
     let dist_engine = &dist_engine;
 
     let evaluate = |q: &SelectionQuery,
-                    scratch: &mut ScanScratch,
+                    es: &mut EvalScratch,
                     stats: &mut Materialization,
                     sel_stats: &mut SelectionStats|
      -> Option<Recommendation> {
@@ -391,11 +466,20 @@ pub fn recommend_with_stats(
             }
         };
         let mut norms = normalizers.clone();
-        let out =
-            generator::generate_with_scratch(db, &group, q, seen, &mut norms, gen_cfg, scratch);
+        let out = generator::generate_pooled(
+            db,
+            &group,
+            q,
+            seen,
+            &mut norms,
+            gen_cfg,
+            &mut es.scan,
+            &mut es.est,
+        );
         let pool_size = cfg.selection.pool_size(cfg.k, out.pool.len());
         let pool: Vec<ScoredRatingMap> = out.pool.into_iter().take(pool_size.max(cfg.k)).collect();
-        let (maps, sel) = select_diverse_tracked(pool, cfg.k, cfg.selection, dist_engine);
+        let (maps, sel) =
+            select_diverse_with(pool, cfg.k, cfg.selection, dist_engine, &mut es.select);
         sel_stats.merge(&sel);
         let utility = maps.iter().map(|m| m.dw_utility).sum();
         Some(Recommendation {
@@ -412,20 +496,26 @@ pub fn recommend_with_stats(
     let mut sel_stats = SelectionStats::default();
     let mut recs: Vec<Recommendation> = if cfg.parallel && threads > 1 && candidates.len() > 1 {
         let chunk = candidates.len().div_ceil(threads);
+        let spawned = candidates.len().div_ceil(chunk);
+        if workers.len() < spawned {
+            workers.resize_with(spawned, EvalScratch::default);
+        }
+        let evaluate = &evaluate;
         let mut results: Vec<(Vec<Recommendation>, Materialization, SelectionStats)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
-                .map(|slice| {
-                    s.spawn(|| {
-                        // One scratch + one stats block per worker, merged
-                        // in deterministic worker order after the join.
-                        let mut scratch = ScanScratch::new();
+                .zip(workers.iter_mut())
+                .map(|(slice, es)| {
+                    s.spawn(move || {
+                        // One pooled scratch + one stats block per worker,
+                        // merged in deterministic worker order after the
+                        // join.
                         let mut local = Materialization::default();
                         let mut local_sel = SelectionStats::default();
                         let recs = slice
                             .iter()
-                            .filter_map(|q| evaluate(q, &mut scratch, &mut local, &mut local_sel))
+                            .filter_map(|q| evaluate(q, es, &mut local, &mut local_sel))
                             .collect::<Vec<_>>();
                         (recs, local, local_sel)
                     })
@@ -444,10 +534,13 @@ pub fn recommend_with_stats(
             })
             .collect()
     } else {
-        let mut scratch = ScanScratch::new();
+        if workers.is_empty() {
+            workers.push(EvalScratch::default());
+        }
+        let es = &mut workers[0];
         candidates
             .iter()
-            .filter_map(|q| evaluate(q, &mut scratch, &mut stats, &mut sel_stats))
+            .filter_map(|q| evaluate(q, es, &mut stats, &mut sel_stats))
             .collect()
     };
 

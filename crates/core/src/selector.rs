@@ -49,6 +49,20 @@ impl SelectionStrategy {
     }
 }
 
+/// Reusable buffers for diverse selection: the per-pool signature vector,
+/// the GMM bookkeeping arrays, and the distance engine's cost-matrix
+/// scratch. Pooled inside [`crate::plan::ExecContext`] so steady-state
+/// selections re-use one grown-to-size set of containers instead of
+/// allocating five fresh ones per pass.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    sigs: Vec<MapSignature>,
+    sig_tmp: Vec<f64>,
+    picked: Vec<bool>,
+    min_dist: Vec<f64>,
+    dist: DistScratch,
+}
+
 /// Selects `k` maps from `pool` (already ranked by descending DW utility)
 /// with a default (bounds-on, serial, uncached) engine, discarding stats.
 ///
@@ -64,19 +78,34 @@ pub fn select_diverse(
 }
 
 /// [`select_diverse`] through a caller-configured [`DistanceEngine`],
-/// reporting how the distance evaluations were resolved.
+/// reporting how the distance evaluations were resolved. Allocates its
+/// scratch per call; hot paths should hold a [`SelectScratch`] and use
+/// [`select_diverse_with`] instead.
 pub fn select_diverse_tracked(
     pool: Vec<ScoredRatingMap>,
     k: usize,
     strategy: SelectionStrategy,
     engine: &DistanceEngine,
 ) -> (Vec<ScoredRatingMap>, SelectionStats) {
+    select_diverse_with(pool, k, strategy, engine, &mut SelectScratch::default())
+}
+
+/// [`select_diverse_tracked`] over caller-pooled buffers. Selections are
+/// byte-identical to the allocating path for every `(pool, k, strategy,
+/// engine)` — the scratch only recycles containers, never values.
+pub fn select_diverse_with(
+    pool: Vec<ScoredRatingMap>,
+    k: usize,
+    strategy: SelectionStrategy,
+    engine: &DistanceEngine,
+    scratch: &mut SelectScratch,
+) -> (Vec<ScoredRatingMap>, SelectionStats) {
     let start = std::time::Instant::now();
     let mut stats = SelectionStats::default();
     let out = if pool.len() <= k || k == 0 || matches!(strategy, SelectionStrategy::UtilityOnly) {
         pool.into_iter().take(k).collect()
     } else {
-        gmm(pool, k, engine, &mut stats)
+        gmm(pool, k, engine, &mut stats, scratch)
     };
     stats.select_time = start.elapsed();
     (out, stats)
@@ -89,23 +118,28 @@ fn gmm(
     k: usize,
     engine: &DistanceEngine,
     stats: &mut SelectionStats,
+    scratch: &mut SelectScratch,
 ) -> Vec<ScoredRatingMap> {
     let n = pool.len();
     debug_assert!(k < n || n == 0);
-    let sigs: Vec<MapSignature> = {
-        let mut tmp = Vec::new();
-        pool.iter()
-            .map(|m| MapSignature::build(&m.map, &mut tmp))
-            .collect()
-    };
-    let mut scratch = DistScratch::default();
-    let mut picked = vec![false; n];
+    let SelectScratch {
+        sigs,
+        sig_tmp,
+        picked,
+        min_dist,
+        dist,
+    } = scratch;
+    sigs.clear();
+    sigs.extend(pool.iter().map(|m| MapSignature::build(&m.map, sig_tmp)));
+    picked.clear();
+    picked.resize(n, false);
+    min_dist.clear();
+    min_dist.resize(n, f64::INFINITY);
     let mut taken = 1;
-    let mut min_dist = vec![f64::INFINITY; n];
     picked[0] = true;
     // Seed row: every min-dist is infinite, so nothing can be pruned and
     // every pair resolves exactly (possibly from the cache).
-    engine.update_row(&sigs, 0, &picked, &mut min_dist, &mut scratch, stats);
+    engine.update_row(sigs, 0, picked, min_dist, dist, stats);
     while taken < k {
         // Farthest-point: maximize the minimum distance to the chosen set;
         // tie-break toward higher utility (lower pool index).
@@ -126,12 +160,12 @@ fn gmm(
         // Chosen maps are never candidates again, so their min-dist entries
         // (and the self-distance) need no update; for the rest, a bound
         // reaching min_dist[i] proves the exact solve irrelevant.
-        engine.update_row(&sigs, next, &picked, &mut min_dist, &mut scratch, stats);
+        engine.update_row(sigs, next, picked, min_dist, dist, stats);
     }
     // Emitting in pool order keeps utility order within the selection.
     pool.into_iter()
-        .zip(picked)
-        .filter_map(|(m, keep)| keep.then_some(m))
+        .zip(picked.iter())
+        .filter_map(|(m, &keep)| keep.then_some(m))
         .collect()
 }
 

@@ -10,9 +10,15 @@
 //! ```text
 //! #subdex-session v1
 //! user<TAB>*
+//! # step 0: total 812µs | groups 14µs | scan 210µs | generate 433µs | select 96µs | recommend 255µs
 //! recommendation<TAB>reviewer.age_group = young
 //! user<TAB>reviewer.age_group = young AND item.city = NYC
 //! ```
+//!
+//! `#`-prefixed lines are comments: [`SessionLog::serialize_with_stats`]
+//! emits one per step with the per-phase timing breakdown from the step's
+//! [`StepStats`], and the parser skips them, so both forms replay
+//! identically.
 //!
 //! Queries use the same textual form as
 //! [`SubjectiveDb::describe_query`] / [`subdex_store::parse_query`], so a
@@ -21,6 +27,7 @@
 //! reproduces the original maps and recommendations exactly.
 
 use crate::engine::{EngineConfig, SdeEngine, StepResult};
+use crate::plan::StepStats;
 use subdex_store::{parse_query, ParseError, SelectionQuery, SubjectiveDb};
 
 /// How an operation entered the session.
@@ -141,7 +148,40 @@ impl SessionLog {
         out
     }
 
-    /// Parses a serialized log against a database.
+    /// Serializes to the line-based format with one `#`-prefixed timing
+    /// comment per step, rendered from that step's [`StepStats`] (the
+    /// per-phase breakdown of [`crate::plan::PhaseTimes`]). Comments are
+    /// ignored by [`SessionLog::deserialize`], so the stats-annotated form
+    /// round-trips to the same entries as the plain one. `stats` pairs
+    /// positionally with the entries; extra or missing stats are tolerated
+    /// (entries without one get no comment).
+    pub fn serialize_with_stats(&self, db: &SubjectiveDb, stats: &[StepStats]) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(e.source.tag());
+            out.push('\t');
+            out.push_str(&db.describe_query(&e.query));
+            out.push('\n');
+            if let Some(s) = stats.get(i) {
+                out.push_str(&format!(
+                    "# step {i}: total {}µs | groups {}µs | scan {}µs | generate {}µs | \
+                     select {}µs | recommend {}µs\n",
+                    s.elapsed.as_micros(),
+                    s.phases.scan_groups.as_micros(),
+                    s.phases.scan.as_micros(),
+                    s.phases.generate.as_micros(),
+                    s.phases.select.as_micros(),
+                    s.phases.recommend.as_micros(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses a serialized log against a database. Lines starting with `#`
+    /// (e.g. the per-step timing comments of
+    /// [`SessionLog::serialize_with_stats`]) are skipped.
     pub fn deserialize(db: &SubjectiveDb, text: &str) -> Result<Self, LogError> {
         let mut lines = text.lines().enumerate();
         match lines.next() {
@@ -150,7 +190,8 @@ impl SessionLog {
         }
         let mut log = SessionLog::new();
         for (i, line) in lines {
-            if line.trim().is_empty() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
             let line_no = i + 1;
@@ -277,6 +318,46 @@ mod tests {
             let rk: Vec<_> = rep.maps.iter().map(|m| m.map.key).collect();
             assert_eq!(ok, rk, "replay shows identical maps");
         }
+    }
+
+    #[test]
+    fn stats_annotated_log_round_trips() {
+        let db = db();
+        let cfg = EngineConfig {
+            parallel: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = SdeEngine::new(db.clone(), cfg);
+        let mut log = SessionLog::new();
+        let mut stats = Vec::new();
+        let q0 = SelectionQuery::all();
+        let r0 = engine.step(&q0);
+        log.record(OpSource::User, q0);
+        stats.push(r0.stats);
+        let q1 = r0.recommendations[0].query.clone();
+        let r1 = engine.step(&q1);
+        log.record(OpSource::Recommendation, q1);
+        stats.push(r1.stats);
+
+        let text = log.serialize_with_stats(&db, &stats);
+        // One timing comment per step, each carrying the phase breakdown.
+        assert_eq!(text.lines().filter(|l| l.starts_with("# step")).count(), 2);
+        assert!(text.contains("# step 0: total "));
+        assert!(text.contains("| select "));
+        assert!(text.contains("| recommend "));
+
+        // Comments are ignored on load: both forms parse to the same log,
+        // and the annotated form replays to the same steps.
+        let back = SessionLog::deserialize(&db, &text).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(
+            SessionLog::deserialize(&db, &log.serialize(&db)).unwrap(),
+            back
+        );
+        let replayed = back.replay(db.clone(), cfg);
+        let keys = |r: &StepResult| r.maps.iter().map(|m| m.map.key).collect::<Vec<_>>();
+        assert_eq!(keys(&replayed[0]), keys(&r0));
+        assert_eq!(keys(&replayed[1]), keys(&r1));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use subdex_core::{Materialization, SelectionStats};
+use subdex_core::{Materialization, SelectionStats, StepStats};
 use subdex_persist::PersistStats;
 use subdex_store::CacheStats;
 
@@ -54,9 +54,20 @@ impl ServiceMetrics {
         Self::default()
     }
 
+    /// The single instrumentation point for a completed step: records the
+    /// service latency (queue wait plus execution) and folds the step's
+    /// whole [`StepStats`] aggregate — phase-scan time, materialization
+    /// paths, and the selection-distance breakdown — into the counters.
+    pub fn record_step(&self, latency: Duration, stats: &StepStats) {
+        self.record_served(latency);
+        self.record_scan_time(stats.phases.scan);
+        self.record_materialization(&stats.materialization);
+        self.record_selection(&stats.selection);
+    }
+
     /// Records one completed step and its service latency (queue wait plus
     /// execution).
-    pub fn record_served(&self, latency: Duration) {
+    fn record_served(&self, latency: Duration) {
         self.served.fetch_add(1, Ordering::Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let idx = LATENCY_BUCKETS_US
@@ -71,19 +82,19 @@ impl ServiceMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Accumulates the phase-scan component of one served step (the
-    /// engine's `StepResult::scan_elapsed`), so operators can see how much
-    /// of the service's work is the scan kernels versus everything else.
-    pub fn record_scan_time(&self, scan: Duration) {
+    /// Accumulates the phase-scan component of one served step
+    /// (`StepStats::phases.scan`), so operators can see how much of the
+    /// service's work is the scan kernels versus everything else.
+    fn record_scan_time(&self, scan: Duration) {
         let us = scan.as_micros().min(u128::from(u64::MAX)) as u64;
         self.scan_time_us.fetch_add(us, Ordering::Relaxed);
     }
 
-    /// Accumulates one served step's group-materialization counters (the
-    /// engine's `StepResult::materialization`): how many candidate groups
-    /// were derived from parent columns, fully walked, cache-served, or
-    /// skipped as provably empty.
-    pub fn record_materialization(&self, m: &Materialization) {
+    /// Accumulates one served step's group-materialization counters
+    /// (`StepStats::materialization`): how many candidate groups were
+    /// derived from parent columns, fully walked, cache-served, or skipped
+    /// as provably empty.
+    fn record_materialization(&self, m: &Materialization) {
         self.groups_derived.fetch_add(m.derived, Ordering::Relaxed);
         self.groups_walked.fetch_add(m.walked, Ordering::Relaxed);
         self.groups_cached.fetch_add(m.cached, Ordering::Relaxed);
@@ -93,11 +104,11 @@ impl ServiceMetrics {
             .fetch_add(m.records_filtered, Ordering::Relaxed);
     }
 
-    /// Accumulates one served step's selection-phase counters (the
-    /// engine's `StepResult::selection`): how the GMM distance evaluations
-    /// resolved — exact transportation solves, bound-pruned pairs, and
+    /// Accumulates one served step's selection-phase counters
+    /// (`StepStats::selection`): how the GMM distance evaluations resolved
+    /// — exact transportation solves, bound-pruned pairs, and
     /// distance-cache hits — plus time spent selecting.
-    pub fn record_selection(&self, s: &SelectionStats) {
+    fn record_selection(&self, s: &SelectionStats) {
         self.dist_exact_solves
             .fetch_add(s.exact_solves, Ordering::Relaxed);
         self.dist_pruned_mixture
@@ -300,6 +311,42 @@ mod tests {
         let snap = m.snapshot(None, None, None);
         assert_eq!(snap.scan_time_total, Duration::from_micros(1_000));
         assert!(snap.to_string().contains("scan 1000µs"));
+    }
+
+    #[test]
+    fn record_step_threads_the_whole_aggregate() {
+        use subdex_core::PhaseTimes;
+        let m = ServiceMetrics::new();
+        let stats = StepStats {
+            elapsed: Duration::from_micros(2_000),
+            phases: PhaseTimes {
+                scan: Duration::from_micros(800),
+                ..PhaseTimes::default()
+            },
+            materialization: Materialization {
+                derived: 3,
+                walked: 1,
+                cached: 2,
+                skipped_empty: 0,
+                records_filtered: 40,
+            },
+            selection: SelectionStats {
+                exact_solves: 2,
+                pruned_mixture: 1,
+                pruned_matrix: 0,
+                cache_hits: 1,
+                select_time: Duration::from_micros(90),
+            },
+            ..StepStats::default()
+        };
+        m.record_step(Duration::from_micros(500), &stats);
+        let snap = m.snapshot(None, None, None);
+        assert_eq!(snap.requests_served, 1);
+        assert_eq!(snap.latency_buckets[1], (1_000, 1));
+        assert_eq!(snap.scan_time_total, Duration::from_micros(800));
+        assert_eq!(snap.materialization.derived, 3);
+        assert_eq!(snap.selection.exact_solves, 2);
+        assert_eq!(snap.selection.select_time, Duration::from_micros(90));
     }
 
     #[test]

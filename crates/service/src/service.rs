@@ -522,10 +522,7 @@ fn worker_loop(rx: &Receiver<Job>, registry: &SessionRegistry, metrics: &Service
         let result = match outcome {
             None => Err(ServiceError::UnknownSession(job.session)),
             Some(Ok(step)) => {
-                metrics.record_served(job.submitted.elapsed());
-                metrics.record_scan_time(step.scan_elapsed);
-                metrics.record_materialization(&step.materialization);
-                metrics.record_selection(&step.selection);
+                metrics.record_step(job.submitted.elapsed(), &step.stats);
                 Ok(step)
             }
             Some(Err(e)) => Err(e),
@@ -845,7 +842,7 @@ mod tests {
             let step = service
                 .run_step(id, StepRequest::Operation(SelectionQuery::all()))
                 .unwrap();
-            assert_eq!(step.db_epoch, 0);
+            assert_eq!(step.stats.db_epoch, 0);
 
             let epoch = service.append_ratings(&drafts(6)).unwrap();
             assert_eq!(epoch, 1);
@@ -853,14 +850,14 @@ mod tests {
             let step = service
                 .run_step(id, StepRequest::Operation(SelectionQuery::all()))
                 .unwrap();
-            assert_eq!(step.db_epoch, 0);
+            assert_eq!(step.stats.db_epoch, 0);
             assert_eq!(step.group_size, base_ratings);
             // ...while a fresh session sees the appended ratings.
             let id2 = service.create_session();
             let step2 = service
                 .run_step(id2, StepRequest::Operation(SelectionQuery::all()))
                 .unwrap();
-            assert_eq!(step2.db_epoch, 1);
+            assert_eq!(step2.stats.db_epoch, 1);
             assert_eq!(step2.group_size, base_ratings + 6);
 
             let m = service.metrics();

@@ -59,6 +59,11 @@ pub struct PathStats {
     pub maps_per_dimension: Vec<usize>,
     /// Steps actually executed.
     pub steps: usize,
+    /// Total step wall-clock over the path.
+    pub total_time: std::time::Duration,
+    /// Per-phase wall-clock totals over the path, accumulated from each
+    /// step's [`subdex_core::StepStats`].
+    pub phase_times: subdex_core::PhaseTimes,
 }
 
 /// Records the query sequence of a Fully-Automated path (top-1 SubDEx
@@ -99,6 +104,8 @@ pub fn run_fixed_path(w: &Workload, queries: &[SelectionQuery], cfg: &EngineConf
         avg_diversity: 0.0,
         maps_per_dimension: vec![0; dim_count],
         steps: 0,
+        total_time: std::time::Duration::ZERO,
+        phase_times: subdex_core::PhaseTimes::default(),
     };
     let mut attrs: HashSet<(subdex_store::Entity, subdex_store::AttrId)> = HashSet::new();
     let mut diversity_sum = 0.0;
@@ -120,6 +127,8 @@ fn collect_step(
     attrs: &mut HashSet<(subdex_store::Entity, subdex_store::AttrId)>,
     diversity_sum: &mut f64,
 ) {
+    stats.total_time += res.stats.elapsed;
+    stats.phase_times.merge(&res.stats.phases);
     for sm in &res.maps {
         attrs.insert((sm.map.key.entity, sm.map.key.attr));
         stats.maps_per_dimension[sm.map.key.dim.index()] += 1;
@@ -160,6 +169,8 @@ pub fn run_auto_path(
         avg_diversity: 0.0,
         maps_per_dimension: vec![0; dim_count],
         steps: 0,
+        total_time: std::time::Duration::ZERO,
+        phase_times: subdex_core::PhaseTimes::default(),
     };
     let mut attrs: HashSet<(subdex_store::Entity, subdex_store::AttrId)> = HashSet::new();
     let mut diversity_sum = 0.0;
@@ -230,6 +241,9 @@ mod tests {
         let total_maps: usize = stats.maps_per_dimension.iter().sum();
         assert_eq!(total_maps, 4 * 3, "k = 3 maps per step");
         assert!(stats.avg_diversity >= 0.0 && stats.avg_diversity <= 1.0);
+        assert!(stats.total_time > std::time::Duration::ZERO);
+        assert!(stats.total_time >= stats.phase_times.select + stats.phase_times.scan_groups);
+        assert!(stats.phase_times.generate >= stats.phase_times.scan);
     }
 
     #[test]

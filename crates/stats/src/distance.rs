@@ -7,6 +7,20 @@
 
 use crate::distribution::RatingDistribution;
 
+/// Probability of one score bucket given the distribution's total, matching
+/// [`RatingDistribution::probabilities`] bucket-for-bucket (empty ⇒ the
+/// uniform `1/m`) without materializing the probability vector. Both
+/// distances below stream through this so the hot re-estimation paths do
+/// not allocate per call.
+#[inline]
+fn prob(count: u64, total: u64, m: f64) -> f64 {
+    if total == 0 {
+        1.0 / m
+    } else {
+        count as f64 / total as f64
+    }
+}
+
 /// Total variation distance between two distributions over the same scale:
 /// `TVD(p, q) = ½ · Σ |p_j − q_j|`, in `[0, 1]`.
 ///
@@ -14,9 +28,14 @@ use crate::distribution::RatingDistribution;
 /// Panics if the scales differ.
 pub fn total_variation(a: &RatingDistribution, b: &RatingDistribution) -> f64 {
     assert_eq!(a.scale(), b.scale(), "distributions must share a scale");
-    let pa = a.probabilities();
-    let pb = b.probabilities();
-    0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>()
+    let m = a.scale() as f64;
+    let (ta, tb) = (a.total(), b.total());
+    0.5 * a
+        .counts()
+        .iter()
+        .zip(b.counts())
+        .map(|(&x, &y)| (prob(x, ta, m) - prob(y, tb, m)).abs())
+        .sum::<f64>()
 }
 
 /// Kullback–Leibler divergence `KL(p ‖ q)` in nats, with additive smoothing
@@ -29,14 +48,14 @@ pub fn kl_divergence(a: &RatingDistribution, b: &RatingDistribution, eps: f64) -
     assert_eq!(a.scale(), b.scale(), "distributions must share a scale");
     assert!(eps > 0.0, "smoothing epsilon must be positive");
     let m = a.scale() as f64;
-    let pa = a.probabilities();
-    let pb = b.probabilities();
+    let (ta, tb) = (a.total(), b.total());
     let norm = 1.0 + m * eps;
-    pa.iter()
-        .zip(&pb)
-        .map(|(x, y)| {
-            let p = (x + eps) / norm;
-            let q = (y + eps) / norm;
+    a.counts()
+        .iter()
+        .zip(b.counts())
+        .map(|(&x, &y)| {
+            let p = (prob(x, ta, m) + eps) / norm;
+            let q = (prob(y, tb, m) + eps) / norm;
             p * (p / q).ln()
         })
         .sum()

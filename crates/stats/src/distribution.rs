@@ -38,6 +38,29 @@ impl RatingDistribution {
         Self { counts }
     }
 
+    /// Overwrites this distribution in place from per-score counts — the
+    /// buffer-reusing twin of [`Self::from_counts`], for callers that hold
+    /// a pool of distributions across estimations.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty.
+    pub fn copy_from_counts(&mut self, counts: &[u64]) {
+        assert!(!counts.is_empty(), "rating scale must be at least 1");
+        self.counts.clear();
+        self.counts.extend_from_slice(counts);
+    }
+
+    /// Resets to the empty distribution over `1..=scale`, reusing the
+    /// existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `scale == 0`.
+    pub fn reset(&mut self, scale: usize) {
+        assert!(scale > 0, "rating scale must be at least 1");
+        self.counts.clear();
+        self.counts.resize(scale, 0);
+    }
+
     /// The size `m` of the rating scale.
     #[inline]
     pub fn scale(&self) -> usize {

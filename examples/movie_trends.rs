@@ -40,7 +40,7 @@ fn main() {
             step.step + 1,
             db.describe_query(&step.query),
             step.group_size,
-            step.elapsed
+            step.stats.elapsed
         );
         for sm in &step.maps {
             let table = db.table(sm.map.key.entity);

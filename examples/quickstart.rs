@@ -33,10 +33,10 @@ fn main() {
          {} candidate maps considered, {} pruned (CI), {} pruned (MAB)\n",
         db.describe_query(&query),
         result.group_size,
-        result.elapsed,
-        result.generator_stats.0,
-        result.generator_stats.1,
-        result.generator_stats.2,
+        result.stats.elapsed,
+        result.stats.generator.candidates_total,
+        result.stats.generator.pruned_ci,
+        result.stats.generator.pruned_mab,
     );
 
     println!(

@@ -32,16 +32,21 @@ fn main() {
         "reviewer.age_group = young AND item.neighborhood = Williamsburg",
     ];
     println!("── Original session ──");
+    let mut stats = Vec::new();
     for text in queries {
         let q = parse_query(&db, text).expect("valid query");
         let res = engine.step(&q);
         log.record(OpSource::User, q);
+        stats.push(res.stats);
         print!("{}", narrate_step(&db, &res));
     }
 
-    // --- Persist and replay. --------------------------------------------
-    let serialized = log.serialize(&db);
-    println!("── Serialized log ──\n{serialized}");
+    // --- Persist (with per-phase timings) and replay. ---------------------
+    // serialize_with_stats interleaves one `# step N: ...` timing comment
+    // per operation; the parser skips comments, so the annotated log
+    // replays exactly like the plain `serialize` form.
+    let serialized = log.serialize_with_stats(&db, &stats);
+    println!("── Serialized log (with phase timings) ──\n{serialized}");
 
     let loaded = SessionLog::deserialize(&db, &serialized).expect("log parses");
     let replayed = loaded.replay(db.clone(), cfg);

@@ -58,7 +58,7 @@ impl Repl {
             "\n── {} · {} records · {:?} ──",
             self.db.describe_query(&res.query),
             res.group_size,
-            res.elapsed
+            res.stats.elapsed
         );
         for (i, sm) in res.maps.iter().enumerate() {
             println!(
