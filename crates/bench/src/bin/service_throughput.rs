@@ -6,11 +6,16 @@
 //! service_throughput [--quick] [--out BENCH_service.json]
 //! ```
 //!
-//! For every cell of workers {1, 2, 4} × cache {off, on}, the benchmark
-//! starts a fresh `SubdexService` over the same Yelp-like database, drives
-//! 16 recommendation-powered sessions (overlapping scripts, so the cache
-//! has real sharing to exploit) from 8 client threads, and reports
-//! steps/sec plus the observed cache hit rate.
+//! For every cell of workers {1, 2, 4} × thread budget {1, auto} × cache
+//! {off, on}, the benchmark starts a fresh `SubdexService` over the same
+//! Yelp-like database, drives 16 recommendation-powered sessions
+//! (overlapping scripts, so the cache has real sharing to exploit) from 8
+//! client threads, and reports steps/sec, the observed cache hit rate, and
+//! the scaling efficiency against the 1-worker cell of the same budget ×
+//! cache configuration (`steps_per_sec / (workers × steps_per_sec₁)`).
+//! Budget 1 pins every step to one intra-step thread (the worker pool is
+//! the only parallelism axis); budget "auto" (0) lets the service divide
+//! the cores across busy workers.
 //!
 //! The steady-state probe runs one serial engine through repeated steps of
 //! one session and counts heap allocations per step through a counting
@@ -107,31 +112,55 @@ fn main() {
     );
 
     println!(
-        "| {:>7} | {:>5} | {:>9} | {:>9} | {:>8} | {:>8} |",
-        "workers", "cache", "steps/sec", "hit rate", "rejects", "q hwm"
+        "| {:>7} | {:>6} | {:>5} | {:>9} | {:>9} | {:>6} | {:>8} | {:>8} |",
+        "workers", "budget", "cache", "steps/sec", "hit rate", "eff", "rejects", "q hwm"
     );
-    println!("|---------|-------|-----------|-----------|----------|----------|");
+    println!("|---------|--------|-------|-----------|-----------|--------|----------|----------|");
 
-    let mut json_rows: Vec<String> = Vec::new();
+    // Sweep the grid first, then derive scaling efficiency against the
+    // 1-worker cell of the same budget × cache configuration.
+    let mut cells: Vec<(usize, usize, bool, Cell)> = Vec::new();
     for &workers in &[1usize, 2, 4] {
-        for &cache_enabled in &[false, true] {
-            let cell = run_cell(&db, workers, cache_enabled, steps);
-            println!(
-                "| {:>7} | {:>5} | {:>9.1} | {:>9} | {:>8} | {:>8} |",
-                workers,
-                if cache_enabled { "on" } else { "off" },
-                cell.steps_per_sec,
-                cell.hit_rate
-                    .map(|r| format!("{:.1}%", 100.0 * r))
-                    .unwrap_or_else(|| "—".into()),
-                cell.rejected,
-                cell.queue_hwm,
-            );
-            json_rows.push(format!(
-                "    {{\"workers\": {workers}, \"cache\": {cache_enabled}, \"steps_per_sec\": {:.3}, \"rejected\": {}, \"queue_hwm\": {}}}",
-                cell.steps_per_sec, cell.rejected, cell.queue_hwm
-            ));
+        for &thread_budget in &[1usize, 0] {
+            for &cache_enabled in &[false, true] {
+                let cell = run_cell(&db, workers, thread_budget, cache_enabled, steps);
+                cells.push((workers, thread_budget, cache_enabled, cell));
+            }
         }
+    }
+    let mut json_rows: Vec<String> = Vec::new();
+    for &(workers, thread_budget, cache_enabled, ref cell) in &cells {
+        let base = cells
+            .iter()
+            .find(|&&(w, b, c, _)| w == 1 && b == thread_budget && c == cache_enabled)
+            .map(|(_, _, _, c)| c.steps_per_sec)
+            .unwrap_or(cell.steps_per_sec);
+        let efficiency = if base > 0.0 {
+            cell.steps_per_sec / (workers as f64 * base)
+        } else {
+            0.0
+        };
+        println!(
+            "| {:>7} | {:>6} | {:>5} | {:>9.1} | {:>9} | {:>6.2} | {:>8} | {:>8} |",
+            workers,
+            if thread_budget == 0 {
+                "auto".to_string()
+            } else {
+                thread_budget.to_string()
+            },
+            if cache_enabled { "on" } else { "off" },
+            cell.steps_per_sec,
+            cell.hit_rate
+                .map(|r| format!("{:.1}%", 100.0 * r))
+                .unwrap_or_else(|| "—".into()),
+            efficiency,
+            cell.rejected,
+            cell.queue_hwm,
+        );
+        json_rows.push(format!(
+            "    {{\"workers\": {workers}, \"thread_budget\": {thread_budget}, \"cache\": {cache_enabled}, \"steps_per_sec\": {:.3}, \"scaling_efficiency\": {:.4}, \"rejected\": {}, \"queue_hwm\": {}}}",
+            cell.steps_per_sec, efficiency, cell.rejected, cell.queue_hwm
+        ));
     }
 
     // Hand-rolled JSON (no serde_json in the vendored set); every value is
@@ -212,13 +241,24 @@ struct Cell {
     queue_hwm: usize,
 }
 
-fn run_cell(db: &Arc<SubjectiveDb>, workers: usize, cache_enabled: bool, steps: usize) -> Cell {
+fn run_cell(
+    db: &Arc<SubjectiveDb>,
+    workers: usize,
+    thread_budget: usize,
+    cache_enabled: bool,
+    steps: usize,
+) -> Cell {
     let config = ServiceConfig {
         workers,
         queue_capacity: 8,
         cache_enabled,
+        // Intra-step parallelism on, governed by the budget: 1 pins steps
+        // to one thread, 0 lets the service divide cores across busy
+        // workers.
+        thread_budget,
         engine: EngineConfig {
-            parallel: false, // the worker pool is the parallelism axis here
+            parallel: true,
+            threads: 0,
             max_candidates: 8,
             ..EngineConfig::default()
         },

@@ -281,6 +281,18 @@ impl SdeEngine {
         self.dist_cache = cache;
     }
 
+    /// Caps the worker threads every parallel phase of subsequent steps may
+    /// use (`0` = uncapped). The service sets this per step from its
+    /// oversubscription budget; results are byte-identical across budgets.
+    pub fn set_thread_budget(&mut self, budget: usize) {
+        self.ctx.set_thread_budget(budget);
+    }
+
+    /// The current per-step worker-thread cap (`0` = uncapped).
+    pub fn thread_budget(&self) -> usize {
+        self.ctx.thread_budget()
+    }
+
     /// The attached map-distance cache, if any.
     pub fn distance_cache(&self) -> Option<&Arc<DistanceCache>> {
         self.dist_cache.as_ref()

@@ -516,35 +516,24 @@ pub fn scan_block(
     let fams: &[FamilyAccumulator] = families;
     let workers = threads.min(total_tasks);
     // One private count-matrix set per (worker, active family), allocated
-    // lazily on the worker's first chunk of that family.
-    let locals: Vec<Vec<Option<Vec<Vec<u64>>>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                let active = &active;
-                s.spawn(move || {
-                    let mut local: Vec<Option<Vec<Vec<u64>>>> =
-                        (0..active.len()).map(|_| None).collect();
-                    loop {
-                        let t = next.fetch_add(1, Ordering::Relaxed);
-                        if t >= total_tasks {
-                            break;
-                        }
-                        let (ai, ci) = (t / n_chunks, t % n_chunks);
-                        let fam = &fams[active[ai]];
-                        let start = ci * chunk;
-                        let end = (start + chunk).min(n);
-                        let counts = local[ai].get_or_insert_with(|| fam.fresh_counts());
-                        fam.accumulate_block(db, block, start..end, counts);
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker panicked"))
-            .collect()
+    // lazily on the worker's first chunk of that family. Workers run on the
+    // persistent task pool; the pool returns their locals in worker-slot
+    // order, preserving the deterministic merge.
+    let locals: Vec<Vec<Option<Vec<Vec<u64>>>>> = crate::parallel::task_pool().run(workers, |_| {
+        let mut local: Vec<Option<Vec<Vec<u64>>>> = (0..active.len()).map(|_| None).collect();
+        loop {
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= total_tasks {
+                break;
+            }
+            let (ai, ci) = (t / n_chunks, t % n_chunks);
+            let fam = &fams[active[ai]];
+            let start = ci * chunk;
+            let end = (start + chunk).min(n);
+            let counts = local[ai].get_or_insert_with(|| fam.fresh_counts());
+            fam.accumulate_block(db, block, start..end, counts);
+        }
+        local
     });
     for local in locals {
         for (ai, partial) in local.into_iter().enumerate() {

@@ -61,7 +61,7 @@ pub mod utility;
 pub use engine::{EngineConfig, SdeEngine, StepResult};
 pub use generator::SeenContext;
 pub use mapdist::{DistScratch, DistanceEngine, MapSignature, SelectionStats};
-pub use parallel::resolve_threads;
+pub use parallel::{budget_threads, resolve_threads, task_pool, TaskPool};
 pub use plan::{
     ExecContext, GeneratorStats, PhaseOp, PhaseTimes, PlanNode, StepExecutor, StepPlan, StepStats,
 };

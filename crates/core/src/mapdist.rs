@@ -560,41 +560,37 @@ impl DistanceEngine {
             return;
         }
         let chunk = n.div_ceil(threads);
+        let jobs = n.div_ceil(chunk);
         let pivot_sig = &sigs[pivot];
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = min_dist
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(c, slots)| {
-                    scope.spawn(move || {
-                        let base = c * chunk;
-                        let mut scratch = DistScratch::default();
-                        let mut local = SelectionStats::default();
-                        for (off, slot) in slots.iter_mut().enumerate() {
-                            let i = base + off;
-                            if picked[i] {
-                                continue;
-                            }
-                            if let Some(d) = self.evaluate_against(
-                                pivot_sig,
-                                &sigs[i],
-                                *slot,
-                                &mut scratch,
-                                &mut local,
-                            ) {
-                                if d < *slot {
-                                    *slot = d;
-                                }
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                stats.merge(&h.join().expect("selection row worker panicked"));
+        // Each pooled task owns the disjoint `min_dist[base..end]` range
+        // plus private scratch and stats; the pool returns locals in chunk
+        // order, so the stats merge below matches the old join order.
+        let lanes = crate::parallel::DisjointSlots::new(min_dist);
+        let locals: Vec<SelectionStats> = crate::parallel::task_pool().run(jobs, |c| {
+            let base = c * chunk;
+            let end = (base + chunk).min(n);
+            // Safety: chunk `c` is the only task touching `base..end`.
+            let slots = unsafe { lanes.range(base, end) };
+            let mut scratch = DistScratch::default();
+            let mut local = SelectionStats::default();
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let i = base + off;
+                if picked[i] {
+                    continue;
+                }
+                if let Some(d) =
+                    self.evaluate_against(pivot_sig, &sigs[i], *slot, &mut scratch, &mut local)
+                {
+                    if d < *slot {
+                        *slot = d;
+                    }
+                }
             }
+            local
         });
+        for local in &locals {
+            stats.merge(local);
+        }
     }
 }
 

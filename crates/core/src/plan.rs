@@ -224,6 +224,23 @@ impl StepPlan {
         &self.rec_cfg
     }
 
+    /// Resolves the plan's per-phase thread counts under an
+    /// oversubscription budget (`0` = no budget, the compiled counts pass
+    /// through). The budget only clamps *how many* workers each phase may
+    /// use — results are byte-identical across budgets because every
+    /// parallel phase merges in deterministic task-index order.
+    pub fn with_thread_budget(&self, budget: usize) -> (GeneratorConfig, RecommendConfig, usize) {
+        let mut gen_cfg = self.gen_cfg;
+        let mut rec_cfg = self.rec_cfg;
+        let mut dist_threads = self.dist_threads;
+        if budget > 0 {
+            gen_cfg.threads = crate::parallel::budget_threads(gen_cfg.threads, budget);
+            rec_cfg.threads = crate::parallel::budget_threads(rec_cfg.threads, budget);
+            dist_threads = crate::parallel::budget_threads(dist_threads, budget);
+        }
+        (gen_cfg, rec_cfg, dist_threads)
+    }
+
     /// Whether the plan contains a [`PhaseOp::RecommendOps`] node.
     pub fn recommends(&self) -> bool {
         self.nodes
@@ -348,6 +365,11 @@ pub struct ExecContext {
     /// Candidate vector + per-worker evaluation buffers for the
     /// recommendation pass.
     pub(crate) recommend: RecommendScratch,
+    /// Worker-thread cap for the next step's parallel phases (`0` =
+    /// uncapped). The service sets this per step from its oversubscription
+    /// budget — `max(1, cores / busy_workers)` — so concurrent sessions
+    /// split the machine instead of each claiming every core.
+    thread_budget: usize,
 }
 
 impl ExecContext {
@@ -355,6 +377,17 @@ impl ExecContext {
     /// use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Caps the worker threads the next steps' parallel phases may use
+    /// (`0` = uncapped). Budgets change only scheduling, never results.
+    pub fn set_thread_budget(&mut self, budget: usize) {
+        self.thread_budget = budget;
+    }
+
+    /// The current per-step worker-thread cap (`0` = uncapped).
+    pub fn thread_budget(&self) -> usize {
+        self.thread_budget
     }
 }
 
@@ -382,6 +415,9 @@ impl StepExecutor<'_> {
     pub fn run(&mut self, plan: &StepPlan, query: &SelectionQuery, step: usize) -> StepResult {
         let start = Instant::now();
         let seed = plan.step_seed(step);
+        // Clamp the compiled per-phase thread counts to the session's
+        // oversubscription budget (no-op when the budget is 0/unset).
+        let (gen_cfg, rec_cfg, dist_threads) = plan.with_thread_budget(self.ctx.thread_budget());
         let mut stats = StepStats::default();
         // Keep the parent's pre-shuffle columns alive past the group build:
         // every add-predicate recommendation candidate derives its group by
@@ -408,7 +444,7 @@ impl StepExecutor<'_> {
                         query,
                         self.seen,
                         self.normalizers,
-                        &plan.gen_cfg,
+                        &gen_cfg,
                         &mut self.ctx.scan,
                         &mut self.ctx.estimate,
                     );
@@ -432,7 +468,7 @@ impl StepExecutor<'_> {
                     let engine = DistanceEngine::new()
                         .with_bounds(plan.distance_bounds)
                         .with_cache(self.dist_cache.cloned())
-                        .with_threads(plan.dist_threads);
+                        .with_threads(dist_threads);
                     // The pool outlives selection only when a recommend op
                     // will anchor candidates on it.
                     let select_pool = if plan.recommends() {
@@ -470,8 +506,8 @@ impl StepExecutor<'_> {
                         &pool,
                         self.seen,
                         self.normalizers,
-                        &plan.gen_cfg,
-                        &plan.rec_cfg,
+                        &gen_cfg,
+                        &rec_cfg,
                         seed,
                         self.group_cache,
                         parent_cols.as_deref(),

@@ -501,30 +501,24 @@ pub fn recommend_with_stats_in(
             workers.resize_with(spawned, EvalScratch::default);
         }
         let evaluate = &evaluate;
-        let mut results: Vec<(Vec<Recommendation>, Materialization, SelectionStats)> = Vec::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .zip(workers.iter_mut())
-                .map(|(slice, es)| {
-                    s.spawn(move || {
-                        // One pooled scratch + one stats block per worker,
-                        // merged in deterministic worker order after the
-                        // join.
-                        let mut local = Materialization::default();
-                        let mut local_sel = SelectionStats::default();
-                        let recs = slice
-                            .iter()
-                            .filter_map(|q| evaluate(q, es, &mut local, &mut local_sel))
-                            .collect::<Vec<_>>();
-                        (recs, local, local_sel)
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("recommendation worker panicked"));
-            }
-        });
+        // One pooled scratch + one stats block per worker slot, produced on
+        // the persistent task pool; `run` hands the tuples back in slot
+        // order, preserving the deterministic worker-order merge.
+        let scratch = crate::parallel::DisjointSlots::new(&mut workers[..spawned]);
+        let results: Vec<(Vec<Recommendation>, Materialization, SelectionStats)> =
+            crate::parallel::task_pool().run(spawned, |w| {
+                // Safety: worker slot `w` owns candidate chunk `w` and
+                // scratch lane `w` exclusively.
+                let es = unsafe { scratch.slot(w) };
+                let slice = &candidates[w * chunk..((w + 1) * chunk).min(candidates.len())];
+                let mut local = Materialization::default();
+                let mut local_sel = SelectionStats::default();
+                let recs = slice
+                    .iter()
+                    .filter_map(|q| evaluate(q, es, &mut local, &mut local_sel))
+                    .collect::<Vec<_>>();
+                (recs, local, local_sel)
+            });
         results
             .into_iter()
             .flat_map(|(recs, local, local_sel)| {

@@ -106,6 +106,12 @@ impl ExplorationSession {
         &self.engine
     }
 
+    /// Caps the worker threads this session's subsequent steps may use
+    /// (`0` = uncapped); see [`SdeEngine::set_thread_budget`].
+    pub fn set_thread_budget(&mut self, budget: usize) {
+        self.engine.set_thread_budget(budget);
+    }
+
     /// A deterministic digest of everything semantically meaningful the
     /// session has produced: per step, the query, group size, the displayed
     /// maps (key, subgroup values, utility bits), and the recommendations

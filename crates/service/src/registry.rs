@@ -32,15 +32,30 @@ impl std::fmt::Display for SessionId {
 
 struct Slot {
     session: Mutex<ExplorationSession>,
-    /// Updated on every touch; read by the idle sweeper.
-    last_access: Mutex<Instant>,
+    /// Milliseconds since the registry's clock origin at the most recent
+    /// touch; written with a relaxed store so touching a session never
+    /// takes a second lock, and the idle sweeper never contends with
+    /// steppers.
+    last_access_ms: AtomicU64,
 }
 
 /// Thread-safe registry of live exploration sessions.
-#[derive(Default)]
 pub struct SessionRegistry {
     slots: RwLock<HashMap<SessionId, Arc<Slot>>>,
     next_id: AtomicU64,
+    /// Origin of the coarse millisecond clock the idle sweeper compares
+    /// `last_access_ms` against.
+    clock_origin: Instant,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self {
+            slots: RwLock::default(),
+            next_id: AtomicU64::new(0),
+            clock_origin: Instant::now(),
+        }
+    }
 }
 
 impl SessionRegistry {
@@ -49,12 +64,19 @@ impl SessionRegistry {
         Self::default()
     }
 
+    /// Milliseconds elapsed since the registry was created — the coarse
+    /// idle clock. Millisecond resolution is far finer than any plausible
+    /// session TTL.
+    fn now_ms(&self) -> u64 {
+        self.clock_origin.elapsed().as_millis() as u64
+    }
+
     /// Registers a session and returns its handle.
     pub fn insert(&self, session: ExplorationSession) -> SessionId {
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let slot = Arc::new(Slot {
             session: Mutex::new(session),
-            last_access: Mutex::new(Instant::now()),
+            last_access_ms: AtomicU64::new(self.now_ms()),
         });
         self.slots.write().insert(id, slot);
         id
@@ -73,7 +95,7 @@ impl SessionRegistry {
     ) -> Option<R> {
         let slot = Arc::clone(self.slots.read().get(&id)?);
         let mut session = slot.session.lock();
-        *slot.last_access.lock() = Instant::now();
+        slot.last_access_ms.store(self.now_ms(), Ordering::Relaxed);
         Some(f(&mut session))
     }
 
@@ -109,7 +131,8 @@ impl SessionRegistry {
     /// evicted ids. Sessions whose slot mutex is held (a step is running)
     /// are skipped — they are busy by definition, not idle.
     pub fn evict_idle(&self, ttl: Duration) -> Vec<SessionId> {
-        let now = Instant::now();
+        let now_ms = self.now_ms();
+        let ttl_ms = ttl.as_millis() as u64;
         let mut evicted = Vec::new();
         let mut slots = self.slots.write();
         slots.retain(|&id, slot| {
@@ -117,8 +140,9 @@ impl SessionRegistry {
             let Some(_busy_guard) = slot.session.try_lock() else {
                 return true;
             };
-            let idle = now.duration_since(*slot.last_access.lock());
-            if idle > ttl {
+            let touched = slot.last_access_ms.load(Ordering::Relaxed);
+            let idle = now_ms.saturating_sub(touched);
+            if idle > ttl_ms {
                 evicted.push(id);
                 false
             } else {

@@ -13,6 +13,7 @@
 //! the queue and joins the workers, draining every job already accepted —
 //! accepted work is never dropped.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,6 +63,12 @@ pub struct ServiceConfig {
     /// Dirty-record count that triggers an early checkpoint, ahead of the
     /// interval (persistent services only).
     pub checkpoint_dirty_threshold: u64,
+    /// Per-step worker-thread cap handed to the stepping session. `0`
+    /// (default) divides the core budget across currently-busy workers —
+    /// `max(1, cores / busy)` — so one step stops claiming every core while
+    /// other sessions wait; any other value is a fixed cap. Budgets change
+    /// scheduling only: step results are byte-identical across them.
+    pub thread_budget: usize,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +85,7 @@ impl Default for ServiceConfig {
             mode: ExplorationMode::RecommendationPowered,
             checkpoint_interval: Duration::from_secs(30),
             checkpoint_dirty_threshold: 10_000,
+            thread_budget: 0,
         }
     }
 }
@@ -264,12 +272,21 @@ impl SubdexService {
             .dist_cache_enabled
             .then(|| Arc::new(DistanceCache::new(config.dist_cache_capacity_bytes)));
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity);
+        // Oversubscription budget: workers stepping concurrently split the
+        // core budget (`max(1, cores / busy)`) instead of each phase
+        // claiming every core.
+        let cores = subdex_core::resolve_threads(0);
+        let busy = Arc::new(AtomicUsize::new(0));
+        let budget_override = config.thread_budget;
         let workers = (0..worker_count)
             .map(|_| {
                 let rx = rx.clone();
                 let registry = Arc::clone(&registry);
                 let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || worker_loop(&rx, &registry, &metrics))
+                let busy = Arc::clone(&busy);
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &registry, &metrics, &busy, cores, budget_override)
+                })
             })
             .collect();
         Self {
@@ -510,15 +527,34 @@ fn checkpointer_loop(
     }
 }
 
-fn worker_loop(rx: &Receiver<Job>, registry: &SessionRegistry, metrics: &ServiceMetrics) {
+fn worker_loop(
+    rx: &Receiver<Job>,
+    registry: &SessionRegistry,
+    metrics: &ServiceMetrics,
+    busy: &AtomicUsize,
+    cores: usize,
+    budget_override: usize,
+) {
     while let Ok(job) = rx.recv() {
-        let outcome = registry.with_session(job.session, |session| match &job.request {
-            StepRequest::Operation(query) => Ok(session.apply_operation(query).clone()),
-            StepRequest::Recommendation(idx) => session
-                .apply_recommendation(*idx)
-                .cloned()
-                .map_err(ServiceError::Session),
+        // Split the core budget across whoever is stepping right now; a
+        // fixed configured budget overrides the division.
+        let busy_now = busy.fetch_add(1, Ordering::Relaxed) + 1;
+        let budget = if budget_override > 0 {
+            budget_override
+        } else {
+            (cores / busy_now).max(1)
+        };
+        let outcome = registry.with_session(job.session, |session| {
+            session.set_thread_budget(budget);
+            match &job.request {
+                StepRequest::Operation(query) => Ok(session.apply_operation(query).clone()),
+                StepRequest::Recommendation(idx) => session
+                    .apply_recommendation(*idx)
+                    .cloned()
+                    .map_err(ServiceError::Session),
+            }
         });
+        busy.fetch_sub(1, Ordering::Relaxed);
         let result = match outcome {
             None => Err(ServiceError::UnknownSession(job.session)),
             Some(Ok(step)) => {

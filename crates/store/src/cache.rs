@@ -17,20 +17,34 @@
 //! to the uncached one while also sharing the `reviewer_of`/`item_of`
 //! gather that the scan kernels consume.
 //!
-//! Eviction is least-recently-used by resident bytes: each entry is costed
-//! at its gathered-column size (records plus both row columns, 12 bytes per
-//! record) plus a fixed per-entry overhead, and inserts evict the least
-//! recently touched entries until the configured budget is respected again.
+//! The map is split into power-of-two **shards**, keyed by the query's
+//! 64-bit fingerprint, each with its own lock and its own slice of the byte
+//! budget: concurrent sessions hitting different queries stop serializing
+//! on one global mutex. Hit/miss/eviction counters are cache-level atomics,
+//! so `stats` aggregates without stopping the world.
+//!
+//! Eviction is least-recently-used by resident bytes *per shard*: each
+//! entry is costed at its gathered-column size (records plus both row
+//! columns, 12 bytes per record) plus a fixed per-entry overhead, and
+//! inserts evict the shard's least recently touched entries until its
+//! budget slice is respected again.
+//!
+//! The epoch protocol is preserved per shard: each shard records the
+//! database epoch its entries were built against, [`bump_epoch`] eagerly
+//! clears every shard, and a caller from a newer epoch lazily clears the
+//! one shard it touches. A caller therefore never receives columns built
+//! against a different database version than its own.
 //!
 //! [`SubjectiveDb::collect_group_columns`]: crate::database::SubjectiveDb::collect_group_columns
 //! [`RatingGroup`]: crate::group::RatingGroup
 //! [`RatingGroup::from_columns`]: crate::group::RatingGroup::from_columns
+//! [`bump_epoch`]: GroupCache::bump_epoch
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::predicate::SelectionQuery;
 use crate::scan::GroupColumns;
@@ -38,6 +52,11 @@ use crate::scan::GroupColumns;
 /// Fixed per-entry bookkeeping cost (key, map slot, counters), added to the
 /// column payload when charging an entry against the byte budget.
 const ENTRY_OVERHEAD_BYTES: usize = 128;
+
+/// Default shard count for the shared caches. Must be a power of two; eight
+/// is enough that a handful of service workers rarely collide while keeping
+/// the per-shard budget slices coarse.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
 
 /// Counters describing cache effectiveness; see [`GroupCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +92,7 @@ impl CacheStats {
 
 struct Entry {
     columns: Arc<GroupColumns>,
-    /// Logical clock value of the most recent touch.
+    /// Logical clock value of the most recent touch (per shard).
     last_used: u64,
     /// What this entry charges against the byte budget.
     bytes: usize,
@@ -81,24 +100,60 @@ struct Entry {
 
 struct Inner {
     map: HashMap<SelectionQuery, Entry>,
-    /// Monotonic logical clock; bumped on every touch.
+    /// Monotonic logical clock; bumped on every touch. Per-shard, which is
+    /// fine: LRU only ever compares entries within one shard.
     tick: u64,
     resident_bytes: usize,
+    /// Database epoch this shard's entries were materialized against. The
+    /// authority for hit/insert decisions — it only moves under the shard's
+    /// write lock, so the check is race-free with concurrent bumps.
+    epoch: u64,
 }
 
-/// A thread-safe LRU cache of rating-group gather columns, keyed by
+struct Shard {
+    inner: RwLock<Inner>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            inner: RwLock::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                resident_bytes: 0,
+                epoch: 0,
+            }),
+        }
+    }
+}
+
+/// Clears a shard when `db_epoch` is newer than what its entries were built
+/// against. Counters are kept (invalidation is not an eviction).
+fn sync_shard_epoch(inner: &mut Inner, db_epoch: u64) {
+    if db_epoch > inner.epoch {
+        inner.epoch = db_epoch;
+        inner.map.clear();
+        inner.resident_bytes = 0;
+    }
+}
+
+/// A thread-safe sharded LRU cache of rating-group gather columns, keyed by
 /// canonicalized [`SelectionQuery`] and bounded by resident bytes.
 ///
 /// Shared across sessions behind an [`Arc`]; all methods take `&self`.
 pub struct GroupCache {
-    inner: Mutex<Inner>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the fingerprint mask selecting a shard.
+    shard_mask: u64,
     capacity_bytes: usize,
+    /// Each shard's slice of the byte budget.
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     rejected: AtomicU64,
-    /// Database epoch the resident entries were materialized against; see
-    /// [`bump_epoch`](Self::bump_epoch).
+    /// Aggregate database epoch (max over shards), maintained with
+    /// `fetch_max`; see [`bump_epoch`](Self::bump_epoch).
     epoch: AtomicU64,
 }
 
@@ -107,21 +162,34 @@ impl std::fmt::Debug for GroupCache {
         let stats = self.stats();
         f.debug_struct("GroupCache")
             .field("capacity_bytes", &self.capacity_bytes)
+            .field("shards", &self.shards.len())
             .field("stats", &stats)
             .finish()
     }
 }
 
 impl GroupCache {
-    /// Creates a cache bounded to roughly `capacity_bytes` of column data.
+    /// Creates a cache bounded to roughly `capacity_bytes` of column data,
+    /// with [`DEFAULT_CACHE_SHARDS`] shards.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_shards(capacity_bytes, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (power of two). Each
+    /// shard gets `capacity_bytes / shards` of the byte budget.
+    ///
+    /// # Panics
+    /// If `shards` is not a power of two.
+    pub fn with_shards(capacity_bytes: usize, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
         Self {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-                resident_bytes: 0,
-            }),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shard_mask: (shards - 1) as u64,
             capacity_bytes,
+            shard_capacity: capacity_bytes / shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -135,9 +203,18 @@ impl GroupCache {
         self.capacity_bytes
     }
 
-    /// The database epoch this cache's entries are valid for.
+    /// The number of shards the key space is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The newest database epoch any shard's entries are valid for.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
+    }
+
+    fn shard_of(&self, query: &SelectionQuery) -> &Shard {
+        &self.shards[(query.fingerprint() & self.shard_mask) as usize]
     }
 
     /// Invalidates every resident entry if `db_epoch` is newer than the
@@ -145,21 +222,15 @@ impl GroupCache {
     /// function of `(query, database contents)`, so a rating append makes
     /// every entry stale at once; dropping them wholesale is both correct
     /// and cheap relative to the append's own index rebuild. Counters are
-    /// kept (invalidation is not an eviction). Returns whether anything was
-    /// dropped.
+    /// kept (invalidation is not an eviction). Returns whether the epoch
+    /// advanced (racing bumps to the same epoch advance once).
     pub fn bump_epoch(&self, db_epoch: u64) -> bool {
-        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
+        if self.epoch.fetch_max(db_epoch, Ordering::Relaxed) >= db_epoch {
             return false;
         }
-        let mut inner = self.inner.lock();
-        // Re-check under the lock so racing bumps to the same epoch clear
-        // once.
-        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
-            return false;
+        for shard in self.shards.iter() {
+            sync_shard_epoch(&mut shard.inner.write(), db_epoch);
         }
-        self.epoch.store(db_epoch, Ordering::Relaxed);
-        inner.map.clear();
-        inner.resident_bytes = 0;
         true
     }
 
@@ -169,13 +240,14 @@ impl GroupCache {
     ///
     /// `db_epoch` is the append epoch of the database the caller would
     /// materialize from. It keeps the shared map single-version: a caller
-    /// from a newer epoch lazily invalidates every older entry (as
-    /// [`bump_epoch`](Self::bump_epoch) would), and a caller pinned to an
-    /// older database version neither hits nor inserts — its columns
-    /// describe superseded data, so it materializes privately (counted as a
-    /// miss plus a rejected insert).
+    /// from a newer epoch lazily invalidates the shard it touches (the
+    /// aggregate epoch advances immediately; other shards clear eagerly on
+    /// [`bump_epoch`](Self::bump_epoch) or lazily on their own next
+    /// lookup), and a caller pinned to an older database version neither
+    /// hits nor inserts — its columns describe superseded data, so it
+    /// materializes privately (counted as a miss plus a rejected insert).
     ///
-    /// `materialize` runs *outside* the cache lock, so a slow walk does not
+    /// `materialize` runs *outside* the shard lock, so a slow walk does not
     /// block other sessions; if two sessions miss on the same query
     /// concurrently, both materialize and one result wins.
     ///
@@ -190,14 +262,14 @@ impl GroupCache {
         materialize: impl FnOnce() -> GroupColumns,
     ) -> Arc<GroupColumns> {
         debug_assert!(query.is_canonical(), "cache key must be canonical");
-        self.bump_epoch(db_epoch);
+        self.epoch.fetch_max(db_epoch, Ordering::Relaxed);
+        let shard = self.shard_of(query);
         {
-            let mut inner = self.inner.lock();
+            let mut inner = shard.inner.write();
+            sync_shard_epoch(&mut inner, db_epoch);
             inner.tick += 1;
             let tick = inner.tick;
-            // `epoch` only moves under the `inner` lock, so this check is
-            // race-free with concurrent bumps.
-            if db_epoch == self.epoch.load(Ordering::Relaxed) {
+            if db_epoch == inner.epoch {
                 if let Some(entry) = inner.map.get_mut(query) {
                     entry.last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -209,13 +281,14 @@ impl GroupCache {
         let columns = Arc::new(materialize());
         let bytes = columns.resident_bytes() + ENTRY_OVERHEAD_BYTES;
 
-        let mut inner = self.inner.lock();
+        let mut inner = shard.inner.write();
+        sync_shard_epoch(&mut inner, db_epoch);
         inner.tick += 1;
         let tick = inner.tick;
-        // The cache may have moved to a newer database version while we
+        // The shard may have moved to a newer database version while we
         // materialized (or we were stale from the start); inserting would
         // serve superseded columns to up-to-date sessions.
-        if db_epoch != self.epoch.load(Ordering::Relaxed) {
+        if db_epoch != inner.epoch {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return columns;
         }
@@ -225,10 +298,10 @@ impl GroupCache {
             entry.last_used = tick;
             return Arc::clone(&entry.columns);
         }
-        // An entry larger than the whole budget could only ever evict
-        // everything else and then be evicted itself on the next insert;
-        // refuse it residency instead (the caller keeps its Arc).
-        if bytes > self.capacity_bytes {
+        // An entry larger than the shard's whole budget slice could only
+        // ever evict everything else and then be evicted itself on the next
+        // insert; refuse it residency instead (the caller keeps its Arc).
+        if bytes > self.shard_capacity {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return columns;
         }
@@ -245,11 +318,11 @@ impl GroupCache {
         columns
     }
 
-    /// Evicts least-recently-used entries until the budget is respected.
-    /// An entry larger than the whole budget is evicted as soon as the next
-    /// insert happens, but callers keep their `Arc` to it.
+    /// Evicts the shard's least-recently-used entries until its budget
+    /// slice is respected. An entry larger than the slice is evicted as
+    /// soon as the next insert happens, but callers keep their `Arc` to it.
     fn evict_to_budget(&self, inner: &mut Inner) {
-        while inner.resident_bytes > self.capacity_bytes && !inner.map.is_empty() {
+        while inner.resident_bytes > self.shard_capacity && !inner.map.is_empty() {
             let (victim, bytes) = inner
                 .map
                 .iter()
@@ -263,14 +336,15 @@ impl GroupCache {
     }
 
     /// Whether `query` currently has a resident entry (does not touch LRU
-    /// state; intended for tests and introspection).
+    /// state; intended for tests and introspection). One shared read lock
+    /// on the query's shard — never the whole cache.
     pub fn contains(&self, query: &SelectionQuery) -> bool {
-        self.inner.lock().map.contains_key(query)
+        self.shard_of(query).inner.read().map.contains_key(query)
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries: one shared read acquisition per shard.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.inner.read().map.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -278,19 +352,26 @@ impl GroupCache {
         self.len() == 0
     }
 
-    /// Drops every entry (counters are kept).
+    /// Drops every entry (counters and epochs are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.resident_bytes = 0;
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.write();
+            inner.map.clear();
+            inner.resident_bytes = 0;
+        }
     }
 
-    /// A consistent snapshot of the effectiveness counters.
+    /// A snapshot of the effectiveness counters: atomics plus one shared
+    /// read acquisition per shard (consistent per shard, not across
+    /// shards — fine for monitoring).
     pub fn stats(&self) -> CacheStats {
-        let (entries, resident_bytes) = {
-            let inner = self.inner.lock();
-            (inner.map.len(), inner.resident_bytes)
-        };
+        let mut entries = 0;
+        let mut resident_bytes = 0;
+        for shard in self.shards.iter() {
+            let inner = shard.inner.read();
+            entries += inner.map.len();
+            resident_bytes += inner.resident_bytes;
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -332,9 +413,15 @@ mod tests {
         n * (len * 12 + ENTRY_OVERHEAD_BYTES)
     }
 
+    /// Single-shard cache: the byte-arithmetic pins below assume one budget
+    /// slice covering the whole capacity.
+    fn unsharded(capacity_bytes: usize) -> GroupCache {
+        GroupCache::with_shards(capacity_bytes, 1)
+    }
+
     #[test]
     fn hit_returns_same_allocation() {
-        let cache = GroupCache::new(budget_for(4, 10));
+        let cache = unsharded(budget_for(4, 10));
         let a = cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
         let b = cache.get_or_insert_with(&q(0, 0), 0, || panic!("must not rematerialize"));
         assert!(Arc::ptr_eq(&a, &b));
@@ -345,7 +432,7 @@ mod tests {
 
     #[test]
     fn entry_cost_includes_gather_columns() {
-        let cache = GroupCache::new(budget_for(4, 10));
+        let cache = unsharded(budget_for(4, 10));
         cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
         // 12 bytes per record: the row columns are charged, not just ids.
         assert_eq!(cache.stats().resident_bytes, 10 * 12 + ENTRY_OVERHEAD_BYTES);
@@ -353,7 +440,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = GroupCache::new(budget_for(2, 10));
+        let cache = unsharded(budget_for(2, 10));
         cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
         cache.get_or_insert_with(&q(0, 1), 0, || cols(10));
         // Touch (0,0) so (0,1) is the LRU entry.
@@ -368,7 +455,7 @@ mod tests {
     #[test]
     fn eviction_respects_byte_budget_not_entry_count() {
         // Budget fits four small entries or one big one.
-        let cache = GroupCache::new(budget_for(4, 10));
+        let cache = unsharded(budget_for(4, 10));
         for v in 0..4 {
             cache.get_or_insert_with(&q(0, v), 0, || cols(10));
         }
@@ -381,7 +468,7 @@ mod tests {
 
     #[test]
     fn oversized_entry_rejected_but_still_returned() {
-        let cache = GroupCache::new(16); // smaller than any entry
+        let cache = unsharded(16); // smaller than any entry
         let columns = cache.get_or_insert_with(&q(0, 0), 0, || cols(100));
         assert_eq!(columns.len(), 100);
         // The entry never became resident — it was rejected, not evicted —
@@ -398,7 +485,7 @@ mod tests {
 
     #[test]
     fn bump_epoch_invalidates_entries_once() {
-        let cache = GroupCache::new(budget_for(4, 10));
+        let cache = unsharded(budget_for(4, 10));
         cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
         assert_eq!(cache.epoch(), 0);
         // Stale bump (same epoch) is a no-op.
@@ -418,7 +505,7 @@ mod tests {
 
     #[test]
     fn stale_epoch_caller_neither_hits_nor_poisons() {
-        let cache = GroupCache::new(budget_for(4, 10));
+        let cache = unsharded(budget_for(4, 10));
         cache.get_or_insert_with(&q(0, 0), 1, || cols(10));
         assert_eq!(cache.epoch(), 1, "caller epoch lazily bumps the cache");
         // A session still pinned to epoch 0 materializes privately: no hit
@@ -436,7 +523,7 @@ mod tests {
 
     #[test]
     fn stats_stay_consistent_across_evictions() {
-        let cache = GroupCache::new(budget_for(2, 10));
+        let cache = unsharded(budget_for(2, 10));
         for v in 0..6 {
             cache.get_or_insert_with(&q(0, v), 0, || cols(10));
         }
@@ -453,12 +540,78 @@ mod tests {
 
     #[test]
     fn clear_resets_entries_but_keeps_counters() {
-        let cache = GroupCache::new(budget_for(4, 10));
+        let cache = unsharded(budget_for(4, 10));
         cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
         cache.get_or_insert_with(&q(0, 0), 0, || unreachable!());
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().resident_bytes, 0);
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shard_count_must_be_a_power_of_two() {
+        let _ = GroupCache::with_shards(1 << 20, 3);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_entries_and_keeps_aggregates() {
+        let cache = GroupCache::with_shards(
+            budget_for(64, 10) * DEFAULT_CACHE_SHARDS,
+            DEFAULT_CACHE_SHARDS,
+        );
+        for v in 0..32 {
+            cache.get_or_insert_with(&q(0, v), 0, || cols(10));
+        }
+        assert_eq!(cache.len(), 32, "ample budget: nothing evicted");
+        for v in 0..32 {
+            assert!(cache.contains(&q(0, v)));
+            cache.get_or_insert_with(&q(0, v), 0, || unreachable!());
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (32, 32));
+        assert_eq!(stats.entries, 32);
+        assert_eq!(stats.resident_bytes, 32 * (10 * 12 + ENTRY_OVERHEAD_BYTES));
+    }
+
+    #[test]
+    fn sharded_epoch_bump_clears_every_shard() {
+        let cache = GroupCache::with_shards(
+            budget_for(64, 10) * DEFAULT_CACHE_SHARDS,
+            DEFAULT_CACHE_SHARDS,
+        );
+        for v in 0..32 {
+            cache.get_or_insert_with(&q(0, v), 0, || cols(10));
+        }
+        assert!(cache.bump_epoch(2));
+        assert!(cache.is_empty(), "eager bump clears all shards at once");
+        assert_eq!(cache.epoch(), 2);
+        // Stale callers are rejected on every shard afterwards.
+        cache.get_or_insert_with(&q(0, 0), 1, || cols(10));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejected_inserts, 1);
+    }
+
+    #[test]
+    fn newer_epoch_caller_lazily_clears_only_its_shard() {
+        let cache = GroupCache::with_shards(
+            budget_for(64, 10) * DEFAULT_CACHE_SHARDS,
+            DEFAULT_CACHE_SHARDS,
+        );
+        for v in 0..32 {
+            cache.get_or_insert_with(&q(0, v), 0, || cols(10));
+        }
+        // One epoch-1 lookup advances the aggregate epoch and clears the
+        // touched shard; stale entries elsewhere are cleared lazily, and
+        // stale callers can no longer hit them.
+        cache.get_or_insert_with(&q(0, 0), 1, || cols(10));
+        assert_eq!(cache.epoch(), 1);
+        for v in 0..32 {
+            cache.get_or_insert_with(&q(0, v), 1, || cols(10));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 32, "every shard converged to epoch 1");
+        assert_eq!(stats.hits, 1, "only the re-inserted epoch-1 entry hit");
     }
 }

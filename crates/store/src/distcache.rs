@@ -19,8 +19,12 @@
 //! the engine computes distances in the same canonical order, so cached
 //! and freshly computed values agree bitwise regardless of argument order.
 //!
-//! Eviction is least-recently-used under a byte budget, mirroring
-//! [`GroupCache`]; entries are tiny and uniform, so the budget is in effect
+//! Like [`GroupCache`], the map is split into power-of-two **shards** —
+//! selected by an FNV-1a hash of the 32-byte pair key — each with its own
+//! lock and its own slice of the entry budget, so the per-pair lookups the
+//! GMM loop issues from concurrent sessions stop serializing on one global
+//! mutex. Eviction is least-recently-used per shard under the shard's
+//! budget slice; entries are tiny and uniform, so the budget is in effect
 //! an entry-count bound.
 //!
 //! [`GroupCache`]: crate::cache::GroupCache
@@ -28,9 +32,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, DEFAULT_CACHE_SHARDS};
 
 /// What one memoized distance charges against the byte budget: the pair key
 /// (32 bytes), the value, LRU clock, and amortized hash-map slot overhead.
@@ -44,23 +48,44 @@ pub type DistPairKey = (u128, u128);
 
 struct Entry {
     distance: f64,
-    /// Logical clock value of the most recent touch.
+    /// Logical clock value of the most recent touch (per shard).
     last_used: u64,
 }
 
 struct Inner {
     map: HashMap<DistPairKey, Entry>,
-    /// Monotonic logical clock; bumped on every touch.
+    /// Monotonic logical clock; bumped on every touch. Per-shard — LRU
+    /// only ever compares entries within one shard.
     tick: u64,
 }
 
-/// A thread-safe LRU memo of exact map distances, keyed by order-normalized
-/// content-hash pairs and bounded by resident bytes.
+struct Shard {
+    inner: RwLock<Inner>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            inner: RwLock::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+}
+
+/// A thread-safe sharded LRU memo of exact map distances, keyed by
+/// order-normalized content-hash pairs and bounded by resident bytes.
 ///
 /// Shared across sessions behind an `Arc`; all methods take `&self`.
 pub struct DistanceCache {
-    inner: Mutex<Inner>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the key-hash mask selecting a shard.
+    shard_mask: u64,
     capacity_bytes: usize,
+    /// Entry budget per shard (the byte budget split evenly, floored at one
+    /// entry so a tiny cache still memoizes something).
+    shard_budget_entries: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -74,21 +99,49 @@ impl std::fmt::Debug for DistanceCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DistanceCache")
             .field("capacity_bytes", &self.capacity_bytes)
+            .field("shards", &self.shards.len())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
+/// FNV-1a over the 32 bytes of the order-normalized pair key. The content
+/// hashes are already well-mixed, but folding both halves keeps shard
+/// selection balanced even if callers key on low-entropy hashes.
+fn shard_hash(key: &DistPairKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for half in [key.0, key.1] {
+        for chunk in [half as u64, (half >> 64) as u64] {
+            h ^= chunk;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
 impl DistanceCache {
-    /// Creates a cache bounded to roughly `capacity_bytes` of entries
-    /// (each entry costs [`DIST_ENTRY_BYTES`]).
+    /// Creates a cache bounded to roughly `capacity_bytes` of entries (each
+    /// entry costs [`DIST_ENTRY_BYTES`]), with [`DEFAULT_CACHE_SHARDS`]
+    /// shards.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_shards(capacity_bytes, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (power of two). Each
+    /// shard gets an even slice of the entry budget.
+    ///
+    /// # Panics
+    /// If `shards` is not a power of two.
+    pub fn with_shards(capacity_bytes: usize, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
         Self {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-            }),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shard_mask: (shards - 1) as u64,
             capacity_bytes,
+            shard_budget_entries: (capacity_bytes / shards / DIST_ENTRY_BYTES).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -102,9 +155,18 @@ impl DistanceCache {
         self.capacity_bytes
     }
 
+    /// The number of shards the key space is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// The database epoch this cache's entries are valid for.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
+    }
+
+    fn shard_of(&self, key: &DistPairKey) -> &Shard {
+        &self.shards[(shard_hash(key) & self.shard_mask) as usize]
     }
 
     /// Invalidates every resident entry if `db_epoch` is newer than the
@@ -112,19 +174,15 @@ impl DistanceCache {
     /// rating maps, and appending ratings changes which maps exist for a
     /// query, so the persistence layer clears this cache alongside the
     /// [`GroupCache`](crate::cache::GroupCache) when it publishes an
-    /// append. Counters are kept. Returns whether anything was dropped.
+    /// append. Counters are kept. Returns whether the epoch advanced
+    /// (racing bumps to the same epoch advance once).
     pub fn bump_epoch(&self, db_epoch: u64) -> bool {
-        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
+        if self.epoch.fetch_max(db_epoch, Ordering::Relaxed) >= db_epoch {
             return false;
         }
-        let mut inner = self.inner.lock();
-        // Re-check under the lock so racing bumps to the same epoch clear
-        // once.
-        if db_epoch <= self.epoch.load(Ordering::Relaxed) {
-            return false;
+        for shard in self.shards.iter() {
+            shard.inner.write().map.clear();
         }
-        self.epoch.store(db_epoch, Ordering::Relaxed);
-        inner.map.clear();
         true
     }
 
@@ -144,7 +202,7 @@ impl DistanceCache {
     /// because the GMM update loop often *prunes* the pair via bounds after
     /// a miss, in which case there is no exact value to insert.
     pub fn get(&self, key: DistPairKey) -> Option<f64> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard_of(&key).inner.write();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.map.get_mut(&key) {
@@ -157,13 +215,13 @@ impl DistanceCache {
         }
     }
 
-    /// Memoizes an exact distance, evicting LRU entries past the budget.
-    /// A racing insert of the same key keeps the incumbent value (both
-    /// racers computed the same canonical-order distance); the loser is
-    /// counted as a rejected insert.
+    /// Memoizes an exact distance, evicting the shard's LRU entries past
+    /// its budget slice. A racing insert of the same key keeps the
+    /// incumbent value (both racers computed the same canonical-order
+    /// distance); the loser is counted as a rejected insert.
     pub fn insert(&self, key: DistPairKey, distance: f64) {
         debug_assert!(distance.is_finite() && distance >= 0.0);
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard_of(&key).inner.write();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.entry(key) {
@@ -178,8 +236,7 @@ impl DistanceCache {
                 });
             }
         }
-        let budget_entries = (self.capacity_bytes / DIST_ENTRY_BYTES).max(1);
-        while inner.map.len() > budget_entries {
+        while inner.map.len() > self.shard_budget_entries {
             let victim = inner
                 .map
                 .iter()
@@ -192,14 +249,15 @@ impl DistanceCache {
     }
 
     /// Whether the pair currently has a resident entry (does not touch LRU
-    /// state or counters; intended for tests and introspection).
+    /// state or counters; intended for tests and introspection). One shared
+    /// read lock on the pair's shard — never the whole cache.
     pub fn contains(&self, key: DistPairKey) -> bool {
-        self.inner.lock().map.contains_key(&key)
+        self.shard_of(&key).inner.read().map.contains_key(&key)
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries: one shared read acquisition per shard.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.inner.read().map.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -209,12 +267,15 @@ impl DistanceCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
+        for shard in self.shards.iter() {
+            shard.inner.write().map.clear();
+        }
     }
 
-    /// A consistent snapshot of the effectiveness counters.
+    /// A snapshot of the effectiveness counters: atomics plus one shared
+    /// read acquisition per shard.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.inner.lock().map.len();
+        let entries = self.len();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -230,6 +291,12 @@ impl DistanceCache {
 mod tests {
     use super::*;
 
+    /// Single-shard cache: the LRU/entry-count pins below assume one budget
+    /// slice covering the whole capacity.
+    fn unsharded(capacity_bytes: usize) -> DistanceCache {
+        DistanceCache::with_shards(capacity_bytes, 1)
+    }
+
     #[test]
     fn pair_key_is_order_normalized() {
         assert_eq!(DistanceCache::pair_key(7, 3), (3, 7));
@@ -239,7 +306,7 @@ mod tests {
 
     #[test]
     fn miss_then_hit() {
-        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES * DEFAULT_CACHE_SHARDS);
         let key = DistanceCache::pair_key(1, 2);
         assert_eq!(cache.get(key), None);
         cache.insert(key, 0.25);
@@ -251,7 +318,7 @@ mod tests {
 
     #[test]
     fn symmetric_lookups_share_an_entry() {
-        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES * DEFAULT_CACHE_SHARDS);
         cache.insert(DistanceCache::pair_key(9, 4), 0.5);
         assert_eq!(cache.get(DistanceCache::pair_key(4, 9)), Some(0.5));
         assert_eq!(cache.len(), 1);
@@ -259,7 +326,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = DistanceCache::new(2 * DIST_ENTRY_BYTES);
+        let cache = unsharded(2 * DIST_ENTRY_BYTES);
         cache.insert((1, 2), 0.1);
         cache.insert((3, 4), 0.2);
         // Touch (1, 2) so (3, 4) is the LRU entry.
@@ -274,7 +341,7 @@ mod tests {
 
     #[test]
     fn reinsert_keeps_incumbent_value_and_counts_rejection() {
-        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES * DEFAULT_CACHE_SHARDS);
         cache.insert((1, 2), 0.1);
         cache.insert((1, 2), 0.9);
         assert_eq!(cache.get((1, 2)), Some(0.1));
@@ -284,7 +351,7 @@ mod tests {
 
     #[test]
     fn bump_epoch_invalidates_entries_once() {
-        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES * DEFAULT_CACHE_SHARDS);
         cache.insert((1, 2), 0.1);
         assert!(!cache.bump_epoch(0), "stale bump is a no-op");
         assert!(cache.bump_epoch(2));
@@ -297,7 +364,7 @@ mod tests {
 
     #[test]
     fn tiny_budget_still_holds_one_entry() {
-        let cache = DistanceCache::new(1);
+        let cache = unsharded(1);
         cache.insert((1, 2), 0.1);
         assert_eq!(cache.get((1, 2)), Some(0.1));
         cache.insert((3, 4), 0.2);
@@ -306,12 +373,37 @@ mod tests {
 
     #[test]
     fn clear_resets_entries_but_keeps_counters() {
-        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES);
+        let cache = DistanceCache::new(10 * DIST_ENTRY_BYTES * DEFAULT_CACHE_SHARDS);
         cache.insert((1, 2), 0.1);
         let _ = cache.get((1, 2));
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shard_count_must_be_a_power_of_two() {
+        let _ = DistanceCache::with_shards(1 << 20, 6);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_entries_and_keeps_aggregates() {
+        let cache = DistanceCache::new(64 * DIST_ENTRY_BYTES * DEFAULT_CACHE_SHARDS);
+        for i in 0..64u128 {
+            cache.insert(DistanceCache::pair_key(i, i + 1), i as f64 / 64.0);
+        }
+        assert_eq!(cache.len(), 64, "ample budget: nothing evicted");
+        for i in 0..64u128 {
+            assert_eq!(
+                cache.get(DistanceCache::pair_key(i + 1, i)),
+                Some(i as f64 / 64.0),
+                "symmetric lookup hits across shards"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (64, 0));
+        assert_eq!(stats.entries, 64);
     }
 }

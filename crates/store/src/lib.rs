@@ -43,7 +43,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use cache::{CacheStats, GroupCache};
+pub use cache::{CacheStats, GroupCache, DEFAULT_CACHE_SHARDS};
 pub use column::{Column, CsrColumn};
 pub use database::{AttributeSummary, DbStats, SubjectiveDb};
 pub use distcache::{DistPairKey, DistanceCache};
