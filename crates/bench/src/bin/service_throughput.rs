@@ -6,13 +6,17 @@
 //! service_throughput [--quick] [--out BENCH_service.json]
 //! ```
 //!
-//! For every cell of workers {1, 2, 4} × thread budget {1, auto} × cache
-//! {off, on}, the benchmark starts a fresh `SubdexService` over the same
-//! Yelp-like database, drives 16 recommendation-powered sessions
-//! (overlapping scripts, so the cache has real sharing to exploit) from 8
-//! client threads, and reports steps/sec, the observed cache hit rate, and
-//! the scaling efficiency against the 1-worker cell of the same budget ×
-//! cache configuration (`steps_per_sec / (workers × steps_per_sec₁)`).
+//! For every cell of workers {1, 2, 4} (clamped to the host's available
+//! cores — oversubscribed cells measure scheduler noise, not scaling) ×
+//! thread budget {1, auto} × cache {off, on}, the benchmark starts a fresh
+//! `SubdexService` over the same Yelp-like database, drives 16
+//! recommendation-powered sessions (overlapping scripts, so the cache has
+//! real sharing to exploit) from 8 client threads, and reports steps/sec,
+//! the observed cache hit rate, the scaling efficiency against the
+//! 1-worker cell of the same budget × cache configuration
+//! (`steps_per_sec / (workers × steps_per_sec₁)`), and the process CPU
+//! utilization over the cell (utime + stime from `/proc/self/stat` divided
+//! by wall time × host cores).
 //! Budget 1 pins every step to one intra-step thread (the worker pool is
 //! the only parallelism axis); budget "auto" (0) lets the service divide
 //! the cores across busy workers.
@@ -73,6 +77,24 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Cumulative process CPU time (user + system) in seconds, from
+/// `/proc/self/stat` fields 14/15 (utime, stime). The tick rate is assumed
+/// to be the Linux default `USER_HZ = 100` — there is no libc binding in
+/// the vendored set to ask `sysconf(_SC_CLK_TCK)`. Returns `None` off
+/// Linux (or if the file is unreadable), in which case the utilization
+/// columns report as absent rather than wrong.
+fn process_cpu_secs() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may itself contain spaces and parentheses; the
+    // numeric fields start after the *last* ')'.
+    let rest = stat.get(stat.rfind(')')? + 1..)?;
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?; // field 14
+    let stime: u64 = fields.next()?.parse().ok()?; // field 15
+    const USER_HZ: f64 = 100.0;
+    Some((utime + stime) as f64 / USER_HZ)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -89,13 +111,16 @@ fn main() {
     };
     let db = Arc::new(yelp_at(scale).db);
     let stats = db.stats();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "# Service throughput — {} sessions x {} steps, {} client threads",
         SESSIONS, steps, CLIENT_THREADS
     );
     println!(
-        "# Yelp-like db: {} reviewers, {} items, {} ratings\n",
-        stats.reviewer_count, stats.item_count, stats.rating_count
+        "# Yelp-like db: {} reviewers, {} items, {} ratings, {} host cores\n",
+        stats.reviewer_count, stats.item_count, stats.rating_count, host_cores
     );
 
     // The probe runs first, while this is the only thread touching the
@@ -112,15 +137,23 @@ fn main() {
     );
 
     println!(
-        "| {:>7} | {:>6} | {:>5} | {:>9} | {:>9} | {:>6} | {:>8} | {:>8} |",
-        "workers", "budget", "cache", "steps/sec", "hit rate", "eff", "rejects", "q hwm"
+        "| {:>7} | {:>6} | {:>5} | {:>9} | {:>9} | {:>6} | {:>7} | {:>8} | {:>8} |",
+        "workers", "budget", "cache", "steps/sec", "hit rate", "eff", "cpu", "rejects", "q hwm"
     );
-    println!("|---------|--------|-------|-----------|-----------|--------|----------|----------|");
+    println!(
+        "|---------|--------|-------|-----------|-----------|--------|---------|----------|----------|"
+    );
+
+    // Clamp the worker axis to the host: a cell with more workers than
+    // cores measures oversubscription noise, not scaling. Dedup keeps the
+    // grid stable on small machines (e.g. 2 cores ⇒ {1, 2}).
+    let mut worker_grid: Vec<usize> = [1usize, 2, 4].iter().map(|&w| w.min(host_cores)).collect();
+    worker_grid.dedup();
 
     // Sweep the grid first, then derive scaling efficiency against the
     // 1-worker cell of the same budget × cache configuration.
     let mut cells: Vec<(usize, usize, bool, Cell)> = Vec::new();
-    for &workers in &[1usize, 2, 4] {
+    for &workers in &worker_grid {
         for &thread_budget in &[1usize, 0] {
             for &cache_enabled in &[false, true] {
                 let cell = run_cell(&db, workers, thread_budget, cache_enabled, steps);
@@ -140,8 +173,13 @@ fn main() {
         } else {
             0.0
         };
+        // CPU utilization of the whole process over the cell's wall time,
+        // as a fraction of the host (1.0 = every core busy throughout).
+        let cpu_util = cell
+            .cpu_secs
+            .map(|cpu| cpu / (cell.wall_secs * host_cores as f64));
         println!(
-            "| {:>7} | {:>6} | {:>5} | {:>9.1} | {:>9} | {:>6.2} | {:>8} | {:>8} |",
+            "| {:>7} | {:>6} | {:>5} | {:>9.1} | {:>9} | {:>6.2} | {:>7} | {:>8} | {:>8} |",
             workers,
             if thread_budget == 0 {
                 "auto".to_string()
@@ -154,12 +192,24 @@ fn main() {
                 .map(|r| format!("{:.1}%", 100.0 * r))
                 .unwrap_or_else(|| "—".into()),
             efficiency,
+            cpu_util
+                .map(|u| format!("{:.1}%", 100.0 * u))
+                .unwrap_or_else(|| "—".into()),
             cell.rejected,
             cell.queue_hwm,
         );
         json_rows.push(format!(
-            "    {{\"workers\": {workers}, \"thread_budget\": {thread_budget}, \"cache\": {cache_enabled}, \"steps_per_sec\": {:.3}, \"scaling_efficiency\": {:.4}, \"rejected\": {}, \"queue_hwm\": {}}}",
-            cell.steps_per_sec, efficiency, cell.rejected, cell.queue_hwm
+            "    {{\"workers\": {workers}, \"thread_budget\": {thread_budget}, \"cache\": {cache_enabled}, \"steps_per_sec\": {:.3}, \"scaling_efficiency\": {:.4}, \"cpu_secs\": {}, \"cpu_utilization\": {}, \"rejected\": {}, \"queue_hwm\": {}}}",
+            cell.steps_per_sec,
+            efficiency,
+            cell.cpu_secs
+                .map(|c| format!("{c:.2}"))
+                .unwrap_or_else(|| "null".into()),
+            cpu_util
+                .map(|u| format!("{u:.4}"))
+                .unwrap_or_else(|| "null".into()),
+            cell.rejected,
+            cell.queue_hwm
         ));
     }
 
@@ -171,6 +221,7 @@ fn main() {
     json.push_str("  \"dataset\": \"yelp\",\n");
     json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     json.push_str(&format!("  \"ratings\": {},\n", stats.rating_count));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!("  \"sessions\": {SESSIONS},\n"));
     json.push_str(&format!("  \"steps\": {steps},\n"));
     json.push_str(&format!("  \"client_threads\": {CLIENT_THREADS},\n"));
@@ -236,6 +287,10 @@ fn steady_state_probe(db: &Arc<SubjectiveDb>, probe_steps: usize) -> (ProbeSampl
 
 struct Cell {
     steps_per_sec: f64,
+    wall_secs: f64,
+    /// Process CPU time the cell consumed (utime + stime delta around the
+    /// run); `None` where `/proc/self/stat` is unavailable.
+    cpu_secs: Option<f64>,
     hit_rate: Option<f64>,
     rejected: u64,
     queue_hwm: usize,
@@ -268,6 +323,7 @@ fn run_cell(
     let service = Arc::new(SubdexService::start(Arc::clone(db), config));
     let sessions: Vec<SessionId> = (0..SESSIONS).map(|_| service.create_session()).collect();
 
+    let cpu_before = process_cpu_secs();
     let started = Instant::now();
     let handles: Vec<_> = (0..CLIENT_THREADS)
         .map(|t| {
@@ -289,12 +345,18 @@ fn run_cell(
         h.join().expect("client thread must not panic");
     }
     let elapsed = started.elapsed();
+    let cpu_secs = match (cpu_before, process_cpu_secs()) {
+        (Some(before), Some(after)) => Some(after - before),
+        _ => None,
+    };
 
     let m = service.metrics();
     assert_eq!(m.requests_served, (SESSIONS * steps) as u64);
     service.shutdown();
     Cell {
         steps_per_sec: (SESSIONS * steps) as f64 / elapsed.as_secs_f64(),
+        wall_secs: elapsed.as_secs_f64(),
+        cpu_secs,
         hit_rate: m.cache.map(|c| c.hit_rate()),
         rejected: m.requests_rejected,
         queue_hwm: m.queue_depth_hwm,

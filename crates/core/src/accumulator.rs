@@ -21,6 +21,7 @@ use std::ops::Range;
 
 use crate::interest;
 use crate::ratingmap::{MapKey, RatingMap, Subgroup};
+use subdex_stats::kernels::{self, BatchScratch};
 use subdex_stats::RatingDistribution;
 use subdex_store::{
     AttrId, Column, DimId, Entity, RatingGroup, RecordId, ScanBlock, ScanScratch, SubjectiveDb,
@@ -41,31 +42,40 @@ pub struct RawScores {
 }
 
 /// Reusable buffers for the per-phase score re-estimation
-/// ([`FamilyAccumulator::raw_scores_pooled`]): the non-empty subgroup
-/// distributions and the overall distribution a candidate's criteria are
-/// computed from.
+/// ([`FamilyAccumulator::raw_scores_pooled`]): the staged subgroup batch
+/// and the overall distribution a candidate's criteria are computed from.
 ///
-/// Re-estimation runs `candidates × phases` times per generate call and
-/// used to allocate one distribution per non-empty subgroup each time —
-/// the dominant steady-state heap traffic of an exploration step. Holding
-/// one of these across calls (the engine pools it inside
-/// [`crate::plan::ExecContext`], the recommendation evaluator inside its
-/// per-worker scratch) recycles that capacity; every value is still
-/// recomputed from the count matrix on every call, so pooled and fresh
-/// scratch produce byte-identical scores.
+/// Re-estimation runs `candidates × phases` times per generate call; since
+/// the kernel layer it stages the non-empty subgroup rows of the count
+/// matrix into a score-major [`BatchScratch`] and evaluates agreement and
+/// both peculiarities through the batched SIMD kernels — one lane per
+/// subgroup (or per seen map). Holding one of these across calls (the
+/// engine pools it inside [`crate::plan::ExecContext`], the recommendation
+/// evaluator inside its per-worker scratch) recycles all staging capacity;
+/// every value is still recomputed from the count matrix on every call, so
+/// pooled and fresh scratch produce byte-identical scores.
 #[derive(Debug)]
 pub struct EstimateScratch {
-    /// Grown-but-never-shrunk pool of subgroup distributions; only the
-    /// first `live` entries of the current estimation are meaningful.
-    dists: Vec<RatingDistribution>,
+    /// The non-empty subgroup rows, staged score-major.
+    batch: BatchScratch,
+    /// Previously displayed map distributions, staged for global
+    /// peculiarity.
+    seen_batch: BatchScratch,
     overall: RatingDistribution,
+    /// Per-lane kernel outputs (distances / standard deviations).
+    vals: Vec<f64>,
+    /// Kernel scratch (means under the Outlier measure).
+    tmp: Vec<f64>,
 }
 
 impl Default for EstimateScratch {
     fn default() -> Self {
         Self {
-            dists: Vec::new(),
+            batch: BatchScratch::new(),
+            seen_batch: BatchScratch::new(),
             overall: RatingDistribution::new(1),
+            vals: Vec::new(),
+            tmp: Vec::new(),
         }
     }
 }
@@ -74,6 +84,30 @@ impl EstimateScratch {
     /// Fresh, empty buffers.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Heap bytes currently held across all pooled buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.batch.resident_bytes()
+            + self.seen_batch.resident_bytes()
+            + (self.vals.capacity() + self.tmp.capacity()) * std::mem::size_of::<f64>()
+    }
+
+    /// Heap bytes the most recent estimation actually needed (length, not
+    /// capacity) — the demand signal of the executor's high-water trim.
+    pub fn used_bytes(&self) -> usize {
+        self.batch.used_bytes()
+            + self.seen_batch.used_bytes()
+            + (self.vals.len() + self.tmp.len()) * std::mem::size_of::<f64>()
+    }
+
+    /// Releases all retained capacity (the high-water shrink hook; see
+    /// `ExecContext` in the plan module).
+    pub fn shrink(&mut self) {
+        self.batch.shrink();
+        self.seen_batch.shrink();
+        self.vals = Vec::new();
+        self.tmp = Vec::new();
     }
 }
 
@@ -207,10 +241,11 @@ impl FamilyAccumulator {
                 .expect("active dimension not gathered into block")[range.clone()];
             let counts = &mut counts[dim_pos];
             match column {
-                Column::Single(codes) => {
-                    for (&row, &score) in rows.iter().zip(scores) {
-                        counts[codes[row as usize].index() * scale + (score as usize - 1)] += 1;
-                    }
+                Column::Single(_) => {
+                    let codes = column
+                        .single_codes()
+                        .expect("single column must expose codes");
+                    kernels::hist_single(kernels::active(), rows, scores, codes, scale, counts);
                 }
                 Column::Multi(csr) => {
                     for (&row, &score) in rows.iter().zip(scores) {
@@ -301,27 +336,65 @@ impl FamilyAccumulator {
     ) -> RawScores {
         let counts = &self.counts[dim_pos];
         scratch.overall.reset(self.scale);
+        // Pass 1: count the live (non-empty) subgroup rows and fold them
+        // into the overall distribution (exact u64 adds, order-free).
         let mut live = 0usize;
         for v in 0..self.value_count {
             let slice = &counts[v * self.scale..(v + 1) * self.scale];
             if slice.iter().all(|&c| c == 0) {
                 continue;
             }
-            match scratch.dists.get_mut(live) {
-                Some(d) => d.copy_from_counts(slice),
-                None => scratch
-                    .dists
-                    .push(RatingDistribution::from_counts(slice.to_vec())),
-            }
-            scratch.overall.merge(&scratch.dists[live]);
+            scratch.overall.merge_counts(slice);
             live += 1;
         }
-        let dists = &scratch.dists[..live];
+        // Pass 2: stage the live rows score-major, one SIMD lane each.
+        scratch.batch.begin(live, self.scale);
+        let mut lane = 0usize;
+        for v in 0..self.value_count {
+            let slice = &counts[v * self.scale..(v + 1) * self.scale];
+            if slice.iter().all(|&c| c == 0) {
+                continue;
+            }
+            scratch.batch.set_lane(lane, slice);
+            lane += 1;
+        }
+
+        // Agreement: batched mean/SD, then the scalar fold in lane order.
+        subdex_stats::distribution::mean_sd_rows(
+            &scratch.batch,
+            &mut scratch.tmp,
+            &mut scratch.vals,
+        );
+        let agreement = interest::agreement_from_sds(&scratch.vals);
+
+        // Self peculiarity: every live subgroup against the overall
+        // distribution, max-aggregated in lane order.
+        measure.distance_rows(
+            &scratch.batch,
+            &scratch.overall,
+            &mut scratch.tmp,
+            &mut scratch.vals,
+        );
+        let self_peculiarity = interest::max_distance(&scratch.vals);
+
+        // Global peculiarity: the overall distribution against every seen
+        // map — one lane per seen distribution, same reference.
+        scratch
+            .seen_batch
+            .stage(self.scale, seen.iter().map(|d| d.counts()));
+        measure.distance_rows(
+            &scratch.seen_batch,
+            &scratch.overall,
+            &mut scratch.tmp,
+            &mut scratch.vals,
+        );
+        let global_peculiarity = interest::max_distance(&scratch.vals);
+
         RawScores {
             conciseness: interest::conciseness_raw(self.records_processed, live),
-            agreement: interest::agreement_raw(dists),
-            self_peculiarity: interest::self_peculiarity_with(dists, &scratch.overall, measure),
-            global_peculiarity: interest::global_peculiarity_with(&scratch.overall, seen, measure),
+            agreement,
+            self_peculiarity,
+            global_peculiarity,
         }
     }
 

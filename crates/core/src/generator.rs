@@ -327,6 +327,9 @@ pub fn generate_pooled(
 
     let mut records_seen: u64 = 0;
     let mut dims_union: Vec<DimId> = Vec::new();
+    let mut live: Vec<usize> = Vec::new();
+    let mut live_scores: Vec<CriterionScores> = Vec::new();
+    let mut utilities: Vec<f64> = Vec::new();
     let n_phases = phase_ranges.len();
     for (phase_idx, range) in phase_ranges.into_iter().enumerate() {
         let phase_len = range.len();
@@ -347,7 +350,12 @@ pub fn generate_pooled(
         records_seen += phase_len as u64;
 
         // Re-estimate every non-pruned candidate from its partial counts.
-        for cand in candidates.iter_mut() {
+        // Normalization is stateful (each observation updates the running
+        // normalizers), so that pass stays sequential; the pure utility
+        // combine then runs once over the whole live batch.
+        live.clear();
+        live_scores.clear();
+        for (ci, cand) in candidates.iter_mut().enumerate() {
             if cand.status == Status::Pruned {
                 continue;
             }
@@ -357,7 +365,12 @@ pub fn generate_pooled(
             };
             let raw = fam.raw_scores_pooled(dim_pos, seen_dists, cfg.peculiarity, est);
             cand.scores = normalizers.observe_and_normalize(&raw);
-            let utility = cfg.combiner.combine(&cand.scores);
+            live.push(ci);
+            live_scores.push(cand.scores);
+        }
+        cfg.combiner.combine_batch(&live_scores, &mut utilities);
+        for (&ci, &utility) in live.iter().zip(utilities.iter()) {
+            let cand = &mut candidates[ci];
             cand.dw = if cfg.use_dw {
                 weights.weighted(cand.dim, utility)
             } else {

@@ -21,7 +21,8 @@
 
 use serde::{Deserialize, Serialize};
 use subdex_stats::distance::{kl_divergence, total_variation};
-use subdex_stats::RatingDistribution;
+use subdex_stats::kernels::BatchScratch;
+use subdex_stats::{distance, distribution, RatingDistribution};
 
 /// Which distribution-distance backs the two peculiarity criteria.
 ///
@@ -60,6 +61,79 @@ impl PeculiarityMeasure {
             }
         }
     }
+
+    /// Batched [`Self::distance`] of every lane of a staged batch against
+    /// one reference distribution, dispatched through the active SIMD
+    /// kernel path: `out[i]` is bit-identical to
+    /// `self.distance(lane_i, reference)` (and, since every backing
+    /// distance is bit-symmetric in its arguments, to
+    /// `self.distance(reference, lane_i)`). Empty lanes yield 0 under
+    /// [`PeculiarityMeasure::Outlier`], matching the scalar `None` arm.
+    /// `tmp` is kernel scratch.
+    pub fn distance_rows(
+        self,
+        batch: &BatchScratch,
+        reference: &RatingDistribution,
+        tmp: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        match self {
+            PeculiarityMeasure::TotalVariation => {
+                distance::total_variation_rows(batch, reference, out);
+            }
+            PeculiarityMeasure::KlDivergence => {
+                distance::jeffreys_rows(batch, reference, 1e-4, out);
+                for v in out.iter_mut() {
+                    *v = 1.0 - (-0.5 * v.max(0.0)).exp();
+                }
+            }
+            PeculiarityMeasure::Outlier => {
+                distribution::mean_sd_rows(batch, out, tmp);
+                let diameter = (batch.scale().max(2) as f64) - 1.0;
+                match reference.mean() {
+                    Some(mb) => {
+                        for v in out.iter_mut() {
+                            *v = if v.is_nan() {
+                                0.0
+                            } else {
+                                (*v - mb).abs() / diameter
+                            };
+                        }
+                    }
+                    None => out.iter_mut().for_each(|v| *v = 0.0),
+                }
+            }
+        }
+    }
+}
+
+/// [`agreement_raw`] evaluated from batched per-lane standard deviations
+/// (as produced by the `mean_sd_rows` kernel; NaN marks an empty lane and
+/// is skipped, mirroring the scalar `std_dev() == None` filter). The sum
+/// runs in lane order, so the result is bit-identical to the scalar form
+/// over the same lanes.
+pub fn agreement_from_sds(sds: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &sd in sds {
+        if sd.is_nan() {
+            continue;
+        }
+        sum += sd;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let avg_sd = sum / n as f64;
+    1.0 / (1.0 + avg_sd)
+}
+
+/// The max-aggregation both peculiarity criteria apply to their per-lane
+/// distances: a fold from 0 in lane order, bit-identical to the scalar
+/// `fold(0.0, f64::max)`.
+pub fn max_distance(vals: &[f64]) -> f64 {
+    vals.iter().copied().fold(0.0, f64::max)
 }
 
 /// The four criteria composing utility.

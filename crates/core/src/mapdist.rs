@@ -45,6 +45,7 @@ use std::time::Duration;
 use crate::ratingmap::RatingMap;
 use subdex_stats::distance::emd_1d_normalized_from_cdfs;
 use subdex_stats::emd::emd_transport_matrix;
+use subdex_stats::kernels::{self, BatchScratch};
 use subdex_store::DistanceCache;
 
 /// Safety margin subtracted from a computed lower bound before it is
@@ -81,7 +82,11 @@ pub struct MapSignature {
     /// as [`map_distance`] has always passed them (the solver normalizes
     /// internally, so raw totals keep the arithmetic byte-identical).
     weights: Vec<f64>,
-    /// Row-major `s × m` matrix of subgroup CDF prefix vectors.
+    /// Score-major `m × s` matrix of subgroup CDF prefix vectors:
+    /// `cdfs[k * s + i]` is CDF element `k` of subgroup `i`. The layout
+    /// matches the batch kernels' structure-of-arrays convention, so
+    /// ground-cost matrices are built by `kernels::cost_matrix` without a
+    /// per-pair transpose.
     cdfs: Vec<f64>,
     /// CDF of the map's `overall` distribution — the weighted centroid of
     /// the subgroup CDFs in the `(ℝᵐ, L1)` embedding, used by the
@@ -92,26 +97,33 @@ pub struct MapSignature {
 impl MapSignature {
     /// Builds the signature of one map (allocating fresh buffers).
     pub fn of(map: &RatingMap) -> Self {
-        Self::build(map, &mut Vec::new())
+        Self::build(map, &mut BatchScratch::new())
     }
 
-    /// [`Self::of`] with a caller-provided CDF staging buffer, so building
-    /// signatures for a whole pool reuses one allocation.
-    pub fn build(map: &RatingMap, tmp: &mut Vec<f64>) -> Self {
+    /// [`Self::of`] with a caller-provided staging batch, so building
+    /// signatures for a whole pool reuses one allocation and all subgroup
+    /// CDFs come out of a single SIMD kernel call.
+    pub fn build(map: &RatingMap, tmp: &mut BatchScratch) -> Self {
         let scale = map.overall.scale();
         let s = map.subgroups.len();
         let mut hasher = ContentHasher::new();
         hasher.write_u64(scale as u64);
         let mut weights = Vec::with_capacity(s);
-        let mut cdfs = Vec::with_capacity(s * scale);
         for sg in &map.subgroups {
             weights.push(sg.distribution.total() as f64);
-            sg.distribution.cdf_into(tmp);
-            cdfs.extend_from_slice(tmp);
             for &c in sg.distribution.counts() {
                 hasher.write_u64(c);
             }
         }
+        // One lane per subgroup: the batched CDF kernel emits the
+        // score-major matrix directly, each lane bit-identical to
+        // `cdf_into`.
+        tmp.stage(
+            scale,
+            map.subgroups.iter().map(|sg| sg.distribution.counts()),
+        );
+        let mut cdfs = Vec::new();
+        kernels::cdf_rows(kernels::active(), tmp, &mut cdfs);
         let mut mixture_cdf = Vec::with_capacity(scale);
         map.overall.cdf_into(&mut mixture_cdf);
         Self {
@@ -141,10 +153,11 @@ impl MapSignature {
         self.weights.is_empty()
     }
 
-    /// The CDF prefix vector of subgroup `i`.
-    #[inline]
-    fn cdf(&self, i: usize) -> &[f64] {
-        &self.cdfs[i * self.scale..(i + 1) * self.scale]
+    /// Heap bytes of the signature's own buffers, for pooled-scratch
+    /// accounting (a selection scratch retains one signature per pool map).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        (self.weights.capacity() + self.cdfs.capacity() + self.mixture_cdf.capacity())
+            * std::mem::size_of::<f64>()
     }
 }
 
@@ -178,12 +191,47 @@ impl ContentHasher {
     }
 }
 
-/// Reusable buffers for pairwise distance evaluation: one ground-cost
-/// matrix grown to the largest `s_a × s_b` seen, so steady-state GMM rows
-/// allocate nothing.
+/// Reusable buffers for pairwise distance evaluation: the ground-cost
+/// matrix, the column-minimum buffer of the matrix lower bound, and the
+/// mixture-CDF staging area of the batched row prestage — each grown to
+/// the largest shape seen, so steady-state GMM rows allocate nothing.
 #[derive(Debug, Default)]
 pub struct DistScratch {
     cost: Vec<f64>,
+    /// Per-column minima of the demand-side matrix lower bound.
+    mins: Vec<f64>,
+    /// Score-major staging of candidate mixture CDFs for the batched
+    /// row-level mixture bound.
+    mix_stage: Vec<f64>,
+    /// Per-candidate mixture lower bounds against the row's pivot.
+    mix_lb: Vec<f64>,
+}
+
+impl DistScratch {
+    /// Heap bytes currently held across all pooled buffers.
+    pub fn resident_bytes(&self) -> usize {
+        (self.cost.capacity()
+            + self.mins.capacity()
+            + self.mix_stage.capacity()
+            + self.mix_lb.capacity())
+            * std::mem::size_of::<f64>()
+    }
+
+    /// Heap bytes the most recent evaluation actually needed (length, not
+    /// capacity) — the demand signal of the executor's high-water trim.
+    pub fn used_bytes(&self) -> usize {
+        (self.cost.len() + self.mins.len() + self.mix_stage.len() + self.mix_lb.len())
+            * std::mem::size_of::<f64>()
+    }
+
+    /// Releases all retained capacity (the high-water shrink hook; see
+    /// `ExecContext` in the plan module).
+    pub fn shrink(&mut self) {
+        self.cost = Vec::new();
+        self.mins = Vec::new();
+        self.mix_stage = Vec::new();
+        self.mix_lb = Vec::new();
+    }
 }
 
 /// How the selection phase resolved its distance evaluations; threaded
@@ -251,17 +299,19 @@ fn canonical<'s>(a: &'s MapSignature, b: &'s MapSignature) -> (&'s MapSignature,
 
 /// Fills `cost` with the row-major `s_a × s_b` ground-cost matrix:
 /// `cost[i·s_b + j]` is the normalized 1-D EMD between subgroup `i` of `a`
-/// and subgroup `j` of `b`, evaluated from the precomputed CDFs.
+/// and subgroup `j` of `b`, evaluated from the precomputed score-major
+/// CDFs in one batched kernel call (each cell bit-identical to
+/// `emd_1d_normalized_from_cdfs`).
 fn build_cost_matrix(a: &MapSignature, b: &MapSignature, cost: &mut Vec<f64>) {
-    let (sa, sb) = (a.subgroup_count(), b.subgroup_count());
-    cost.clear();
-    cost.reserve(sa * sb);
-    for i in 0..sa {
-        let ca = a.cdf(i);
-        for j in 0..sb {
-            cost.push(emd_1d_normalized_from_cdfs(ca, b.cdf(j)));
-        }
-    }
+    kernels::cost_matrix(
+        kernels::active(),
+        &a.cdfs,
+        a.subgroup_count(),
+        &b.cdfs,
+        b.subgroup_count(),
+        a.scale,
+        cost,
+    );
 }
 
 /// Exact distance of a canonically ordered, non-degenerate pair.
@@ -296,7 +346,12 @@ pub fn lower_bound(a: &MapSignature, b: &MapSignature) -> f64 {
 /// is a valid LP-relaxation bound that skips the augmenting-path solver —
 /// the dominant cost — while reusing the matrix the solver would need
 /// anyway if the bound fails.
-fn matrix_lower_bound(a: &MapSignature, b: &MapSignature, cost: &[f64]) -> f64 {
+fn matrix_lower_bound(
+    a: &MapSignature,
+    b: &MapSignature,
+    cost: &[f64],
+    mins: &mut Vec<f64>,
+) -> f64 {
     let (sa, sb) = (a.subgroup_count(), b.subgroup_count());
     let total_a: f64 = a.weights.iter().sum();
     let total_b: f64 = b.weights.iter().sum();
@@ -306,13 +361,13 @@ fn matrix_lower_bound(a: &MapSignature, b: &MapSignature, cost: &[f64]) -> f64 {
         let min = row.iter().copied().fold(f64::INFINITY, f64::min);
         by_supply += (w / total_a) * min;
     }
+    // Demand side: the column minima vectorize across columns (min over
+    // finite non-negative costs is exact under SIMD), then the weighted
+    // sum runs in the same ascending-`j` order as before.
+    kernels::col_mins(kernels::active(), cost, sa, sb, mins);
     let mut by_demand = 0.0;
     for (j, &w) in b.weights.iter().enumerate() {
-        let mut min = f64::INFINITY;
-        for i in 0..sa {
-            min = min.min(cost[i * sb + j]);
-        }
-        by_demand += (w / total_b) * min;
+        by_demand += (w / total_b) * mins[j];
     }
     by_supply.max(by_demand)
 }
@@ -328,7 +383,7 @@ pub fn refined_lower_bound(a: &MapSignature, b: &MapSignature, scratch: &mut Dis
     let (x, y) = canonical(a, b);
     let mixture = emd_1d_normalized_from_cdfs(&x.mixture_cdf, &y.mixture_cdf);
     build_cost_matrix(x, y, &mut scratch.cost);
-    mixture.max(matrix_lower_bound(x, y, &scratch.cost))
+    mixture.max(matrix_lower_bound(x, y, &scratch.cost, &mut scratch.mins))
 }
 
 /// Cheap upper bound on [`map_distance`]: the cost of the north-west-corner
@@ -488,6 +543,24 @@ impl DistanceEngine {
         scratch: &mut DistScratch,
         stats: &mut SelectionStats,
     ) -> Option<f64> {
+        self.evaluate_with_hint(a, b, current_min, None, scratch, stats)
+    }
+
+    /// [`Self::evaluate_against`] with an optional precomputed mixture
+    /// lower bound. [`Self::update_row`] evaluates the mixture bound of a
+    /// whole row in one batched SIMD pass and passes each value down here;
+    /// the bound is bit-identical to the inline computation (the L1 ground
+    /// distance is bit-symmetric in its arguments, so canonical ordering
+    /// does not change it), hence pruning decisions are unchanged.
+    fn evaluate_with_hint(
+        &self,
+        a: &MapSignature,
+        b: &MapSignature,
+        current_min: f64,
+        mixture_hint: Option<f64>,
+        scratch: &mut DistScratch,
+        stats: &mut SelectionStats,
+    ) -> Option<f64> {
         if let Some(d) = degenerate(a, b) {
             return Some(d);
         }
@@ -500,13 +573,16 @@ impl DistanceEngine {
             }
         }
         if self.bounds && current_min.is_finite() {
-            let mixture = emd_1d_normalized_from_cdfs(&x.mixture_cdf, &y.mixture_cdf);
+            let mixture = mixture_hint
+                .unwrap_or_else(|| emd_1d_normalized_from_cdfs(&x.mixture_cdf, &y.mixture_cdf));
             if mixture - BOUND_MARGIN >= current_min {
                 stats.pruned_mixture += 1;
                 return None;
             }
             build_cost_matrix(x, y, &mut scratch.cost);
-            if matrix_lower_bound(x, y, &scratch.cost) - BOUND_MARGIN >= current_min {
+            if matrix_lower_bound(x, y, &scratch.cost, &mut scratch.mins) - BOUND_MARGIN
+                >= current_min
+            {
                 stats.pruned_matrix += 1;
                 return None;
             }
@@ -543,20 +619,54 @@ impl DistanceEngine {
         stats: &mut SelectionStats,
     ) {
         let n = min_dist.len();
+        // Batched mixture prestage: stage every candidate's mixture CDF
+        // score-major and evaluate the whole row's centroid lower bounds in
+        // one SIMD kernel pass. Each value is bit-identical to the inline
+        // per-pair computation, so the pruning decisions downstream cannot
+        // change. (Degenerate/picked lanes get values too; they are simply
+        // never read.)
+        let mut mix_lb = std::mem::take(&mut scratch.mix_lb);
+        let use_hints = self.bounds && n > 0;
+        if use_hints {
+            let pivot_sig = &sigs[pivot];
+            let scale = pivot_sig.scale;
+            let mut stage = std::mem::take(&mut scratch.mix_stage);
+            stage.clear();
+            stage.resize(scale * n, 0.0);
+            for (i, sig) in sigs[..n].iter().enumerate() {
+                for (j, &c) in sig.mixture_cdf.iter().enumerate() {
+                    stage[j * n + i] = c;
+                }
+            }
+            subdex_stats::emd::emd_1d_normalized_rows(
+                &stage,
+                n,
+                &pivot_sig.mixture_cdf,
+                &mut mix_lb,
+            );
+            scratch.mix_stage = stage;
+        }
+        let hint = |i: usize| if use_hints { Some(mix_lb[i]) } else { None };
         let threads = crate::parallel::resolve_threads(self.threads).min(n.max(1));
         if threads <= 1 || n < PAR_MIN_ITEMS {
             for i in 0..n {
                 if picked[i] {
                     continue;
                 }
-                if let Some(d) =
-                    self.evaluate_against(&sigs[pivot], &sigs[i], min_dist[i], scratch, stats)
-                {
+                if let Some(d) = self.evaluate_with_hint(
+                    &sigs[pivot],
+                    &sigs[i],
+                    min_dist[i],
+                    hint(i),
+                    scratch,
+                    stats,
+                ) {
                     if d < min_dist[i] {
                         min_dist[i] = d;
                     }
                 }
             }
+            scratch.mix_lb = mix_lb;
             return;
         }
         let chunk = n.div_ceil(threads);
@@ -578,9 +688,14 @@ impl DistanceEngine {
                 if picked[i] {
                     continue;
                 }
-                if let Some(d) =
-                    self.evaluate_against(pivot_sig, &sigs[i], *slot, &mut scratch, &mut local)
-                {
+                if let Some(d) = self.evaluate_with_hint(
+                    pivot_sig,
+                    &sigs[i],
+                    *slot,
+                    hint(i),
+                    &mut scratch,
+                    &mut local,
+                ) {
                     if d < *slot {
                         *slot = d;
                     }
@@ -591,6 +706,7 @@ impl DistanceEngine {
         for local in &locals {
             stats.merge(local);
         }
+        scratch.mix_lb = mix_lb;
     }
 }
 
@@ -617,7 +733,7 @@ pub fn signature_distance(a: &MapSignature, b: &MapSignature, scratch: &mut Dist
 /// Builds the signature set of a map collection with one shared staging
 /// buffer — the entry point for Table-5 style pairwise reporting.
 pub fn signatures_of(maps: &[&RatingMap]) -> Vec<MapSignature> {
-    let mut tmp = Vec::new();
+    let mut tmp = BatchScratch::new();
     maps.iter()
         .map(|m| MapSignature::build(m, &mut tmp))
         .collect()

@@ -74,6 +74,30 @@ impl UtilityCombiner {
             UtilityCombiner::Single(c) => s.get(c),
         }
     }
+
+    /// Combines a batch of score vectors in one pass, writing one utility
+    /// per input into `out` (cleared first). The combiner is resolved once
+    /// outside the loop instead of per candidate; each element is computed
+    /// by the same expression as [`combine`](Self::combine), so results are
+    /// bit-identical to the scalar path.
+    pub fn combine_batch(self, scores: &[CriterionScores], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(scores.len());
+        match self {
+            UtilityCombiner::Max => out.extend(scores.iter().map(|s| {
+                s.as_array()
+                    .into_iter()
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    .max(0.0)
+            })),
+            UtilityCombiner::Average => out.extend(
+                scores
+                    .iter()
+                    .map(|s| s.as_array().iter().sum::<f64>() / 4.0),
+            ),
+            UtilityCombiner::Single(c) => out.extend(scores.iter().map(|s| s.get(c))),
+        }
+    }
 }
 
 /// Dimension weights (Algorithm 2 + Equation 1).

@@ -6,6 +6,7 @@
 //! the alternative peculiarity measure the paper mentions.
 
 use crate::distribution::RatingDistribution;
+use crate::kernels::{self, BatchScratch};
 
 /// Probability of one score bucket given the distribution's total, matching
 /// [`RatingDistribution::probabilities`] bucket-for-bucket (empty ⇒ the
@@ -59,6 +60,50 @@ pub fn kl_divergence(a: &RatingDistribution, b: &RatingDistribution, eps: f64) -
             p * (p / q).ln()
         })
         .sum()
+}
+
+/// Batched [`total_variation`]: every staged lane against one reference
+/// distribution, dispatched through the process-wide
+/// [`kernels::active`] SIMD path. `out[i]` is bit-identical to
+/// `total_variation(lane_i, reference)`.
+///
+/// # Panics
+/// Panics if the reference scale differs from the batch scale.
+pub fn total_variation_rows(
+    batch: &BatchScratch,
+    reference: &RatingDistribution,
+    out: &mut Vec<f64>,
+) {
+    kernels::tvd_rows(
+        kernels::active(),
+        batch,
+        reference.counts(),
+        reference.total(),
+        out,
+    );
+}
+
+/// Batched symmetrized KL (Jeffreys) divergence: `out[i]` is bit-identical
+/// to `kl_divergence(lane_i, reference, eps) + kl_divergence(reference,
+/// lane_i, eps)` — the form behind the KL peculiarity measure — dispatched
+/// through the process-wide [`kernels::active`] SIMD path.
+///
+/// # Panics
+/// Panics if the scales differ or `eps <= 0`.
+pub fn jeffreys_rows(
+    batch: &BatchScratch,
+    reference: &RatingDistribution,
+    eps: f64,
+    out: &mut Vec<f64>,
+) {
+    kernels::jeffreys_rows(
+        kernels::active(),
+        batch,
+        reference.counts(),
+        reference.total(),
+        eps,
+        out,
+    );
 }
 
 /// Closed-form 1-D Earth Mover's Distance between two distributions on the

@@ -120,6 +120,20 @@ impl RatingDistribution {
         }
     }
 
+    /// [`Self::merge`] from a raw count slice, so batch-staging callers can
+    /// fold a flat count matrix into an overall distribution without
+    /// materializing intermediate distributions. `u64` addition is exact,
+    /// so the result equals merging the equivalent [`RatingDistribution`].
+    ///
+    /// # Panics
+    /// Panics if `counts.len()` differs from the scale.
+    pub fn merge_counts(&mut self, counts: &[u64]) {
+        assert_eq!(self.scale(), counts.len(), "cannot merge differing scales");
+        for (a, &b) in self.counts.iter_mut().zip(counts) {
+            *a += b;
+        }
+    }
+
     /// The probability view `[w_1, …, w_m]` of the distribution.
     ///
     /// Returns a uniform distribution when empty, so that distances against
@@ -216,6 +230,28 @@ impl RatingDistribution {
             }
         }
     }
+}
+
+/// Batched [`RatingDistribution::cdf_into`] over a staged score-major
+/// batch, dispatched through the process-wide
+/// [`kernels::active`](crate::kernels::active) SIMD path: on return,
+/// `out[j * lanes + i]` is bit-identical to `cdf_into` element `j` of lane
+/// `i` (uniform steps for empty lanes).
+pub fn cdf_rows(batch: &crate::kernels::BatchScratch, out: &mut Vec<f64>) {
+    crate::kernels::cdf_rows(crate::kernels::active(), batch, out);
+}
+
+/// Batched [`RatingDistribution::mean`] / [`RatingDistribution::std_dev`]
+/// over a staged batch, dispatched through the process-wide
+/// [`kernels::active`](crate::kernels::active) SIMD path. Empty lanes
+/// yield NaN (the scalar API's `None`); callers filter on
+/// `batch.totals()`.
+pub fn mean_sd_rows(
+    batch: &crate::kernels::BatchScratch,
+    out_mean: &mut Vec<f64>,
+    out_sd: &mut Vec<f64>,
+) {
+    crate::kernels::mean_sd_rows(crate::kernels::active(), batch, out_mean, out_sd);
 }
 
 impl std::fmt::Display for RatingDistribution {

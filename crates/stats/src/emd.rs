@@ -12,6 +12,41 @@
 /// Numerical tolerance under which supplies/demands are considered consumed.
 const EPS: f64 = 1e-12;
 
+/// Batched normalized 1-D EMD of many score-major CDF columns against one
+/// reference CDF — the vectorized
+/// [`emd_1d_normalized_from_cdfs`](crate::distance::emd_1d_normalized_from_cdfs):
+/// `out[i] = Σ_j |cdfs_ij − ref_j| / (m − 1)` (0 when `m <= 1`), dispatched
+/// through the process-wide [`kernels::active`](crate::kernels::active)
+/// SIMD path. This is the mixture-CDF lower-bound primitive of GMM
+/// selection.
+pub fn emd_1d_normalized_rows(cdfs: &[f64], lanes: usize, reference: &[f64], out: &mut Vec<f64>) {
+    crate::kernels::l1_norm_rows(
+        crate::kernels::active(),
+        cdfs,
+        lanes,
+        reference.len(),
+        reference,
+        out,
+    );
+}
+
+/// Ground-cost matrix between two score-major CDF batches: each cell is the
+/// normalized 1-D EMD between one left column and one right column,
+/// bit-identical to
+/// [`emd_1d_normalized_from_cdfs`](crate::distance::emd_1d_normalized_from_cdfs)
+/// per pair, dispatched through the process-wide
+/// [`kernels::active`](crate::kernels::active) SIMD path.
+pub fn emd_cost_matrix(
+    a: &[f64],
+    a_lanes: usize,
+    b: &[f64],
+    b_lanes: usize,
+    scale: usize,
+    out: &mut Vec<f64>,
+) {
+    crate::kernels::cost_matrix(crate::kernels::active(), a, a_lanes, b, b_lanes, scale, out);
+}
+
 /// Solves the balanced transportation problem exactly.
 ///
 /// `supplies[i]` units must be shipped from source `i`, `demands[j]` units

@@ -1,0 +1,291 @@
+//! Portable scalar reference implementations of the batch kernels.
+//!
+//! These are the semantics every SIMD path must reproduce bit-for-bit.
+//! Each kernel is written as a per-lane helper (reused by the SIMD paths
+//! for non-multiple-of-width tails) plus a batch loop. The per-lane
+//! arithmetic mirrors the pre-kernel scalar code expression-for-expression
+//! — `prob` streaming, left-associated products, ascending-`j` sums — so
+//! kernelized callers keep producing the bytes they always produced.
+
+// Index-based loops are deliberate throughout: they mirror the SIMD
+// paths' lane/score indexing one-for-one, which is what makes the
+// byte-identity review tractable.
+#![allow(clippy::needless_range_loop)]
+
+/// Probability of one score bucket (empty ⇒ uniform `1/m`), matching
+/// `distance::prob`.
+#[inline]
+pub(crate) fn prob(count: u64, total: u64, m: f64) -> f64 {
+    if total == 0 {
+        1.0 / m
+    } else {
+        count as f64 / total as f64
+    }
+}
+
+/// CDF prefix of one lane, written in place — mirrors
+/// `RatingDistribution::cdf_into`.
+#[inline]
+pub(crate) fn cdf_lane(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    i: usize,
+    out: &mut [f64],
+) {
+    let total = totals[i];
+    let mut acc = 0.0;
+    if total == 0 {
+        let u = 1.0 / scale as f64;
+        for j in 0..scale {
+            acc += u;
+            out[j * lanes + i] = acc;
+        }
+    } else {
+        let inv = total as f64;
+        for j in 0..scale {
+            acc += counts[j * lanes + i] as f64 / inv;
+            out[j * lanes + i] = acc;
+        }
+    }
+}
+
+pub(crate) fn cdf_rows(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    out: &mut [f64],
+) {
+    for i in 0..lanes {
+        cdf_lane(counts, totals, lanes, scale, i, out);
+    }
+}
+
+/// Total-variation distance of one lane against the reference — mirrors
+/// `distance::total_variation`'s streaming loop.
+#[inline]
+pub(crate) fn tvd_lane(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    ref_counts: &[u64],
+    ref_total: u64,
+    i: usize,
+) -> f64 {
+    let m = scale as f64;
+    let t = totals[i];
+    let mut sum = 0.0;
+    for j in 0..scale {
+        let p = prob(counts[j * lanes + i], t, m);
+        let q = prob(ref_counts[j], ref_total, m);
+        sum += (p - q).abs();
+    }
+    0.5 * sum
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tvd_rows(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    ref_counts: &[u64],
+    ref_total: u64,
+    out: &mut [f64],
+) {
+    for i in 0..lanes {
+        out[i] = tvd_lane(counts, totals, lanes, scale, ref_counts, ref_total, i);
+    }
+}
+
+/// Smoothed Jeffreys divergence of one lane against the reference —
+/// the two directed KL sums of `distance::kl_divergence`, each
+/// accumulated in `j` order, added once at the end.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn jeffreys_lane(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    ref_counts: &[u64],
+    ref_total: u64,
+    eps: f64,
+    i: usize,
+) -> f64 {
+    let m = scale as f64;
+    let norm = 1.0 + m * eps;
+    let t = totals[i];
+    let mut ab = 0.0;
+    let mut ba = 0.0;
+    for j in 0..scale {
+        let p = (prob(counts[j * lanes + i], t, m) + eps) / norm;
+        let q = (prob(ref_counts[j], ref_total, m) + eps) / norm;
+        ab += p * (p / q).ln();
+        ba += q * (q / p).ln();
+    }
+    ab + ba
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn jeffreys_rows(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    ref_counts: &[u64],
+    ref_total: u64,
+    eps: f64,
+    out: &mut [f64],
+) {
+    for i in 0..lanes {
+        out[i] = jeffreys_lane(counts, totals, lanes, scale, ref_counts, ref_total, eps, i);
+    }
+}
+
+/// Mean and population SD of one lane — mirrors
+/// `RatingDistribution::{mean, std_dev}`; empty lanes yield NaN.
+#[inline]
+pub(crate) fn mean_sd_lane(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    i: usize,
+) -> (f64, f64) {
+    let total = totals[i] as f64;
+    let mut sum = 0.0;
+    for j in 0..scale {
+        sum += (j as f64 + 1.0) * counts[j * lanes + i] as f64;
+    }
+    let mean = sum / total;
+    let mut ss = 0.0;
+    for j in 0..scale {
+        let d = (j as f64 + 1.0) - mean;
+        ss += d * d * counts[j * lanes + i] as f64;
+    }
+    (mean, (ss / total).sqrt())
+}
+
+pub(crate) fn mean_sd_rows(
+    counts: &[u64],
+    totals: &[u64],
+    lanes: usize,
+    scale: usize,
+    out_mean: &mut [f64],
+    out_sd: &mut [f64],
+) {
+    for i in 0..lanes {
+        let (mean, sd) = mean_sd_lane(counts, totals, lanes, scale, i);
+        out_mean[i] = mean;
+        out_sd[i] = sd;
+    }
+}
+
+/// Normalized L1 distance of one score-major lane against the reference —
+/// mirrors `distance::emd_1d_normalized_from_cdfs` (callers handle the
+/// `scale <= 1` short-circuit).
+#[inline]
+pub(crate) fn l1_norm_lane(
+    vals: &[f64],
+    lanes: usize,
+    scale: usize,
+    reference: &[f64],
+    i: usize,
+) -> f64 {
+    let mut sum = 0.0;
+    for j in 0..scale {
+        sum += (vals[j * lanes + i] - reference[j]).abs();
+    }
+    sum / (scale as f64 - 1.0)
+}
+
+pub(crate) fn l1_norm_rows(
+    vals: &[f64],
+    lanes: usize,
+    scale: usize,
+    reference: &[f64],
+    out: &mut [f64],
+) {
+    for i in 0..lanes {
+        out[i] = l1_norm_lane(vals, lanes, scale, reference, i);
+    }
+}
+
+/// One ground-cost cell between score-major CDF batches (callers handle
+/// the `scale <= 1` short-circuit).
+#[inline]
+pub(crate) fn cost_cell(
+    a: &[f64],
+    a_lanes: usize,
+    b: &[f64],
+    b_lanes: usize,
+    scale: usize,
+    i: usize,
+    j: usize,
+) -> f64 {
+    let mut sum = 0.0;
+    for k in 0..scale {
+        sum += (a[k * a_lanes + i] - b[k * b_lanes + j]).abs();
+    }
+    sum / (scale as f64 - 1.0)
+}
+
+pub(crate) fn cost_matrix(
+    a: &[f64],
+    a_lanes: usize,
+    b: &[f64],
+    b_lanes: usize,
+    scale: usize,
+    out: &mut [f64],
+) {
+    for i in 0..a_lanes {
+        for j in 0..b_lanes {
+            out[i * b_lanes + j] = cost_cell(a, a_lanes, b, b_lanes, scale, i, j);
+        }
+    }
+}
+
+/// Minimum of one column, rows ascending from `f64::INFINITY` — mirrors
+/// the demand-side loop of the matrix lower bound.
+#[inline]
+pub(crate) fn col_min(mat: &[f64], rows: usize, cols: usize, j: usize) -> f64 {
+    let mut min = f64::INFINITY;
+    for i in 0..rows {
+        min = min.min(mat[i * cols + j]);
+    }
+    min
+}
+
+pub(crate) fn col_mins(mat: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    for (j, slot) in out.iter_mut().enumerate().take(cols) {
+        *slot = col_min(mat, rows, cols, j);
+    }
+}
+
+/// One histogram update of the single-valued grouping kernel.
+#[inline]
+pub(crate) fn hist_one(row: u32, score: u8, codes: &[u32], scale: usize, counts: &mut [u64]) {
+    counts[codes[row as usize] as usize * scale + (score as usize - 1)] += 1;
+}
+
+pub(crate) fn hist_single(
+    rows: &[u32],
+    scores: &[u8],
+    codes: &[u32],
+    scale: usize,
+    counts: &mut [u64],
+) {
+    for (&row, &score) in rows.iter().zip(scores) {
+        hist_one(row, score, codes, scale, counts);
+    }
+}
+
+pub(crate) fn gather_u32(src: &[u32], idx: &[u32], out: &mut [u32]) {
+    for (slot, &i) in out.iter_mut().zip(idx) {
+        *slot = src[i as usize];
+    }
+}

@@ -24,12 +24,16 @@
 //! * [`normalize`] — score normalizers that bring the paper's four
 //!   interestingness criteria onto a common `[0, 1]` scale (following
 //!   Somech et al. \[51\]).
+//! * [`kernels`] — structure-of-arrays batch kernels for the distributional
+//!   hot path, with runtime SIMD dispatch (scalar/SSE2/AVX2) and a
+//!   byte-identity contract across paths.
 
 pub mod anova;
 pub mod bounds;
 pub mod distance;
 pub mod distribution;
 pub mod emd;
+pub mod kernels;
 pub mod moments;
 pub mod normalize;
 pub mod special;

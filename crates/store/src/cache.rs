@@ -46,6 +46,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::pad::CachePadded;
 use crate::predicate::SelectionQuery;
 use crate::scan::GroupColumns;
 
@@ -110,19 +111,24 @@ struct Inner {
     epoch: u64,
 }
 
+/// One shard, padded to its own cache line (pair): the `RwLock` word and
+/// the LRU tick inside are written on every lookup, and without padding a
+/// `Box<[Shard]>` would pack several shards' lock words into one line —
+/// false sharing that serializes exactly the traffic sharding is meant to
+/// spread (see [`CachePadded`]).
 struct Shard {
-    inner: RwLock<Inner>,
+    inner: CachePadded<RwLock<Inner>>,
 }
 
 impl Shard {
     fn new() -> Self {
         Self {
-            inner: RwLock::new(Inner {
+            inner: CachePadded::new(RwLock::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
                 resident_bytes: 0,
                 epoch: 0,
-            }),
+            })),
         }
     }
 }
@@ -148,13 +154,16 @@ pub struct GroupCache {
     capacity_bytes: usize,
     /// Each shard's slice of the byte budget.
     shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    rejected: AtomicU64,
+    // Aggregate counters, each on its own cache line: every lookup from
+    // every thread bumps one of these, and packed together a hit on one
+    // core would invalidate the miss counter's line on every other.
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
+    evictions: CachePadded<AtomicU64>,
+    rejected: CachePadded<AtomicU64>,
     /// Aggregate database epoch (max over shards), maintained with
     /// `fetch_max`; see [`bump_epoch`](Self::bump_epoch).
-    epoch: AtomicU64,
+    epoch: CachePadded<AtomicU64>,
 }
 
 impl std::fmt::Debug for GroupCache {
@@ -190,11 +199,11 @@ impl GroupCache {
             shard_mask: (shards - 1) as u64,
             capacity_bytes,
             shard_capacity: capacity_bytes / shards,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            epoch: AtomicU64::new(0),
+            hits: CachePadded::new(AtomicU64::new(0)),
+            misses: CachePadded::new(AtomicU64::new(0)),
+            evictions: CachePadded::new(AtomicU64::new(0)),
+            rejected: CachePadded::new(AtomicU64::new(0)),
+            epoch: CachePadded::new(AtomicU64::new(0)),
         }
     }
 

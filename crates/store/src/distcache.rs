@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::RwLock;
 
 use crate::cache::{CacheStats, DEFAULT_CACHE_SHARDS};
+use crate::pad::CachePadded;
 
 /// What one memoized distance charges against the byte budget: the pair key
 /// (32 bytes), the value, LRU clock, and amortized hash-map slot overhead.
@@ -59,17 +60,20 @@ struct Inner {
     tick: u64,
 }
 
+/// One shard, padded to its own cache line (pair); see the rationale on
+/// [`CachePadded`] — the GMM loop hammers `get`/`insert` from every worker,
+/// so adjacent shards' lock words must not share a line.
 struct Shard {
-    inner: RwLock<Inner>,
+    inner: CachePadded<RwLock<Inner>>,
 }
 
 impl Shard {
     fn new() -> Self {
         Self {
-            inner: RwLock::new(Inner {
+            inner: CachePadded::new(RwLock::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
-            }),
+            })),
         }
     }
 }
@@ -86,13 +90,15 @@ pub struct DistanceCache {
     /// Entry budget per shard (the byte budget split evenly, floored at one
     /// entry so a tiny cache still memoizes something).
     shard_budget_entries: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    rejected: AtomicU64,
+    // Aggregate counters on private cache lines — bumped on every lookup
+    // from every thread (see the field comments on `GroupCache`).
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
+    evictions: CachePadded<AtomicU64>,
+    rejected: CachePadded<AtomicU64>,
     /// Database epoch the resident entries were computed against; see
     /// [`bump_epoch`](Self::bump_epoch).
-    epoch: AtomicU64,
+    epoch: CachePadded<AtomicU64>,
 }
 
 impl std::fmt::Debug for DistanceCache {
@@ -142,11 +148,11 @@ impl DistanceCache {
             shard_mask: (shards - 1) as u64,
             capacity_bytes,
             shard_budget_entries: (capacity_bytes / shards / DIST_ENTRY_BYTES).max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            epoch: AtomicU64::new(0),
+            hits: CachePadded::new(AtomicU64::new(0)),
+            misses: CachePadded::new(AtomicU64::new(0)),
+            evictions: CachePadded::new(AtomicU64::new(0)),
+            rejected: CachePadded::new(AtomicU64::new(0)),
+            epoch: CachePadded::new(AtomicU64::new(0)),
         }
     }
 

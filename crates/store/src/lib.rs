@@ -35,6 +35,7 @@ pub mod distcache;
 pub mod error;
 pub mod group;
 pub mod index;
+pub mod pad;
 pub mod parse;
 pub mod predicate;
 pub mod ratings;
@@ -50,6 +51,7 @@ pub use distcache::{DistPairKey, DistanceCache};
 pub use error::{StoreError, StoreErrorKind};
 pub use group::{EntityGroup, RatingGroup};
 pub use index::InvertedIndex;
+pub use pad::CachePadded;
 pub use parse::{parse_query, ParseError};
 pub use predicate::{AttrValue, SelectionQuery};
 pub use ratings::{DimId, RatingDraft, RatingTable, RatingTableBuilder, RecordId};

@@ -23,6 +23,8 @@
 
 use std::ops::Range;
 
+use subdex_stats::kernels;
+
 use crate::bitset::BitSet;
 use crate::group::RatingGroup;
 use crate::index::InvertedIndex;
@@ -47,10 +49,19 @@ pub struct GroupColumns {
 }
 
 impl GroupColumns {
-    /// Resolves both entity-row columns for `records` in one pass each.
+    /// Resolves both entity-row columns for `records` in one pass each,
+    /// via the batch gather kernel (`vpgatherdd` on AVX2 hosts).
     pub fn gather(ratings: &RatingTable, records: Vec<RecordId>) -> Self {
-        let reviewer_rows = records.iter().map(|&r| ratings.reviewer_of(r)).collect();
-        let item_rows = records.iter().map(|&r| ratings.item_of(r)).collect();
+        let path = kernels::active();
+        let mut reviewer_rows = Vec::new();
+        let mut item_rows = Vec::new();
+        kernels::gather_u32(
+            path,
+            ratings.reviewer_column(),
+            &records,
+            &mut reviewer_rows,
+        );
+        kernels::gather_u32(path, ratings.item_column(), &records, &mut item_rows);
         Self {
             records,
             reviewer_rows,
@@ -91,9 +102,9 @@ impl GroupColumns {
         // predicate selectivity near 50% would make a branchy
         // `if matched { push }` loop stall on mispredictions, which
         // dominates the scan cost on large parents. Gathering through the
-        // compacted positions afterwards touches only matching rows and
-        // lets `collect` size each column exactly — the cache's byte
-        // budget relies on capacities not being padded.
+        // compacted positions afterwards touches only matching rows; the
+        // gather kernel sizes each column exactly (`reserve_exact`) — the
+        // cache's byte budget relies on capacities not being padded.
         let mut idx = vec![0u32; rows.len()];
         let mut out = 0usize;
         for (i, &row) in rows.iter().enumerate() {
@@ -101,11 +112,17 @@ impl GroupColumns {
             out += usize::from(members.contains(row));
         }
         idx.truncate(out);
-        let gather = |col: &[u32]| -> Vec<u32> { idx.iter().map(|&i| col[i as usize]).collect() };
+        let path = kernels::active();
+        let mut records = Vec::new();
+        let mut reviewer_rows = Vec::new();
+        let mut item_rows = Vec::new();
+        kernels::gather_u32(path, &self.records, &idx, &mut records);
+        kernels::gather_u32(path, &self.reviewer_rows, &idx, &mut reviewer_rows);
+        kernels::gather_u32(path, &self.item_rows, &idx, &mut item_rows);
         GroupColumns {
-            records: gather(&self.records),
-            reviewer_rows: gather(&self.reviewer_rows),
-            item_rows: gather(&self.item_rows),
+            records,
+            reviewer_rows,
+            item_rows,
         }
     }
 
@@ -205,6 +222,34 @@ impl ScanScratch {
         Self::default()
     }
 
+    /// Heap bytes currently retained by the gather buffers — capacity, not
+    /// length, since a pooled scratch holds its capacity between steps.
+    pub fn resident_bytes(&self) -> usize {
+        self.reviewer_rows.capacity() * std::mem::size_of::<u32>()
+            + self.item_rows.capacity() * std::mem::size_of::<u32>()
+            + self.dims.capacity() * std::mem::size_of::<DimId>()
+            + self.scores.capacity()
+    }
+
+    /// Heap bytes the most recent gathers actually needed (length, not
+    /// capacity) — the demand signal of the executor's high-water trim.
+    pub fn used_bytes(&self) -> usize {
+        self.reviewer_rows.len() * std::mem::size_of::<u32>()
+            + self.item_rows.len() * std::mem::size_of::<u32>()
+            + self.dims.len() * std::mem::size_of::<DimId>()
+            + self.scores.len()
+    }
+
+    /// Releases all retained capacity. Invoked by the executor's high-water
+    /// trim when a pooled scratch's resident bytes far exceed what recent
+    /// steps actually used.
+    pub fn shrink(&mut self) {
+        self.reviewer_rows = Vec::new();
+        self.item_rows = Vec::new();
+        self.dims = Vec::new();
+        self.scores = Vec::new();
+    }
+
     /// Resolves the whole-group entity-row columns when `group` lacks
     /// pre-gathered ones. A no-op for groups built via
     /// [`RatingGroup::from_columns`], which already carry both columns —
@@ -213,12 +258,19 @@ impl ScanScratch {
         if group.has_entity_rows() {
             return;
         }
-        self.reviewer_rows.clear();
-        self.item_rows.clear();
-        self.reviewer_rows
-            .extend(group.records().iter().map(|&r| ratings.reviewer_of(r)));
-        self.item_rows
-            .extend(group.records().iter().map(|&r| ratings.item_of(r)));
+        let path = kernels::active();
+        kernels::gather_u32(
+            path,
+            ratings.reviewer_column(),
+            group.records(),
+            &mut self.reviewer_rows,
+        );
+        kernels::gather_u32(
+            path,
+            ratings.item_column(),
+            group.records(),
+            &mut self.item_rows,
+        );
     }
 
     /// Builds the block for one phase `range` of `group`, gathering one
@@ -241,6 +293,11 @@ impl ScanScratch {
         self.dims.extend_from_slice(dims);
         self.scores.clear();
         self.scores.reserve(dims.len() * phase.len());
+        // Score gathers stay scalar: scores are bytes, and `vpgatherdd`
+        // loads 32-bit lanes, so a SIMD byte gather would read up to three
+        // bytes past each score and need per-chunk bounds slack. The u8
+        // loads are cache-resident and cheap; the entity-row gathers above
+        // are where the kernel pays.
         for &dim in dims {
             let col = ratings.score_column(dim);
             self.scores
