@@ -25,6 +25,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use subdex_stats::kernels::{self, BatchScratch, KernelPath};
+use subdex_store::bitset::BitSet;
 
 /// Smoothing epsilon matching the KL peculiarity measure's call sites.
 const EPS: f64 = 1e-6;
@@ -124,6 +125,55 @@ fn main() {
         ));
     }
 
+    // Before/after for `BitSet::intersect_with_ids`: the pre-kernel version
+    // probed every candidate bit and binary-searched the posting list; the
+    // current one scatters the list into words and runs the `and_words` set
+    // kernel. Same inputs, outputs asserted identical before timing.
+    let capacity = shape.records;
+    let base = BitSet::from_ids(
+        capacity,
+        &(0..capacity as u32).step_by(3).collect::<Vec<u32>>(),
+    );
+    let mut post_ids: Vec<u32> = (0..shape.records)
+        .map(|_| rng.random_range(0..capacity as u32))
+        .collect();
+    post_ids.sort_unstable();
+    post_ids.dedup();
+    let legacy = |set: &BitSet| -> Vec<u32> {
+        // Old shape: per-bit probe over the whole domain, membership by
+        // binary search — no word-level work at all.
+        (0..capacity as u32)
+            .filter(|id| set.contains(*id) && post_ids.binary_search(id).is_ok())
+            .collect()
+    };
+    let reference_ids = legacy(&base);
+    {
+        let mut s = base.clone();
+        s.intersect_with_ids(&post_ids);
+        assert_eq!(
+            s.to_vec(),
+            reference_ids,
+            "intersect_with_ids: kernel route differs from legacy probe"
+        );
+    }
+    let before_ns = time_ns(&shape, || {
+        black_box(legacy(black_box(&base)));
+    });
+    let after_ns = time_ns(&shape, || {
+        let mut s = black_box(&base).clone();
+        s.intersect_with_ids(black_box(&post_ids));
+        black_box(&s);
+    });
+    let ids_speedup = before_ns / after_ns;
+    println!(
+        "\nintersect_with_ids ({} bits ∩ {} ids): {:.0} ns legacy probe vs {:.0} ns kernel route ({:.2}x)",
+        capacity,
+        post_ids.len(),
+        before_ns,
+        after_ns,
+        ids_speedup
+    );
+
     let best = |kc: &KernelCells| kc.ns[0] / kc.ns.iter().cloned().fold(f64::INFINITY, f64::min);
     let over_1_5 = cells.iter().filter(|kc| best(kc) >= 1.5).count();
     println!(
@@ -153,6 +203,15 @@ fn main() {
     json.push_str(&format!("  \"reps\": {},\n", shape.reps));
     json.push_str(&format!("  \"passes\": {},\n", shape.passes));
     json.push_str(&format!("  \"kernels_at_or_above_1p5x\": {over_1_5},\n"));
+    json.push_str(&format!(
+        "  \"intersect_with_ids_legacy_ns\": {before_ns:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"intersect_with_ids_kernel_ns\": {after_ns:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"intersect_with_ids_speedup\": {ids_speedup:.3},\n"
+    ));
     json.push_str("  \"kernels\": [\n");
     json.push_str(&json_rows.join(",\n"));
     json.push_str("\n  ]\n");

@@ -604,29 +604,38 @@ impl StepExecutor<'_> {
     }
 
     /// Materializes the stepped query's pre-shuffle columns through the
-    /// shared cache when one is attached, counting the path taken.
+    /// shared cache when one is attached, counting the path taken (the
+    /// planner's walk-vs-probe route decision included).
     fn materialize_parent(
         &mut self,
         query: &SelectionQuery,
         m: &mut Materialization,
     ) -> Arc<GroupColumns> {
+        let count_route = |m: &mut Materialization, route| {
+            if route == subdex_store::GroupRoute::Probe {
+                m.probed += 1;
+            } else {
+                m.walked += 1;
+            }
+        };
         match self.group_cache {
             Some(cache) => {
-                let mut computed = false;
+                let mut computed = None;
                 let arc = cache.get_or_insert_with(query, self.db.epoch(), || {
-                    computed = true;
-                    self.db.collect_group_columns(query)
+                    let (cols, route) = self.db.collect_group_columns_routed(query);
+                    computed = Some(route);
+                    cols
                 });
-                if computed {
-                    m.walked += 1;
-                } else {
-                    m.cached += 1;
+                match computed {
+                    Some(route) => count_route(m, route),
+                    None => m.cached += 1,
                 }
                 arc
             }
             None => {
-                m.walked += 1;
-                Arc::new(self.db.collect_group_columns(query))
+                let (cols, route) = self.db.collect_group_columns_routed(query);
+                count_route(m, route);
+                Arc::new(cols)
             }
         }
     }

@@ -20,8 +20,8 @@ use crate::ratingmap::ScoredRatingMap;
 use crate::selector::{select_diverse_with, SelectScratch, SelectionStrategy};
 use std::collections::HashSet;
 use subdex_store::{
-    AttrValue, Entity, GroupCache, GroupColumns, RatingGroup, ScanScratch, SelectionQuery,
-    SubjectiveDb,
+    AttrValue, Entity, GroupCache, GroupColumns, GroupRoute, RatingGroup, ScanScratch,
+    SelectionQuery, SubjectiveDb,
 };
 
 /// One recommended next-step operation.
@@ -40,22 +40,27 @@ pub struct Recommendation {
 }
 
 /// How candidate rating groups were materialized during one recommendation
-/// (or engine-step) pass. `derived + walked + cached + skipped_empty` equals
-/// the number of groups the pass needed; `records_filtered` counts parent
-/// rows the derivation path scanned instead of re-walking the database.
+/// (or engine-step) pass. `derived + walked + probed + cached +
+/// skipped_empty` equals the number of groups the pass needed;
+/// `records_filtered` counts ancestor rows the derivation path scanned
+/// instead of re-walking the database.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Materialization {
-    /// Groups built by filtering the parent's gathered columns (one linear
-    /// pass over parent rows; no adjacency walk, no re-gather).
+    /// Groups built by filtering an ancestor's gathered columns (one linear
+    /// pass over ancestor rows; no adjacency walk, no re-gather).
     pub derived: u64,
-    /// Groups built by the full posting-list walk + column gather.
+    /// Groups built by the adjacency walk + column gather
+    /// ([`GroupRoute::Walk`] / [`GroupRoute::Full`]).
     pub walked: u64,
+    /// Groups built by the index-driven rating-column probe
+    /// ([`GroupRoute::Probe`]).
+    pub probed: u64,
     /// Groups served straight from the shared [`GroupCache`].
     pub cached: u64,
     /// Candidates skipped *before* any materialization because their index
     /// cardinality upper bound was zero.
     pub skipped_empty: u64,
-    /// Parent rows examined by the derivation passes.
+    /// Ancestor rows examined by the derivation passes.
     pub records_filtered: u64,
 }
 
@@ -64,6 +69,7 @@ impl Materialization {
     pub fn merge(&mut self, other: &Self) {
         self.derived += other.derived;
         self.walked += other.walked;
+        self.probed += other.probed;
         self.cached += other.cached;
         self.skipped_empty += other.skipped_empty;
         self.records_filtered += other.records_filtered;
@@ -71,7 +77,7 @@ impl Materialization {
 
     /// Total groups materialized (any path) plus skipped candidates.
     pub fn total(&self) -> u64 {
-        self.derived + self.walked + self.cached + self.skipped_empty
+        self.derived + self.walked + self.probed + self.cached + self.skipped_empty
     }
 }
 
@@ -241,7 +247,7 @@ pub fn enumerate_candidates_into(
             .values_of(p.entity, p.attr)
             .into_iter()
             .filter(|&v| v != p.value)
-            .map(|v| (index.postings(p.attr, v).len(), v))
+            .map(|v| (index.cardinality(p.attr, v), v))
             .filter(|&(n, _)| n > 0)
             .collect();
         siblings.sort_by_key(|&(n, _)| std::cmp::Reverse(n));
@@ -473,20 +479,51 @@ pub fn recommend_with_stats_in(
             return None;
         }
         let group_seed = seed ^ fxhash(q);
-        // A pure drill-down selects a strict subset of the parent group:
-        // filter the parent's columns instead of re-walking.
+        // A pure drill-down selects a strict subset of an ancestor group:
+        // filter that ancestor's columns instead of re-walking. Sources, in
+        // preference order: the displayed parent's columns against the full
+        // added-predicate set (one or many conjuncts), then any cached
+        // ancestor one predicate away (a non-inserting `peek` — cheap
+        // window-shopping that never evicts to speculate).
+        enum Derive<'d> {
+            Parent(&'d GroupColumns, Vec<AttrValue>),
+            Ancestor(std::sync::Arc<GroupColumns>, AttrValue),
+        }
         let derivable = if cfg.derive_candidates {
-            parent.and_then(|cols| query.single_added_pred(q).map(|p| (cols, p)))
+            parent
+                .and_then(|cols| query.added_preds(q).map(|ps| Derive::Parent(cols, ps)))
+                .or_else(|| {
+                    let c = cache?;
+                    for p in q.preds() {
+                        let mut anc = q.clone();
+                        anc.remove(p);
+                        if let Some(cols) = c.peek(&anc, db.epoch()) {
+                            return Some(Derive::Ancestor(cols, *p));
+                        }
+                    }
+                    None
+                })
         } else {
             None
         };
+        let derive = |d: &Derive<'_>, stats: &mut Materialization| -> GroupColumns {
+            match d {
+                Derive::Parent(cols, ps) => {
+                    stats.records_filtered += cols.len() as u64;
+                    db.derive_refinement_columns_multi(cols, ps)
+                }
+                Derive::Ancestor(cols, p) => {
+                    stats.records_filtered += cols.len() as u64;
+                    db.derive_refinement_columns_multi(cols, std::slice::from_ref(p))
+                }
+            }
+        };
         let group = match (cache, derivable) {
-            (Some(c), Some((cols, p))) => {
+            (Some(c), Some(d)) => {
                 let mut computed = false;
                 let arc = c.get_or_insert_with(q, db.epoch(), || {
                     computed = true;
-                    stats.records_filtered += cols.len() as u64;
-                    db.derive_refinement_columns(cols, &p)
+                    derive(&d, stats)
                 });
                 if computed {
                     stats.derived += 1;
@@ -497,25 +534,34 @@ pub fn recommend_with_stats_in(
             }
             (Some(c), None) => {
                 let mut computed = false;
+                let mut route = GroupRoute::Walk;
                 let arc = c.get_or_insert_with(q, db.epoch(), || {
                     computed = true;
-                    db.collect_group_columns(q)
+                    let (cols, r) = db.collect_group_columns_routed(q);
+                    route = r;
+                    cols
                 });
-                if computed {
-                    stats.walked += 1;
-                } else {
+                if !computed {
                     stats.cached += 1;
+                } else if route == GroupRoute::Probe {
+                    stats.probed += 1;
+                } else {
+                    stats.walked += 1;
                 }
                 RatingGroup::from_columns(&arc, group_seed)
             }
-            (None, Some((cols, p))) => {
+            (None, Some(d)) => {
                 stats.derived += 1;
-                stats.records_filtered += cols.len() as u64;
-                RatingGroup::from_columns(&db.derive_refinement_columns(cols, &p), group_seed)
+                RatingGroup::from_columns(&derive(&d, stats), group_seed)
             }
             (None, None) => {
-                stats.walked += 1;
-                db.scan_group(q, group_seed)
+                let (cols, route) = db.collect_group_columns_routed(q);
+                if route == GroupRoute::Probe {
+                    stats.probed += 1;
+                } else {
+                    stats.walked += 1;
+                }
+                RatingGroup::from_columns(&cols, group_seed)
             }
         };
         let mut norms = normalizers.clone();

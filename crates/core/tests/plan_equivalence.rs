@@ -76,23 +76,33 @@ impl LegacyEngine {
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(step as u64);
         let mut materialization = Materialization::default();
+        // Route accounting mirrors the production executor: the planner's
+        // walk-vs-probe decision is part of the observable counters now.
+        let count_route = |m: &mut Materialization, route| {
+            if route == subdex_store::GroupRoute::Probe {
+                m.probed += 1;
+            } else {
+                m.walked += 1;
+            }
+        };
         let parent_cols: Arc<GroupColumns> = match &self.group_cache {
             Some(cache) => {
-                let mut computed = false;
+                let mut computed = None;
                 let arc = cache.get_or_insert_with(query, self.db.epoch(), || {
-                    computed = true;
-                    self.db.collect_group_columns(query)
+                    let (cols, route) = self.db.collect_group_columns_routed(query);
+                    computed = Some(route);
+                    cols
                 });
-                if computed {
-                    materialization.walked += 1;
-                } else {
-                    materialization.cached += 1;
+                match computed {
+                    Some(route) => count_route(&mut materialization, route),
+                    None => materialization.cached += 1,
                 }
                 arc
             }
             None => {
-                materialization.walked += 1;
-                Arc::new(self.db.collect_group_columns(query))
+                let (cols, route) = self.db.collect_group_columns_routed(query);
+                count_route(&mut materialization, route);
+                Arc::new(cols)
             }
         };
         let group = RatingGroup::from_columns(&parent_cols, seed);

@@ -199,7 +199,7 @@ pub fn restrict_values(db: &SubjectiveDb, max_values: usize, _seed: u64) -> Subj
             .map(|a| {
                 let dict = table.dictionary(a);
                 let mut freq: Vec<(usize, u32)> = (0..dict.len() as u32)
-                    .map(|v| (index.postings(a, subdex_store::ValueId(v)).len(), v))
+                    .map(|v| (index.cardinality(a, subdex_store::ValueId(v)), v))
                     .collect();
                 freq.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
                 let mut keep = vec![false; dict.len()];
@@ -331,7 +331,7 @@ mod tests {
         let orig_attr = db.reviewers().schema().attr_by_name("gender").unwrap();
         let idx = db.index(Entity::Reviewer);
         let best = (0..db.reviewers().dictionary(orig_attr).len() as u32)
-            .max_by_key(|&v| idx.postings(orig_attr, subdex_store::ValueId(v)).len())
+            .max_by_key(|&v| idx.cardinality(orig_attr, subdex_store::ValueId(v)))
             .unwrap();
         let best_val = db
             .reviewers()

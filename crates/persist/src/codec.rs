@@ -39,6 +39,14 @@ pub fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
     }
 }
 
+/// Appends a length-prefixed `u64` slice.
+pub fn put_u64_slice(out: &mut Vec<u8>, v: &[u64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_u64(out, x);
+    }
+}
+
 /// Appends a length-prefixed byte slice.
 pub fn put_u8_slice(out: &mut Vec<u8>, v: &[u8]) {
     put_u64(out, v.len() as u64);
@@ -164,6 +172,17 @@ impl<'a> Cursor<'a> {
             .collect())
     }
 
+    /// Reads a length-prefixed `u64` vector in one bulk take (compressed
+    /// index bitmap containers).
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, StoreError> {
+        let n = self.len_prefix(8)?;
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
     /// Reads a length-prefixed byte vector.
     pub fn u8_vec(&mut self) -> Result<Vec<u8>, StoreError> {
         let n = self.len_prefix(1)?;
@@ -195,6 +214,7 @@ mod tests {
         put_u64(&mut buf, u64::MAX - 1);
         put_str(&mut buf, "caffè");
         put_u32_slice(&mut buf, &[1, 2, 3]);
+        put_u64_slice(&mut buf, &[u64::MAX, 0]);
         put_u8_slice(&mut buf, &[9, 8]);
         put_value(&mut buf, &Value::str("NYC"));
         put_value(&mut buf, &Value::int(-5));
@@ -205,6 +225,7 @@ mod tests {
         assert_eq!(c.u64().unwrap(), u64::MAX - 1);
         assert_eq!(c.str().unwrap(), "caffè");
         assert_eq!(c.u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.u64_vec().unwrap(), vec![u64::MAX, 0]);
         assert_eq!(c.u8_vec().unwrap(), vec![9, 8]);
         assert_eq!(c.value().unwrap(), Value::str("NYC"));
         assert_eq!(c.value().unwrap(), Value::int(-5));

@@ -11,7 +11,7 @@
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ section  id u16 · len u64 · crc32 u32 · payload [len]        │
 //! │ …        (meta, reviewer table, item table, ratings,         │
-//! │           reviewer postings, item postings)                  │
+//! │           reviewer containers, item containers)              │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ table    count u32 · {id u16, offset u64, len u64, crc u32}… │
 //! ├──────────────────────────────────────────────────────────────┤
@@ -26,18 +26,29 @@
 //! `BufWriter` into a temp file in the target directory, fsyncs, and
 //! atomically renames over the destination, so a crashed writer leaves the
 //! previous snapshot intact.
+//!
+//! Format history:
+//!
+//! * **v1** persisted flat posting lists (sections 5/6).
+//! * **v2** persists the compressed hybrid containers directly
+//!   (sections 7/8), preserving each container's class so load reproduces
+//!   the in-memory index bit-for-bit. The reader accepts both: a v1 file's
+//!   flat lists are promoted to containers on load, and a file missing
+//!   index sections entirely falls back to rebuilding from the entity
+//!   tables — any snapshot with intact tables yields a queryable database.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use subdex_store::{
-    Column, CsrColumn, Dictionary, EntityTable, InvertedIndex, RatingTable, Schema, StoreError,
-    SubjectiveDb, ValueId,
+    Column, CompressedIndex, Container, CsrColumn, Dictionary, Entity, EntityTable, InvertedIndex,
+    RatingTable, Schema, StoreError, SubjectiveDb, ValueId,
 };
 
 use crate::codec::{
-    put_str, put_u16, put_u32, put_u32_slice, put_u64, put_u8_slice, put_value, Cursor,
+    put_str, put_u16, put_u32, put_u32_slice, put_u64, put_u64_slice, put_u8_slice, put_value,
+    Cursor,
 };
 use crate::crc::crc32;
 
@@ -45,15 +56,20 @@ use crate::crc::crc32;
 pub const MAGIC: &[u8; 8] = b"SDXSNAP1";
 /// Trailing magic: proves the footer (and thus the whole file) is complete.
 pub const TAIL_MAGIC: &[u8; 8] = b"SDXSNEND";
-/// Current format version; readers reject anything newer.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version; readers accept `1..=FORMAT_VERSION` and reject
+/// anything newer.
+pub const FORMAT_VERSION: u32 = 2;
 
 const SEC_META: u16 = 1;
 const SEC_REVIEWERS: u16 = 2;
 const SEC_ITEMS: u16 = 3;
 const SEC_RATINGS: u16 = 4;
+/// Flat posting lists (format v1; still decoded, no longer written).
 const SEC_REVIEWER_INDEX: u16 = 5;
 const SEC_ITEM_INDEX: u16 = 6;
+/// Compressed hybrid containers (format v2).
+const SEC_REVIEWER_CINDEX: u16 = 7;
+const SEC_ITEM_CINDEX: u16 = 8;
 
 const HEADER_LEN: usize = 16;
 const FOOTER_LEN: usize = 20;
@@ -141,6 +157,45 @@ fn encode_index(index: &InvertedIndex) -> Vec<u8> {
         put_u64(&mut out, lists.len() as u64);
         for list in lists {
             put_u32_slice(&mut out, list);
+        }
+    }
+    out
+}
+
+/// Container payload tags; part of the on-disk format, never renumber.
+const TAG_ARRAY: u8 = 0;
+const TAG_BITMAP: u8 = 1;
+const TAG_RUNS: u8 = 2;
+
+/// Encodes a compressed index container-by-container, preserving each
+/// container's class so the loaded index is bit-for-bit the one that was
+/// written (promotion is deterministic, but persisting the class means the
+/// reader never has to re-derive it).
+fn encode_cindex(index: &CompressedIndex) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, index.rows() as u64);
+    put_u16(&mut out, index.containers().len() as u16);
+    for per_attr in index.containers() {
+        put_u64(&mut out, per_attr.len() as u64);
+        for container in per_attr {
+            match container {
+                Container::Array(ids) => {
+                    out.push(TAG_ARRAY);
+                    put_u32_slice(&mut out, ids);
+                }
+                Container::Bitmap { words, card } => {
+                    out.push(TAG_BITMAP);
+                    put_u32(&mut out, *card);
+                    put_u64_slice(&mut out, words);
+                }
+                Container::Runs { runs, card } => {
+                    out.push(TAG_RUNS);
+                    put_u32(&mut out, *card);
+                    let flat: Vec<u32> =
+                        runs.iter().flat_map(|&(start, len)| [start, len]).collect();
+                    put_u32_slice(&mut out, &flat);
+                }
+            }
         }
     }
     out
@@ -280,6 +335,54 @@ fn decode_index(bytes: &[u8], what: &str) -> Result<InvertedIndex, StoreError> {
     InvertedIndex::from_parts(postings, rows)
 }
 
+fn decode_cindex(bytes: &[u8], what: &str) -> Result<CompressedIndex, StoreError> {
+    let mut c = Cursor::new(bytes, what);
+    let rows = c.u64()? as usize;
+    let attr_count = c.u16()? as usize;
+    let mut containers = Vec::with_capacity(attr_count);
+    for _ in 0..attr_count {
+        let value_count = c.len_prefix(8)?;
+        let mut per_attr = Vec::with_capacity(value_count);
+        for _ in 0..value_count {
+            per_attr.push(match c.u8()? {
+                TAG_ARRAY => Container::Array(c.u32_vec()?),
+                TAG_BITMAP => {
+                    let card = c.u32()?;
+                    Container::Bitmap {
+                        words: c.u64_vec()?,
+                        card,
+                    }
+                }
+                TAG_RUNS => {
+                    let card = c.u32()?;
+                    let flat = c.u32_vec()?;
+                    if flat.len() % 2 != 0 {
+                        return Err(StoreError::corrupt(format!(
+                            "{what}: run list has odd length {}",
+                            flat.len()
+                        )));
+                    }
+                    let runs = flat.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+                    Container::Runs { runs, card }
+                }
+                tag => {
+                    return Err(StoreError::corrupt(format!(
+                        "{what}: unknown container tag {tag}"
+                    )))
+                }
+            });
+        }
+        containers.push(per_attr);
+    }
+    if !c.is_exhausted() {
+        return Err(StoreError::corrupt(format!("{what}: trailing bytes")));
+    }
+    // `from_containers` re-validates every structural invariant (sorted
+    // arrays, clear bitmap tails, disjoint runs, exact cardinalities), so a
+    // damaged-but-CRC-colliding payload still cannot produce a wrong index.
+    CompressedIndex::from_containers(containers, rows)
+}
+
 // ------------------------------------------------------------------- write
 
 /// Writes `db` as a snapshot at `path` (temp file + atomic rename).
@@ -293,15 +396,44 @@ pub fn write_snapshot(db: &SubjectiveDb, last_seq: u64, path: &Path) -> Result<u
         (SEC_ITEMS, encode_entity_table(db.items())),
         (SEC_RATINGS, encode_ratings(db.ratings())),
         (
+            SEC_REVIEWER_CINDEX,
+            encode_cindex(db.index(Entity::Reviewer)),
+        ),
+        (SEC_ITEM_CINDEX, encode_cindex(db.index(Entity::Item))),
+    ];
+    write_sections(FORMAT_VERSION, &sections, path)
+}
+
+/// Writes a format-**1** snapshot: flat posting-list sections instead of
+/// compressed containers. The in-memory index no longer keeps flat lists,
+/// so they are rebuilt from the entity tables here. Kept (and exercised in
+/// tests) to prove that snapshots written before the container format still
+/// load through the promotion path.
+pub fn write_snapshot_v1(db: &SubjectiveDb, last_seq: u64, path: &Path) -> Result<u64, StoreError> {
+    let sections: [(u16, Vec<u8>); 6] = [
+        (SEC_META, encode_meta(db, last_seq)),
+        (SEC_REVIEWERS, encode_entity_table(db.reviewers())),
+        (SEC_ITEMS, encode_entity_table(db.items())),
+        (SEC_RATINGS, encode_ratings(db.ratings())),
+        (
             SEC_REVIEWER_INDEX,
-            encode_index(db.index(subdex_store::Entity::Reviewer)),
+            encode_index(&InvertedIndex::build(db.reviewers())),
         ),
         (
             SEC_ITEM_INDEX,
-            encode_index(db.index(subdex_store::Entity::Item)),
+            encode_index(&InvertedIndex::build(db.items())),
         ),
     ];
+    write_sections(1, &sections, path)
+}
 
+/// Streams `sections` to `path` under the framed-and-tabled layout
+/// described in the module docs (temp file + fsync + atomic rename).
+fn write_sections(
+    version: u32,
+    sections: &[(u16, Vec<u8>)],
+    path: &Path,
+) -> Result<u64, StoreError> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     std::fs::create_dir_all(dir).map_err(|e| StoreError::from_io("create snapshot dir", e))?;
     let tmp = dir.join(format!(
@@ -320,13 +452,13 @@ pub fn write_snapshot(db: &SubjectiveDb, last_seq: u64, path: &Path) -> Result<u
     };
 
     write(MAGIC)?;
-    write(&FORMAT_VERSION.to_le_bytes())?;
+    write(&version.to_le_bytes())?;
     write(&0u32.to_le_bytes())?; // reserved
 
     let mut offset = HEADER_LEN as u64;
     let mut table = Vec::new();
     put_u32(&mut table, sections.len() as u32);
-    for (id, payload) in &sections {
+    for (id, payload) in sections {
         let crc = crc32(payload);
         let mut frame = Vec::with_capacity(14);
         put_u16(&mut frame, *id);
@@ -383,9 +515,9 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(SubjectiveDb, SnapshotMeta), Sto
         return Err(StoreError::format("not a SubDEx snapshot (bad magic)"));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if !(1..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::format(format!(
-            "snapshot format version {version} not supported (reader speaks {FORMAT_VERSION})"
+            "snapshot format version {version} not supported (reader speaks 1..={FORMAT_VERSION})"
         )));
     }
     let footer = &bytes[bytes.len() - FOOTER_LEN..];
@@ -406,8 +538,13 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(SubjectiveDb, SnapshotMeta), Sto
 
     let mut c = Cursor::new(table_bytes, "snapshot section table");
     let count = c.u32()? as usize;
-    let section =
-        |want: u16| -> Result<&[u8], StoreError> { find_section(bytes, table_bytes, count, want) };
+    let try_section = |want: u16| -> Result<Option<&[u8]>, StoreError> {
+        find_section(bytes, table_bytes, count, want)
+    };
+    let section = |want: u16| -> Result<&[u8], StoreError> {
+        try_section(want)?
+            .ok_or_else(|| StoreError::corrupt(format!("snapshot section {want} missing")))
+    };
 
     let meta = decode_meta(section(SEC_META)?)?;
     let reviewers = decode_entity_table(section(SEC_REVIEWERS)?, "snapshot reviewer table")?;
@@ -418,10 +555,18 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(SubjectiveDb, SnapshotMeta), Sto
         ));
     }
     let ratings = decode_ratings(section(SEC_RATINGS)?, &meta)?;
-    let reviewer_index = decode_index(section(SEC_REVIEWER_INDEX)?, "snapshot reviewer postings")?;
-    let item_index = decode_index(section(SEC_ITEM_INDEX)?, "snapshot item postings")?;
-    verify_index_matches(&reviewer_index, &reviewers, "reviewer")?;
-    verify_index_matches(&item_index, &items, "item")?;
+    let reviewer_index = load_cindex(
+        try_section(SEC_REVIEWER_CINDEX)?,
+        try_section(SEC_REVIEWER_INDEX)?,
+        &reviewers,
+        "reviewer",
+    )?;
+    let item_index = load_cindex(
+        try_section(SEC_ITEM_CINDEX)?,
+        try_section(SEC_ITEM_INDEX)?,
+        &items,
+        "item",
+    )?;
 
     let db = SubjectiveDb::from_parts(
         reviewers,
@@ -441,13 +586,38 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(SubjectiveDb, SnapshotMeta), Sto
     ))
 }
 
-/// Locates section `want` via the table, verifying bounds and payload CRC.
+/// Loads one entity side's compressed index with a three-step fallback
+/// chain: the native container section (format v2), the flat posting
+/// section (format v1, promoted to containers on load), and finally a
+/// rebuild from the already-verified entity table itself.
+fn load_cindex(
+    cindex_bytes: Option<&[u8]>,
+    flat_bytes: Option<&[u8]>,
+    table: &EntityTable,
+    what: &str,
+) -> Result<CompressedIndex, StoreError> {
+    if let Some(payload) = cindex_bytes {
+        let index = decode_cindex(payload, &format!("snapshot {what} containers"))?;
+        verify_cindex_matches(&index, table, what)?;
+        return Ok(index);
+    }
+    if let Some(payload) = flat_bytes {
+        let flat = decode_index(payload, &format!("snapshot {what} postings"))?;
+        verify_index_matches(&flat, table, what)?;
+        return Ok(CompressedIndex::from_inverted(&flat));
+    }
+    Ok(CompressedIndex::from_inverted(&InvertedIndex::build(table)))
+}
+
+/// Locates section `want` via the table, verifying bounds and payload CRC;
+/// `Ok(None)` means the section simply is not present (expected when
+/// reading across format versions — callers decide whether that is fatal).
 fn find_section<'a>(
     bytes: &'a [u8],
     table_bytes: &[u8],
     count: usize,
     want: u16,
-) -> Result<&'a [u8], StoreError> {
+) -> Result<Option<&'a [u8]>, StoreError> {
     let mut c = Cursor::new(table_bytes, "snapshot section table");
     let _ = c.u32()?;
     for _ in 0..count {
@@ -484,11 +654,9 @@ fn find_section<'a>(
                 "snapshot section {want}: crc mismatch"
             )));
         }
-        return Ok(payload);
+        return Ok(Some(payload));
     }
-    Err(StoreError::corrupt(format!(
-        "snapshot section {want} missing"
-    )))
+    Ok(None)
 }
 
 /// The persisted posting lists must cover exactly the attributes and
@@ -512,6 +680,41 @@ fn verify_index_matches(
                 "snapshot {what} postings for attribute {} cover {} values, dictionary has {}",
                 attr.index(),
                 lists.len(),
+                table.dictionary(attr).len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The container analog of [`verify_index_matches`]: the persisted
+/// compressed index must cover exactly the rows, attributes and dictionary
+/// sizes of its table.
+fn verify_cindex_matches(
+    index: &CompressedIndex,
+    table: &EntityTable,
+    what: &str,
+) -> Result<(), StoreError> {
+    if index.rows() != table.len() {
+        return Err(StoreError::corrupt(format!(
+            "snapshot {what} containers cover {} rows, table has {}",
+            index.rows(),
+            table.len()
+        )));
+    }
+    if index.containers().len() != table.schema().len() {
+        return Err(StoreError::corrupt(format!(
+            "snapshot {what} containers cover {} attributes, table has {}",
+            index.containers().len(),
+            table.schema().len()
+        )));
+    }
+    for attr in table.schema().attr_ids() {
+        if index.value_count(attr) != table.dictionary(attr).len() {
+            return Err(StoreError::corrupt(format!(
+                "snapshot {what} containers for attribute {} cover {} values, dictionary has {}",
+                attr.index(),
+                index.value_count(attr),
                 table.dictionary(attr).len()
             )));
         }
@@ -570,6 +773,60 @@ mod tests {
         // Queries answer identically (postings were persisted, not rebuilt).
         let q = SelectionQuery::from_preds(vec![db
             .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap()]);
+        assert_eq!(
+            loaded.collect_group_records(&q),
+            db.collect_group_records(&q)
+        );
+        // Container classes survive the round trip exactly: the persisted
+        // index is the in-memory one, not a re-derived approximation.
+        let (ls, ds) = (loaded.index_stats(), db.index_stats());
+        assert_eq!(
+            (ls.array_containers, ls.bitmap_containers, ls.run_containers),
+            (ds.array_containers, ds.bitmap_containers, ds.run_containers)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_snapshot_loads_via_flat_posting_promotion() {
+        let db = small_db();
+        let path = temp_path("v1");
+        write_snapshot_v1(&db, 3, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        let (loaded, meta) = read_snapshot(&path).unwrap();
+        assert_eq!(meta.last_seq, 3);
+        assert_eq!(loaded.stats(), db.stats());
+        for (entity, attr, value) in [
+            (Entity::Reviewer, "age_group", Value::str("Young")),
+            (Entity::Item, "cuisine", Value::str("Pizza")),
+        ] {
+            let q = SelectionQuery::from_preds(vec![db.pred(entity, attr, &value).unwrap()]);
+            assert_eq!(
+                loaded.collect_group_records(&q),
+                db.collect_group_records(&q),
+                "query on {attr} must answer identically after v1 load"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_index_sections_rebuild_from_tables() {
+        let db = small_db();
+        let path = temp_path("rebuild");
+        // A table-only snapshot: no index section of either format.
+        let sections = [
+            (SEC_META, encode_meta(&db, 0)),
+            (SEC_REVIEWERS, encode_entity_table(db.reviewers())),
+            (SEC_ITEMS, encode_entity_table(db.items())),
+            (SEC_RATINGS, encode_ratings(db.ratings())),
+        ];
+        write_sections(FORMAT_VERSION, &sections, &path).unwrap();
+        let (loaded, _) = read_snapshot(&path).unwrap();
+        let q = SelectionQuery::from_preds(vec![db
+            .pred(Entity::Item, "city", &Value::str("NYC"))
             .unwrap()]);
         assert_eq!(
             loaded.collect_group_records(&q),

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use subdex_core::{Materialization, SelectionStats, StepStats};
 use subdex_persist::PersistStats;
-use subdex_store::CacheStats;
+use subdex_store::{CacheStats, IndexStats};
 
 /// Upper bounds (inclusive, microseconds) of the step-latency histogram
 /// buckets; the last bucket is unbounded.
@@ -34,6 +34,7 @@ pub struct ServiceMetrics {
     /// [`Materialization`]).
     groups_derived: AtomicU64,
     groups_walked: AtomicU64,
+    groups_probed: AtomicU64,
     groups_cached: AtomicU64,
     groups_skipped: AtomicU64,
     records_filtered: AtomicU64,
@@ -92,11 +93,12 @@ impl ServiceMetrics {
 
     /// Accumulates one served step's group-materialization counters
     /// (`StepStats::materialization`): how many candidate groups were
-    /// derived from parent columns, fully walked, cache-served, or skipped
-    /// as provably empty.
+    /// derived from ancestor columns, walked, index-probed, cache-served,
+    /// or skipped as provably empty.
     fn record_materialization(&self, m: &Materialization) {
         self.groups_derived.fetch_add(m.derived, Ordering::Relaxed);
         self.groups_walked.fetch_add(m.walked, Ordering::Relaxed);
+        self.groups_probed.fetch_add(m.probed, Ordering::Relaxed);
         self.groups_cached.fetch_add(m.cached, Ordering::Relaxed);
         self.groups_skipped
             .fetch_add(m.skipped_empty, Ordering::Relaxed);
@@ -130,12 +132,15 @@ impl ServiceMetrics {
     /// A snapshot of the counters; `cache` carries the shared group cache's
     /// statistics and `dist_cache` the shared distance cache's, when the
     /// service runs with the respective cache enabled. `persist` carries the
-    /// durable store's counters when the service was warm-started from one.
+    /// durable store's counters when the service was warm-started from one,
+    /// and `index` the current database's compressed-index census and
+    /// routing counters.
     pub fn snapshot(
         &self,
         cache: Option<CacheStats>,
         dist_cache: Option<CacheStats>,
         persist: Option<PersistStats>,
+        index: Option<IndexStats>,
     ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests_served: self.served.load(Ordering::Relaxed),
@@ -150,6 +155,7 @@ impl ServiceMetrics {
             materialization: Materialization {
                 derived: self.groups_derived.load(Ordering::Relaxed),
                 walked: self.groups_walked.load(Ordering::Relaxed),
+                probed: self.groups_probed.load(Ordering::Relaxed),
                 cached: self.groups_cached.load(Ordering::Relaxed),
                 skipped_empty: self.groups_skipped.load(Ordering::Relaxed),
                 records_filtered: self.records_filtered.load(Ordering::Relaxed),
@@ -164,6 +170,7 @@ impl ServiceMetrics {
             cache,
             dist_cache,
             persist,
+            index,
         }
     }
 }
@@ -192,6 +199,9 @@ pub struct MetricsSnapshot {
     pub dist_cache: Option<CacheStats>,
     /// Durable-store counters (None when the service is in-memory only).
     pub persist: Option<PersistStats>,
+    /// Compressed-index census and routing counters of the current
+    /// database snapshot.
+    pub index: Option<IndexStats>,
 }
 
 impl MetricsSnapshot {
@@ -215,8 +225,9 @@ impl std::fmt::Display for MetricsSnapshot {
         if m.total() > 0 {
             writeln!(
                 f,
-                "groups: {} derived / {} walked / {} cached / {} skipped ({} records filtered)",
-                m.derived, m.walked, m.cached, m.skipped_empty, m.records_filtered
+                "groups: {} derived / {} walked / {} probed / {} cached / {} skipped \
+                 ({} records filtered)",
+                m.derived, m.walked, m.probed, m.cached, m.skipped_empty, m.records_filtered
             )?;
         }
         let s = &self.selection;
@@ -260,6 +271,21 @@ impl std::fmt::Display for MetricsSnapshot {
                 c.rejected_inserts
             )?;
         }
+        if let Some(i) = &self.index {
+            writeln!(
+                f,
+                "index: {} arrays / {} bitmaps / {} runs, {} bytes ({} flat), \
+                 {} intersections, routes {} walk / {} probe",
+                i.array_containers,
+                i.bitmap_containers,
+                i.run_containers,
+                i.resident_bytes,
+                i.flat_bytes,
+                i.intersections,
+                i.route_walk,
+                i.route_probe
+            )?;
+        }
         if let Some(p) = &self.persist {
             writeln!(
                 f,
@@ -296,7 +322,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_served(Duration::from_micros(500));
         m.record_served(Duration::from_secs(10)); // overflow bucket
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.requests_served, 2);
         assert_eq!(snap.latency_count(), 2);
         assert_eq!(snap.latency_buckets[1], (1_000, 1));
@@ -308,7 +334,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_scan_time(Duration::from_micros(300));
         m.record_scan_time(Duration::from_micros(700));
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.scan_time_total, Duration::from_micros(1_000));
         assert!(snap.to_string().contains("scan 1000µs"));
     }
@@ -326,6 +352,7 @@ mod tests {
             materialization: Materialization {
                 derived: 3,
                 walked: 1,
+                probed: 1,
                 cached: 2,
                 skipped_empty: 0,
                 records_filtered: 40,
@@ -340,7 +367,7 @@ mod tests {
             ..StepStats::default()
         };
         m.record_step(Duration::from_micros(500), &stats);
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.requests_served, 1);
         assert_eq!(snap.latency_buckets[1], (1_000, 1));
         assert_eq!(snap.scan_time_total, Duration::from_micros(800));
@@ -355,7 +382,7 @@ mod tests {
         m.observe_queue_depth(3);
         m.observe_queue_depth(9);
         m.observe_queue_depth(5);
-        assert_eq!(m.snapshot(None, None, None).queue_depth_hwm, 9);
+        assert_eq!(m.snapshot(None, None, None, None).queue_depth_hwm, 9);
     }
 
     #[test]
@@ -363,7 +390,7 @@ mod tests {
         let m = ServiceMetrics::new();
         m.record_rejected();
         m.record_rejected();
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.requests_rejected, 2);
         assert_eq!(snap.requests_served, 0);
     }
@@ -371,7 +398,7 @@ mod tests {
     #[test]
     fn selection_accumulates_and_renders() {
         let m = ServiceMetrics::new();
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.selection, SelectionStats::default());
         assert!(!snap.to_string().contains("selection:"));
 
@@ -389,7 +416,7 @@ mod tests {
             cache_hits: 0,
             select_time: Duration::from_micros(30),
         });
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.selection.exact_solves, 5);
         assert_eq!(snap.selection.pruned(), 5);
         assert_eq!(snap.selection.cache_hits, 3);
@@ -402,13 +429,14 @@ mod tests {
     #[test]
     fn materialization_accumulates_and_renders() {
         let m = ServiceMetrics::new();
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.materialization, Materialization::default());
         assert!(!snap.to_string().contains("groups:"));
 
         m.record_materialization(&Materialization {
             derived: 5,
             walked: 2,
+            probed: 1,
             cached: 1,
             skipped_empty: 3,
             records_filtered: 400,
@@ -416,25 +444,58 @@ mod tests {
         m.record_materialization(&Materialization {
             derived: 1,
             walked: 0,
+            probed: 2,
             cached: 4,
             skipped_empty: 0,
             records_filtered: 50,
         });
-        let snap = m.snapshot(None, None, None);
+        let snap = m.snapshot(None, None, None, None);
         assert_eq!(snap.materialization.derived, 6);
         assert_eq!(snap.materialization.walked, 2);
+        assert_eq!(snap.materialization.probed, 3);
         assert_eq!(snap.materialization.cached, 5);
         assert_eq!(snap.materialization.skipped_empty, 3);
         assert_eq!(snap.materialization.records_filtered, 450);
         assert!(snap.to_string().contains(
-            "groups: 6 derived / 2 walked / 5 cached / 3 skipped (450 records filtered)"
+            "groups: 6 derived / 2 walked / 3 probed / 5 cached / 3 skipped (450 records filtered)"
         ));
+    }
+
+    #[test]
+    fn display_renders_index_line_only_when_present() {
+        let m = ServiceMetrics::new();
+        let without = m.snapshot(None, None, None, None).to_string();
+        assert!(!without.contains("index:"));
+        let with = m
+            .snapshot(
+                None,
+                None,
+                None,
+                Some(IndexStats {
+                    array_containers: 10,
+                    bitmap_containers: 2,
+                    run_containers: 1,
+                    resident_bytes: 640,
+                    flat_bytes: 1_280,
+                    intersections: 7,
+                    route_walk: 5,
+                    route_probe: 2,
+                }),
+            )
+            .to_string();
+        assert!(
+            with.contains(
+                "index: 10 arrays / 2 bitmaps / 1 runs, 640 bytes (1280 flat), \
+                 7 intersections, routes 5 walk / 2 probe"
+            ),
+            "{with}"
+        );
     }
 
     #[test]
     fn display_renders_cache_line_only_when_present() {
         let m = ServiceMetrics::new();
-        let without = m.snapshot(None, None, None).to_string();
+        let without = m.snapshot(None, None, None, None).to_string();
         assert!(!without.contains("cache:"));
         let with = m
             .snapshot(
@@ -454,6 +515,7 @@ mod tests {
                     entries: 4,
                     resident_bytes: 384,
                 }),
+                None,
                 None,
             )
             .to_string();

@@ -456,13 +456,15 @@ impl SubdexService {
         self.registry.evict_idle(self.config.session_ttl)
     }
 
-    /// Current metrics, including cache statistics when caching is on and
-    /// persistence counters when the service runs over a durable store.
+    /// Current metrics, including cache statistics when caching is on,
+    /// persistence counters when the service runs over a durable store, and
+    /// the current database's compressed-index census and routing counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot(
             self.cache.as_ref().map(|c| c.stats()),
             self.dist_cache.as_ref().map(|c| c.stats()),
             self.store.as_ref().map(|s| s.stats()),
+            Some(self.current_db().index_stats()),
         )
     }
 

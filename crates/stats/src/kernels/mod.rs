@@ -34,10 +34,13 @@
 //! * Transcendentals (`ln`, `exp`) are **not** vectorized: SIMD paths
 //!   extract lanes and call the same scalar `f64::ln` the reference uses —
 //!   a polynomial vector approximation would break the contract.
-//! * The integer kernels (`hist_single`, `gather_u32`) are scalar on every
-//!   path: their updates are exact either way, and the `vpgatherdd`-based
-//!   variants measured slower than out-of-order scalar loads (see the
-//!   per-kernel docs), so identity there is by construction.
+//! * Integer kernels are exact on every path, so identity there is by
+//!   construction. The word-wise set kernels (`and_words`, `andnot_words`,
+//!   `popcount_words`) vectorize profitably; the data-dependent ones
+//!   (`hist_single`, `gather_u32`, the probe/decode/filter set kernels)
+//!   share the scalar body because their `vpgatherdd`-style variants
+//!   measured slower than out-of-order scalar loads (see the per-kernel
+//!   docs).
 //!
 //! The contract is pinned by proptests (`kernel_equivalence`) comparing
 //! every available path against [`KernelPath::Scalar`] with `to_bits`
@@ -576,6 +579,122 @@ pub fn hist_single(
     check(path);
     assert_eq!(rows.len(), scores.len(), "row/score length mismatch");
     scalar::hist_single(rows, scores, codes, scale, counts)
+}
+
+// --------------------------------------------------------------- set kernels
+//
+// Word-wise set algebra for the compressed posting index (`store::cindex`).
+// Everything here is exact integer arithmetic, so byte-identity across
+// paths holds by construction; the proptests still pin it.
+
+/// Word-wise intersection `acc[i] &= other[i]` over the common prefix —
+/// the bitmap∧bitmap step of container intersection and the bulk path
+/// under `BitSet::intersect_with_ids`. Words of `acc` beyond
+/// `other.len()` are untouched (callers align capacities; the compressed
+/// index always intersects equal-domain bitmaps).
+pub fn and_words(path: KernelPath, acc: &mut [u64], other: &[u64]) {
+    check(path);
+    match path {
+        KernelPath::Scalar => scalar::and_words(acc, other),
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Sse2 => unsafe { x86::and_words_sse2(acc, other) },
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 => unsafe { x86::and_words_avx2(acc, other) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::and_words(acc, other),
+    }
+}
+
+/// Word-wise difference `acc[i] &= !other[i]` over the common prefix —
+/// the complement step for future NOT-predicates and the run-container
+/// subtraction primitive.
+pub fn andnot_words(path: KernelPath, acc: &mut [u64], other: &[u64]) {
+    check(path);
+    match path {
+        KernelPath::Scalar => scalar::andnot_words(acc, other),
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Sse2 => unsafe { x86::andnot_words_sse2(acc, other) },
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 => unsafe { x86::andnot_words_avx2(acc, other) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::andnot_words(acc, other),
+    }
+}
+
+/// Total population count of a word slice — the exact-cardinality read
+/// the planner's cost rules run on. The SSE2 path shares the scalar
+/// kernel: baseline x86-64 has neither `popcnt` nor the `pshufb` the
+/// nibble-LUT method needs (SSSE3), and `count_ones` already compiles to
+/// a fast bit-twiddling sequence. AVX2 uses the Muła nibble-LUT +
+/// `sad_epu8` reduction, which is integer-exact.
+pub fn popcount_words(path: KernelPath, words: &[u64]) -> u64 {
+    check(path);
+    match path {
+        KernelPath::Scalar => scalar::popcount_words(words),
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Sse2 => scalar::popcount_words(words),
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 => unsafe { x86::popcount_words_avx2(words) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::popcount_words(words),
+    }
+}
+
+/// Retains the ids of sorted `ids` whose bit is set in `words`, appended
+/// to `out` in ascending order — the array∩bitmap probe of container
+/// intersection. All paths share the scalar kernel: the per-id word
+/// lookup is data-dependent random access that a lane model doesn't
+/// help with (the same access pattern that made the `vpgatherdd`
+/// variants of `hist_single`/`gather_u32` measure slower than scalar),
+/// and the branchless compaction already keeps the pipeline full. The
+/// `path` argument stays for API uniformity.
+pub fn array_bitmap_probe(path: KernelPath, ids: &[u32], words: &[u64], out: &mut Vec<u32>) {
+    check(path);
+    scalar::array_bitmap_probe(ids, words, out)
+}
+
+/// Intersection of two sorted unique id lists, appended to `out` in
+/// ascending order — the array∧array step of container intersection.
+/// Gallops through the longer side when the lengths are skewed (>8×),
+/// two-pointer merge otherwise. All paths share the scalar kernel: both
+/// loop shapes are control-flow over compares, not element-wise
+/// arithmetic, so there is nothing for a lane model to vectorize
+/// without changing the comparison order.
+pub fn intersect_sorted_u32(path: KernelPath, a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    check(path);
+    scalar::intersect_sorted_u32(a, b, out)
+}
+
+/// Decodes the set bits of `words` into ascending ids appended to `out`
+/// — the container→id decode into reusable scratch. All paths share the
+/// scalar kernel: `trailing_zeros` + clear-lowest-bit consumes each word
+/// in population-proportional time and compiles to `tzcnt`/`blsr` where
+/// available; a vector expansion would emit per-bit variable-length
+/// output, which lane models handle poorly.
+pub fn decode_words(path: KernelPath, words: &[u64], out: &mut Vec<u32>) {
+    check(path);
+    scalar::decode_words(words, out)
+}
+
+/// Appends every position `i` (ascending) where `a_rows[i]` is present
+/// in `a_words` (when `Some`) and `b_rows[i]` is present in `b_words`
+/// (when `Some`) — the membership probe behind index-driven group
+/// materialization (full rating-table scan) and multi-predicate column
+/// derivation (parent-column scan). A `None` side always passes. All
+/// paths share the scalar kernel: the two per-record word lookups are
+/// data-dependent gathers (see `gather_u32`'s retired-SIMD note), and
+/// the branchless compaction write is scalar either way.
+pub fn filter_rows(
+    path: KernelPath,
+    a_rows: &[u32],
+    b_rows: &[u32],
+    a_words: Option<&[u64]>,
+    b_words: Option<&[u64]>,
+    out: &mut Vec<u32>,
+) {
+    check(path);
+    assert_eq!(a_rows.len(), b_rows.len(), "row column length mismatch");
+    scalar::filter_rows(a_rows, b_rows, a_words, b_words, out)
 }
 
 /// Gather `out[k] = src[idx[k]]` — the entity-row/record-id gather of the

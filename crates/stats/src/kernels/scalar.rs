@@ -289,3 +289,159 @@ pub(crate) fn gather_u32(src: &[u32], idx: &[u32], out: &mut [u32]) {
         *slot = src[i as usize];
     }
 }
+
+// --------------------------------------------------------------- set kernels
+//
+// Word-wise set algebra over `u64` bitmap words plus sorted-`u32` id lists —
+// the compressed-posting-index primitives. All operations are exact integer
+// arithmetic, so every SIMD path is bit-identical by construction.
+
+pub(crate) fn and_words(acc: &mut [u64], other: &[u64]) {
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a &= b;
+    }
+}
+
+pub(crate) fn andnot_words(acc: &mut [u64], other: &[u64]) {
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a &= !b;
+    }
+}
+
+pub(crate) fn popcount_words(words: &[u64]) -> u64 {
+    let mut n = 0u64;
+    for &w in words {
+        n += u64::from(w.count_ones());
+    }
+    n
+}
+
+/// Whether bit `id` is set in `words` (absent when past the end).
+#[inline]
+pub(crate) fn word_bit(words: &[u64], id: u32) -> bool {
+    let w = id as usize >> 6;
+    w < words.len() && (words[w] >> (id & 63)) & 1 == 1
+}
+
+/// Retains the ids of sorted list `ids` whose bit is set in `words`,
+/// appending to `out`. Branchless compaction: every id is written at the
+/// output cursor unconditionally and the cursor advances only on a match,
+/// so near-50% selectivity does not stall on branch mispredictions.
+pub(crate) fn array_bitmap_probe(ids: &[u32], words: &[u64], out: &mut Vec<u32>) {
+    let start = out.len();
+    out.resize(start + ids.len(), 0);
+    let dst = &mut out[start..];
+    let mut n = 0usize;
+    for &id in ids {
+        dst[n] = id;
+        n += usize::from(word_bit(words, id));
+    }
+    out.truncate(start + n);
+}
+
+/// Intersection of two sorted unique `u32` lists, appended to `out` in
+/// ascending order. Gallops through the longer list when the lengths are
+/// skewed (binary-search doubling probes), two-pointer merge otherwise.
+pub(crate) fn intersect_sorted_u32(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / 8 > small.len() {
+        // Galloping: for each id of the small list, advance a lower bound
+        // into the large list by exponential probing + binary search.
+        let mut lo = 0usize;
+        for &id in small {
+            let mut step = 1usize;
+            let mut hi = lo;
+            while hi < large.len() && large[hi] < id {
+                lo = hi;
+                hi += step;
+                step <<= 1;
+            }
+            let hi = hi.min(large.len());
+            lo += large[lo..hi].partition_point(|&x| x < id);
+            if lo < large.len() && large[lo] == id {
+                out.push(id);
+                lo += 1;
+            }
+        }
+    } else {
+        let mut i = 0usize;
+        let mut j = 0usize;
+        while i < small.len() && j < large.len() {
+            let (x, y) = (small[i], large[j]);
+            if x == y {
+                out.push(x);
+                i += 1;
+                j += 1;
+            } else if x < y {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Decodes the set bits of `words` into ascending ids appended to `out` —
+/// the container→id decode. `trailing_zeros` word iteration: each word is
+/// consumed by clearing its lowest set bit, so cost is proportional to the
+/// population, not the domain.
+pub(crate) fn decode_words(words: &[u64], out: &mut Vec<u32>) {
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        let base = (wi * 64) as u32;
+        while w != 0 {
+            out.push(base + w.trailing_zeros());
+            w &= w - 1;
+        }
+    }
+}
+
+/// Appends every position `i` where `a_rows[i]` passes `a_words` (when
+/// present) and `b_rows[i]` passes `b_words` (when present) — the
+/// full-scan membership probe behind index-driven group materialization
+/// and multi-predicate column derivation. Positions come out ascending.
+/// Branchless compaction, one loop shape per side-combination so the
+/// absent-side test is hoisted out of the record loop.
+pub(crate) fn filter_rows(
+    a_rows: &[u32],
+    b_rows: &[u32],
+    a_words: Option<&[u64]>,
+    b_words: Option<&[u64]>,
+    out: &mut Vec<u32>,
+) {
+    let start = out.len();
+    let n_in = a_rows.len();
+    out.resize(start + n_in, 0);
+    let dst = &mut out[start..];
+    let mut n = 0usize;
+    match (a_words, b_words) {
+        (Some(aw), Some(bw)) => {
+            for i in 0..n_in {
+                dst[n] = i as u32;
+                n += usize::from(word_bit(aw, a_rows[i]) & word_bit(bw, b_rows[i]));
+            }
+        }
+        (Some(aw), None) => {
+            for (i, &row) in a_rows.iter().enumerate() {
+                dst[n] = i as u32;
+                n += usize::from(word_bit(aw, row));
+            }
+        }
+        (None, Some(bw)) => {
+            for (i, &row) in b_rows.iter().enumerate() {
+                dst[n] = i as u32;
+                n += usize::from(word_bit(bw, row));
+            }
+        }
+        (None, None) => {
+            for (i, slot) in dst.iter_mut().enumerate() {
+                *slot = i as u32;
+            }
+            n = n_in;
+        }
+    }
+    out.truncate(start + n);
+}

@@ -421,6 +421,110 @@ unsafe fn col_mins_v<S: Simd>(mat: &[f64], rows: usize, cols: usize, out: &mut [
     }
 }
 
+// ------------------------------------------------------------- set kernels
+//
+// Integer word-wise set algebra for the compressed posting index. These
+// are exact bitwise ops, so SIMD lanes are trivially byte-identical to
+// the scalar reference — no rounding contract to uphold. The f64 `Simd`
+// trait above does not apply; each kernel is a standalone
+// `#[target_feature]` shell over integer intrinsics.
+
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn and_words_sse2(acc: &mut [u64], other: &[u64]) {
+    let n = acc.len().min(other.len());
+    let mut i = 0;
+    while i + 2 <= n {
+        let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+        let b = _mm_loadu_si128(other.as_ptr().add(i).cast());
+        _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_and_si128(a, b));
+        i += 2;
+    }
+    while i < n {
+        acc[i] &= other[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn and_words_avx2(acc: &mut [u64], other: &[u64]) {
+    let n = acc.len().min(other.len());
+    let mut i = 0;
+    while i + 4 <= n {
+        let a = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+        let b = _mm256_loadu_si256(other.as_ptr().add(i).cast());
+        _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), _mm256_and_si256(a, b));
+        i += 4;
+    }
+    while i < n {
+        acc[i] &= other[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn andnot_words_sse2(acc: &mut [u64], other: &[u64]) {
+    let n = acc.len().min(other.len());
+    let mut i = 0;
+    while i + 2 <= n {
+        let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+        let b = _mm_loadu_si128(other.as_ptr().add(i).cast());
+        // `_mm_andnot_si128(b, a)` computes `!b & a`.
+        _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_andnot_si128(b, a));
+        i += 2;
+    }
+    while i < n {
+        acc[i] &= !other[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn andnot_words_avx2(acc: &mut [u64], other: &[u64]) {
+    let n = acc.len().min(other.len());
+    let mut i = 0;
+    while i + 4 <= n {
+        let a = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+        let b = _mm256_loadu_si256(other.as_ptr().add(i).cast());
+        _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), _mm256_andnot_si256(b, a));
+        i += 4;
+    }
+    while i < n {
+        acc[i] &= !other[i];
+        i += 1;
+    }
+}
+
+/// AVX2 nibble-LUT popcount (Muła): split each byte into nibbles, look up
+/// their population in a shuffled 16-entry table, and accumulate with
+/// `sad_epu8` against zero. Integer-exact, so identical to the scalar
+/// `count_ones` sum.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn popcount_words_avx2(words: &[u64]) -> u64 {
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 4 <= words.len() {
+        let v = _mm256_loadu_si256(words.as_ptr().add(i).cast());
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+        i += 4;
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+    let mut n = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    while i < words.len() {
+        n += u64::from(words[i].count_ones());
+        i += 1;
+    }
+    n
+}
+
 /// Generates the `#[target_feature]` entry points that instantiate one
 /// generic kernel body at both vector widths.
 macro_rules! shells {

@@ -5,6 +5,8 @@
 //! materialization probes the reviewer-side and item-side bitsets per
 //! record. Words are `u64`, operations are branch-light.
 
+use subdex_stats::kernels;
+
 /// A fixed-size set of `u32` row ids backed by `u64` words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitSet {
@@ -41,6 +43,29 @@ impl BitSet {
             s.insert(id);
         }
         s
+    }
+
+    /// Wraps pre-built words covering ids `0..capacity` (the
+    /// compressed-index handoff: container intersections produce word
+    /// buffers directly). Short buffers are zero-extended; tail bits past
+    /// `capacity` are cleared.
+    ///
+    /// # Panics
+    /// Panics if `words` has more than `⌈capacity/64⌉` words.
+    pub fn from_words(mut words: Vec<u64>, capacity: usize) -> Self {
+        let need = capacity.div_ceil(64);
+        assert!(words.len() <= need, "word buffer exceeds capacity");
+        words.resize(need, 0);
+        let mut s = Self { words, capacity };
+        s.trim_tail();
+        s
+    }
+
+    /// The backing words (ascending id order, 64 ids per word) — the
+    /// shape the set kernels consume.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Clears bits beyond `capacity` in the last word.
@@ -105,21 +130,22 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn intersect_with(&mut self, other: &Self) {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        kernels::and_words(kernels::active(), &mut self.words, &other.words);
     }
 
     /// In-place intersection with a *sorted or unsorted* posting list:
-    /// retains only ids present in `ids`.
+    /// retains only ids present in `ids`. Scatters the list into a
+    /// word buffer, then intersects word-wise through the set kernels
+    /// (the pre-kernel version allocated a whole `BitSet` per call —
+    /// `kernel_path` benches the before/after).
     pub fn intersect_with_ids(&mut self, ids: &[u32]) {
-        let mut other = Self::empty(self.capacity);
+        let mut other = vec![0u64; self.words.len()];
         for &id in ids {
             if (id as usize) < self.capacity {
-                other.words[id as usize / 64] |= 1u64 << (id % 64);
+                other[id as usize / 64] |= 1u64 << (id % 64);
             }
         }
-        self.intersect_with(&other);
+        kernels::and_words(kernels::active(), &mut self.words, &other);
     }
 
     /// In-place union.
@@ -221,6 +247,17 @@ mod tests {
     fn iter_ascending() {
         let s = BitSet::from_ids(200, &[150, 3, 64, 63]);
         assert_eq!(s.to_vec(), vec![3, 63, 64, 150]);
+    }
+
+    #[test]
+    fn from_words_extends_and_trims() {
+        let s = BitSet::from_words(vec![!0u64], 70);
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.capacity(), 70);
+        assert!(!s.contains(64));
+        let t = BitSet::from_words(vec![!0u64], 10);
+        assert_eq!(t.to_vec(), (0..10).collect::<Vec<_>>());
+        assert_eq!(t, BitSet::full(10));
     }
 
     #[test]

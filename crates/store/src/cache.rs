@@ -351,6 +351,31 @@ impl GroupCache {
         self.shard_of(query).inner.read().map.contains_key(query)
     }
 
+    /// Returns `query`'s resident columns if present and valid for
+    /// `db_epoch`, without materializing on absence — the speculative
+    /// lookup the ancestor-derivation scan runs while probing which
+    /// ancestors are cached. A hit refreshes LRU recency and counts in
+    /// [`CacheStats::hits`]; an absence is **not** counted as a miss (the
+    /// caller is window-shopping across many ancestors and will
+    /// materialize through [`get_or_insert_with`](Self::get_or_insert_with)
+    /// at most once, keeping the hit-rate denominator meaningful).
+    pub fn peek(&self, query: &SelectionQuery, db_epoch: u64) -> Option<Arc<GroupColumns>> {
+        debug_assert!(query.is_canonical(), "cache key must be canonical");
+        let shard = self.shard_of(query);
+        let mut inner = shard.inner.write();
+        // A stale or newer-epoch shard has nothing valid to serve; leave
+        // invalidation to the next inserting lookup.
+        if db_epoch != inner.epoch {
+            return None;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(query)?;
+        entry.last_used = tick;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.columns))
+    }
+
     /// Number of resident entries: one shared read acquisition per shard.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.inner.read().map.len()).sum()
@@ -437,6 +462,29 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_hits_without_inserting() {
+        let cache = unsharded(budget_for(4, 10));
+        assert!(cache.peek(&q(0, 0), 0).is_none());
+        // Absence is not a miss: peek is speculative.
+        assert_eq!(cache.stats().misses, 0);
+        let a = cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
+        let b = cache.peek(&q(0, 0), 0).expect("resident");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        // A peek from a different epoch serves nothing.
+        assert!(cache.peek(&q(0, 0), 1).is_none());
+        // Peek refreshes recency: after peeking (0,0), inserting past the
+        // budget evicts (0,1) rather than the peeked entry.
+        let cache = unsharded(budget_for(2, 10));
+        cache.get_or_insert_with(&q(0, 0), 0, || cols(10));
+        cache.get_or_insert_with(&q(0, 1), 0, || cols(10));
+        cache.peek(&q(0, 0), 0).unwrap();
+        cache.get_or_insert_with(&q(0, 2), 0, || cols(10));
+        assert!(cache.contains(&q(0, 0)), "peeked entry kept");
+        assert!(!cache.contains(&q(0, 1)), "LRU entry evicted");
     }
 
     #[test]

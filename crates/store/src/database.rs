@@ -1,13 +1,21 @@
 //! The subjective database `D = ⟨I, U, R⟩`.
 //!
 //! [`SubjectiveDb`] owns the two entity tables, the rating table, and one
-//! inverted index per entity. It answers the two queries the exploration
-//! engine needs: *select an entity group* (conjunction of attribute–value
-//! predicates) and *materialize the rating group* linking a reviewer group
-//! to an item group.
+//! compressed posting index per entity ([`CompressedIndex`]). It answers
+//! the two queries the exploration engine needs: *select an entity group*
+//! (conjunction of attribute–value predicates) and *materialize the rating
+//! group* linking a reviewer group to an item group — choosing per query
+//! between an adjacency walk and a kernel-driven full-scan membership
+//! probe ([`GroupRoute`]) using exact cardinalities read off the
+//! containers.
 
-use crate::bitset::BitSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use subdex_stats::kernels;
+
 use crate::cache::GroupCache;
+use crate::cindex::CompressedIndex;
 use crate::group::{EntityGroup, RatingGroup};
 use crate::index::InvertedIndex;
 use crate::predicate::{AttrValue, SelectionQuery};
@@ -34,6 +42,57 @@ pub struct DbStats {
     pub item_count: usize,
 }
 
+/// Which strategy materialized a rating group — the planner's routing
+/// decision, taken per query from exact container cardinalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupRoute {
+    /// No predicates: the group is every record, emitted directly.
+    Full,
+    /// Adjacency walk from the cheaper constrained entity side, filtered
+    /// by the other side's member set, then sorted to canonical order.
+    Walk,
+    /// Branch-free membership probe over the full rating reviewer/item
+    /// columns against the sides' bitmap words — O(|R|) with no sort
+    /// (record ids fall out ascending), which beats the walk when the
+    /// selected members touch a large share of the table.
+    Probe,
+}
+
+/// Lifetime query counters of one database's index layer. Shared across
+/// database clones through an `Arc`, so the persistence layer's
+/// clone-and-swap publish does not reset them.
+#[derive(Debug, Default)]
+struct IndexCounters {
+    /// Conjunctive container intersections served by `select_group`.
+    intersections: AtomicU64,
+    /// Groups materialized via [`GroupRoute::Walk`].
+    route_walk: AtomicU64,
+    /// Groups materialized via [`GroupRoute::Probe`].
+    route_probe: AtomicU64,
+}
+
+/// Point-in-time index-layer statistics: container census and byte
+/// footprint (both entity sides merged) plus lifetime routing counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Values encoded as sorted arrays.
+    pub array_containers: usize,
+    /// Values encoded as packed bitmaps.
+    pub bitmap_containers: usize,
+    /// Values encoded as run lists.
+    pub run_containers: usize,
+    /// Resident container payload bytes.
+    pub resident_bytes: usize,
+    /// What flat `Vec<u32>` posting lists would cost for the same postings.
+    pub flat_bytes: usize,
+    /// Container intersections served.
+    pub intersections: u64,
+    /// Groups materialized by adjacency walk.
+    pub route_walk: u64,
+    /// Groups materialized by full-scan probe.
+    pub route_probe: u64,
+}
+
 /// An in-memory subjective database with query indexes.
 ///
 /// The database is immutable through shared references; the only mutation
@@ -46,8 +105,10 @@ pub struct SubjectiveDb {
     reviewers: EntityTable,
     items: EntityTable,
     ratings: RatingTable,
-    reviewer_index: InvertedIndex,
-    item_index: InvertedIndex,
+    reviewer_index: CompressedIndex,
+    item_index: CompressedIndex,
+    /// Lifetime query counters, shared across clones (see [`IndexCounters`]).
+    counters: Arc<IndexCounters>,
     /// Bumped on every rating append; group and distance caches key their
     /// validity to this.
     epoch: u64,
@@ -69,34 +130,35 @@ impl SubjectiveDb {
             .item_column()
             .iter()
             .all(|&i| (i as usize) < items.len()));
-        let reviewer_index = InvertedIndex::build(&reviewers);
-        let item_index = InvertedIndex::build(&items);
+        let reviewer_index = CompressedIndex::from_inverted(&InvertedIndex::build(&reviewers));
+        let item_index = CompressedIndex::from_inverted(&InvertedIndex::build(&items));
         Self {
             reviewers,
             items,
             ratings,
             reviewer_index,
             item_index,
+            counters: Arc::new(IndexCounters::default()),
             epoch: 0,
         }
     }
 
     /// Reassembles a database from already-validated parts plus persisted
-    /// inverted indexes (the snapshot-load path, which skips index
+    /// compressed indexes (the snapshot-load path, which skips index
     /// rebuilding). Cross-checks that the indexes cover the tables and that
     /// every rating references a real entity row.
     pub fn from_parts(
         reviewers: EntityTable,
         items: EntityTable,
         ratings: RatingTable,
-        reviewer_index: InvertedIndex,
-        item_index: InvertedIndex,
+        reviewer_index: CompressedIndex,
+        item_index: CompressedIndex,
         epoch: u64,
     ) -> Result<Self, crate::error::StoreError> {
         use crate::error::StoreError;
         if reviewer_index.rows() != reviewers.len() || item_index.rows() != items.len() {
             return Err(StoreError::invalid(
-                "inverted index row count disagrees with its entity table",
+                "index row count disagrees with its entity table",
             ));
         }
         if ratings
@@ -118,6 +180,7 @@ impl SubjectiveDb {
             ratings,
             reviewer_index,
             item_index,
+            counters: Arc::new(IndexCounters::default()),
             epoch,
         })
     }
@@ -184,12 +247,29 @@ impl SubjectiveDb {
         self.table(entity).schema()
     }
 
-    /// The inverted index for `entity`.
+    /// The compressed posting index for `entity`.
     #[allow(clippy::should_implement_trait)] // domain term, not ops::Index
-    pub fn index(&self, entity: Entity) -> &InvertedIndex {
+    pub fn index(&self, entity: Entity) -> &CompressedIndex {
         match entity {
             Entity::Reviewer => &self.reviewer_index,
             Entity::Item => &self.item_index,
+        }
+    }
+
+    /// Index-layer statistics: container census and bytes of both entity
+    /// sides merged, plus the lifetime intersection/routing counters —
+    /// what the service's per-snapshot metrics line renders.
+    pub fn index_stats(&self) -> IndexStats {
+        let c = self.reviewer_index.stats().merge(&self.item_index.stats());
+        IndexStats {
+            array_containers: c.arrays,
+            bitmap_containers: c.bitmaps,
+            run_containers: c.runs,
+            resident_bytes: c.resident_bytes,
+            flat_bytes: c.flat_bytes,
+            intersections: self.counters.intersections.load(Ordering::Relaxed),
+            route_walk: self.counters.route_walk.load(Ordering::Relaxed),
+            route_probe: self.counters.route_probe.load(Ordering::Relaxed),
         }
     }
 
@@ -217,14 +297,17 @@ impl SubjectiveDb {
     }
 
     /// Selects the entity group matching the `entity`-side predicates of
-    /// `query`. No predicates on that side ⇒ the full table.
+    /// `query` by container intersection. No predicates on that side ⇒
+    /// the full table.
     pub fn select_group(&self, entity: Entity, query: &SelectionQuery) -> EntityGroup {
         let table = self.table(entity);
         let index = self.index(entity);
-        let mut members = BitSet::full(table.len());
-        for p in query.preds_of(entity) {
-            members.intersect_with_ids(index.postings(p.attr, p.value));
+        let preds: Vec<(AttrId, ValueId)> =
+            query.preds_of(entity).map(|p| (p.attr, p.value)).collect();
+        if !preds.is_empty() {
+            self.counters.intersections.fetch_add(1, Ordering::Relaxed);
         }
+        let members = index.intersect(&preds).into_bitset(table.len());
         EntityGroup::new(entity, members)
     }
 
@@ -263,48 +346,102 @@ impl SubjectiveDb {
 
     /// The record ids matched by `query`, in **canonical ascending order**
     /// (the pre-shuffle order [`rating_group`](Self::rating_group) starts
-    /// from).
-    ///
-    /// Strategy: with no predicates the group is all records; otherwise the
-    /// smaller constrained entity group drives an adjacency walk filtered by
-    /// the other side's bitset, which is why the engine stays fast even on
-    /// the full Yelp-sized table.
-    ///
-    /// The walk's raw emission order depends on which entity side drives
-    /// it, so the result is sorted before returning: ascending record-id
-    /// order is a pure function of the query, is preserved by subset
-    /// filtering ([`GroupColumns::derive_refinement`] relies on this), and
-    /// keeps [`GroupCache`] entries order-stable no matter which side
-    /// happened to be cheaper when the entry was built.
+    /// from). Convenience wrapper over
+    /// [`collect_group_records_routed`](Self::collect_group_records_routed)
+    /// that drops the route.
     pub fn collect_group_records(&self, query: &SelectionQuery) -> Vec<RecordId> {
+        self.collect_group_records_routed(query, None).0
+    }
+
+    /// Like [`collect_group_records`](Self::collect_group_records), but
+    /// reports which [`GroupRoute`] materialized the group, and lets tests
+    /// and benches pin the route with `forced`.
+    ///
+    /// Routing: with no predicates the group is all records
+    /// ([`GroupRoute::Full`]). Otherwise exact cardinalities from the
+    /// entity selections price two plans. The **walk**
+    /// ([`GroupRoute::Walk`]) enumerates the cheaper constrained side's
+    /// adjacency lists filtered by the other side's bitset, then sorts —
+    /// unbeatable when the selection is tight. The **probe**
+    /// ([`GroupRoute::Probe`]) runs the branch-free `filter_rows` kernel
+    /// over the full rating reviewer/item columns against the sides'
+    /// bitmap words — O(|R|) with no sort, since record ids fall out
+    /// ascending. The probe wins once `10 × walk_cost > |R| × sides`
+    /// (`sides` = number of constrained entity sides): per record the walk
+    /// pays a pointer-chasing adjacency touch, a cross-side bitset
+    /// rejection test, and its share of the final `sort_unstable`, an
+    /// order of magnitude more than the probe's sequential word lookup —
+    /// of which the probe does one per constrained side (calibrated by the
+    /// `index_path` bench).
+    ///
+    /// Byte-identity: both routes produce canonical ascending record-id
+    /// order — a pure function of the query — so either result can seed
+    /// the shared [`GroupCache`]. Pinned by the `index_equivalence`
+    /// proptests.
+    pub fn collect_group_records_routed(
+        &self,
+        query: &SelectionQuery,
+        forced: Option<GroupRoute>,
+    ) -> (Vec<RecordId>, GroupRoute) {
         let has_reviewer_preds = query.preds_of(Entity::Reviewer).next().is_some();
         let has_item_preds = query.preds_of(Entity::Item).next().is_some();
 
         if !has_reviewer_preds && !has_item_preds {
-            return (0..self.ratings.len() as u32).collect();
+            return ((0..self.ratings.len() as u32).collect(), GroupRoute::Full);
         }
 
         let g_u = self.select_group(Entity::Reviewer, query);
         let g_i = self.select_group(Entity::Item, query);
 
-        // Walk adjacency from the side that enumerates fewer records.
+        // Walk cost: records the walk would enumerate from the cheaper
+        // constrained side, priced as exact selection size (one popcount
+        // over the intersection words) × mean adjacency degree. Summing the
+        // true per-member degrees instead would touch every selected
+        // member's offset pair — for a dense selection that costs as much
+        // as the walk it is trying to avoid.
+        let price = |members: usize, entities: usize| -> usize {
+            (members * self.ratings.len()) / entities.max(1)
+        };
         let reviewer_cost: usize = if has_reviewer_preds {
-            g_u.members()
-                .iter()
-                .map(|r| self.ratings.records_of_reviewer(r).len())
-                .sum()
+            price(g_u.members().len(), self.reviewers.len())
         } else {
             usize::MAX
         };
         let item_cost: usize = if has_item_preds {
-            g_i.members()
-                .iter()
-                .map(|i| self.ratings.records_of_item(i).len())
-                .sum()
+            price(g_i.members().len(), self.items.len())
         } else {
             usize::MAX
         };
+        let walk_cost = reviewer_cost.min(item_cost);
 
+        let sides = usize::from(has_reviewer_preds) + usize::from(has_item_preds);
+        let probe = match forced {
+            Some(route) => route == GroupRoute::Probe,
+            None => walk_cost.saturating_mul(10) > self.ratings.len() * sides,
+        };
+        if probe {
+            self.counters.route_probe.fetch_add(1, Ordering::Relaxed);
+            let reviewer_words = has_reviewer_preds.then(|| g_u.members().words());
+            let item_words = has_item_preds.then(|| g_i.members().words());
+            let mut records: Vec<RecordId> = Vec::new();
+            kernels::filter_rows(
+                kernels::active(),
+                self.ratings.reviewer_column(),
+                self.ratings.item_column(),
+                reviewer_words,
+                item_words,
+                &mut records,
+            );
+            return (records, GroupRoute::Probe);
+        }
+
+        self.counters.route_walk.fetch_add(1, Ordering::Relaxed);
+        // The walk's raw emission order depends on which entity side drives
+        // it, so the result is sorted before returning: ascending record-id
+        // order is a pure function of the query, is preserved by subset
+        // filtering ([`GroupColumns::derive_refinement`] relies on this),
+        // and keeps [`GroupCache`] entries order-stable no matter which
+        // side happened to be cheaper when the entry was built.
         let mut records: Vec<RecordId> = Vec::new();
         if reviewer_cost <= item_cost {
             for r in g_u.members().iter() {
@@ -324,7 +461,7 @@ impl SubjectiveDb {
             }
         }
         records.sort_unstable();
-        records
+        (records, GroupRoute::Walk)
     }
 
     /// Gather columns for the refinement `parent-query ∪ {pred}`, derived
@@ -346,18 +483,55 @@ impl SubjectiveDb {
         parent.derive_refinement(pred.entity, pred, self.index(pred.entity))
     }
 
+    /// Gather columns for the refinement `ancestor-query ∪ preds`, derived
+    /// by one probe pass over `ancestor`'s already-gathered columns against
+    /// the added predicates' container intersections (one word mask per
+    /// constrained side) — the generalization of
+    /// [`derive_refinement_columns`](Self::derive_refinement_columns) from
+    /// "one predicate from the direct parent" to "any predicate set from
+    /// any cached ancestor". No adjacency walk, no re-gather.
+    ///
+    /// Byte-identity contract: the result equals
+    /// [`collect_group_columns`](Self::collect_group_columns) on the
+    /// refined query bit-for-bit. `ancestor` must be the gather columns of
+    /// a query none of whose conjuncts is in `preds` (the refinement adds
+    /// every predicate as a new conjunct).
+    pub fn derive_refinement_columns_multi(
+        &self,
+        ancestor: &GroupColumns,
+        preds: &[AttrValue],
+    ) -> GroupColumns {
+        let mut reviewer_preds: Vec<(AttrId, ValueId)> = Vec::new();
+        let mut item_preds: Vec<(AttrId, ValueId)> = Vec::new();
+        for p in preds {
+            match p.entity {
+                Entity::Reviewer => reviewer_preds.push((p.attr, p.value)),
+                Entity::Item => item_preds.push((p.attr, p.value)),
+            }
+        }
+        let reviewer_words = self
+            .reviewer_index
+            .intersect(&reviewer_preds)
+            .into_words(self.reviewers.len());
+        let item_words = self
+            .item_index
+            .intersect(&item_preds)
+            .into_words(self.items.len());
+        ancestor.derive_refinement_multi(reviewer_words.as_deref(), item_words.as_deref())
+    }
+
     /// Cheap index-only upper bound on the size of `query`'s entity
-    /// selection: the minimum posting-list length over the query's
-    /// predicates (`usize::MAX` when the query has no predicates and
-    /// nothing constrains the group). A bound of zero proves the rating
-    /// group is empty without materializing anything — the recommendation
-    /// builder uses this to skip unsatisfiable candidates before any group
-    /// work happens.
+    /// selection: the minimum **exact** container cardinality over the
+    /// query's predicates (`usize::MAX` when the query has no predicates
+    /// and nothing constrains the group). A bound of zero proves the
+    /// rating group is empty without materializing anything — the
+    /// recommendation builder uses this to skip unsatisfiable candidates
+    /// before any group work happens.
     pub fn index_cardinality_bound(&self, query: &SelectionQuery) -> usize {
         query
             .preds()
             .iter()
-            .map(|p| self.index(p.entity).postings(p.attr, p.value).len())
+            .map(|p| self.index(p.entity).cardinality(p.attr, p.value))
             .min()
             .unwrap_or(usize::MAX)
     }
@@ -368,6 +542,18 @@ impl SubjectiveDb {
     /// [`scan_group`](Self::scan_group) shuffles per session.
     pub fn collect_group_columns(&self, query: &SelectionQuery) -> GroupColumns {
         GroupColumns::gather(&self.ratings, self.collect_group_records(query))
+    }
+
+    /// Like [`collect_group_columns`](Self::collect_group_columns), but
+    /// reports which [`GroupRoute`] materialized the records — the hook
+    /// the step executor uses to attribute walked vs probed groups in
+    /// [`StepStats`-level counters](GroupRoute).
+    pub fn collect_group_columns_routed(
+        &self,
+        query: &SelectionQuery,
+    ) -> (GroupColumns, GroupRoute) {
+        let (records, route) = self.collect_group_records_routed(query, None);
+        (GroupColumns::gather(&self.ratings, records), route)
     }
 
     /// Human-readable rendering of one predicate, e.g. `item.city = NYC`.
@@ -421,7 +607,7 @@ impl SubjectiveDb {
                 let mut values: Vec<(Value, usize)> = table
                     .dictionary(attr)
                     .iter()
-                    .map(|(id, v)| (v.clone(), index.postings(attr, id).len()))
+                    .map(|(id, v)| (v.clone(), index.cardinality(attr, id)))
                     .collect();
                 values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 AttributeSummary {
@@ -704,6 +890,70 @@ mod tests {
                 let derived = db.derive_refinement_columns(&parent_cols, &pred);
                 let walked = db.collect_group_columns(&child);
                 assert_eq!(derived, walked, "parent {parent:?} + {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_route_matches_walk_route() {
+        let db = figure2_db();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
+        let f = db
+            .pred(Entity::Reviewer, "gender", &Value::str("F"))
+            .unwrap();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let burgers = db
+            .pred(Entity::Item, "cuisine", &Value::str("Burgers"))
+            .unwrap();
+        for q in [
+            SelectionQuery::from_preds(vec![young]),
+            SelectionQuery::from_preds(vec![nyc]),
+            SelectionQuery::from_preds(vec![f, burgers]),
+            SelectionQuery::from_preds(vec![young, nyc]),
+            SelectionQuery::from_preds(vec![young, f]),
+        ] {
+            let (walked, wr) = db.collect_group_records_routed(&q, Some(GroupRoute::Walk));
+            let (probed, pr) = db.collect_group_records_routed(&q, Some(GroupRoute::Probe));
+            assert_eq!(wr, GroupRoute::Walk);
+            assert_eq!(pr, GroupRoute::Probe);
+            assert_eq!(walked, probed, "{q:?}");
+        }
+        let stats = db.index_stats();
+        assert!(stats.route_walk >= 5 && stats.route_probe >= 5);
+        assert!(stats.intersections > 0);
+    }
+
+    #[test]
+    fn multi_pred_derivation_matches_child_walk() {
+        let db = figure2_db();
+        let young = db
+            .pred(Entity::Reviewer, "age_group", &Value::str("Young"))
+            .unwrap();
+        let m = db
+            .pred(Entity::Reviewer, "gender", &Value::str("M"))
+            .unwrap();
+        let nyc = db.pred(Entity::Item, "city", &Value::str("NYC")).unwrap();
+        let sushi = db
+            .pred(Entity::Item, "cuisine", &Value::str("Sushi"))
+            .unwrap();
+        let ancestors = [SelectionQuery::all(), SelectionQuery::from_preds(vec![m])];
+        let additions: [&[AttrValue]; 4] =
+            [&[young, nyc], &[nyc, sushi], &[young], &[young, nyc, sushi]];
+        for ancestor in &ancestors {
+            let cols = db.collect_group_columns(ancestor);
+            for preds in additions {
+                if preds.iter().any(|p| ancestor.contains(p)) {
+                    continue;
+                }
+                let mut child = ancestor.clone();
+                for p in preds {
+                    child = child.with_added(*p);
+                }
+                let derived = db.derive_refinement_columns_multi(&cols, preds);
+                let walked = db.collect_group_columns(&child);
+                assert_eq!(derived, walked, "{ancestor:?} + {preds:?}");
             }
         }
     }

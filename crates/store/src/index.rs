@@ -29,7 +29,14 @@ impl InvertedIndex {
             let col = table.column(attr);
             for row in 0..rows as u32 {
                 for &v in col.values(row) {
-                    lists[v.index()].push(row);
+                    // A multi-valued cell may repeat a value; index the row
+                    // once so cardinalities are exact (they feed planner
+                    // cost decisions). Rows arrive ascending, so a dupe can
+                    // only be the list's current tail.
+                    let list = &mut lists[v.index()];
+                    if list.last() != Some(&row) {
+                        list.push(row);
+                    }
                 }
             }
         }
@@ -40,15 +47,16 @@ impl InvertedIndex {
     /// path, which persists postings so load never re-scans the table).
     /// Validates that every posting is a sorted list of in-range rows, so a
     /// damaged file cannot smuggle dangling row ids into selections.
+    /// Duplicates are dropped: snapshots written before `build` deduped
+    /// multi-valued repeats may still carry them, and cardinalities must
+    /// be exact (they feed planner cost decisions).
     pub fn from_parts(
-        postings: Vec<Vec<Vec<u32>>>,
+        mut postings: Vec<Vec<Vec<u32>>>,
         rows: usize,
     ) -> Result<Self, crate::error::StoreError> {
         use crate::error::StoreError;
-        for (attr, lists) in postings.iter().enumerate() {
-            for (value, list) in lists.iter().enumerate() {
-                // Sorted, duplicates tolerated: a row listing the same value
-                // twice in a multi-valued cell is indexed twice by `build`.
+        for (attr, lists) in postings.iter_mut().enumerate() {
+            for (value, list) in lists.iter_mut().enumerate() {
                 if list.windows(2).any(|w| w[0] > w[1]) {
                     return Err(StoreError::invalid(format!(
                         "posting list attr {attr} value {value} is not sorted"
@@ -59,6 +67,7 @@ impl InvertedIndex {
                         "posting list attr {attr} value {value} references a row past {rows}"
                     )));
                 }
+                list.dedup();
             }
         }
         Ok(Self { postings, rows })
@@ -134,6 +143,30 @@ mod tests {
         let cuisine = t.schema().attr_by_name("cuisine").unwrap();
         let pizza = t.dictionary(cuisine).code(&Value::str("Pizza")).unwrap();
         assert_eq!(idx.postings(cuisine, pizza), &[0, 2]);
+    }
+
+    #[test]
+    fn repeated_multi_value_indexes_row_once() {
+        let mut schema = Schema::new();
+        schema.add("cuisine", true);
+        let mut b = EntityTableBuilder::new(schema);
+        b.push_row(vec![Cell::Many(vec![
+            Value::str("Pizza"),
+            Value::str("Pizza"),
+        ])]);
+        b.push_row(vec![Cell::Many(vec![Value::str("Pizza")])]);
+        let t = b.build();
+        let idx = InvertedIndex::build(&t);
+        let cuisine = t.schema().attr_by_name("cuisine").unwrap();
+        let pizza = t.dictionary(cuisine).code(&Value::str("Pizza")).unwrap();
+        // Exact cardinality: row 0 appears once despite the repeated cell.
+        assert_eq!(idx.postings(cuisine, pizza), &[0, 1]);
+    }
+
+    #[test]
+    fn from_parts_drops_duplicates() {
+        let idx = InvertedIndex::from_parts(vec![vec![vec![0, 0, 2, 2, 3]]], 4).unwrap();
+        assert_eq!(idx.postings(AttrId(0), ValueId(0)), &[0, 2, 3]);
     }
 
     #[test]

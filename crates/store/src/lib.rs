@@ -16,8 +16,11 @@
 //!   CSR (offsets + codes) layout ([`column::Column`]);
 //! * the rating table is struct-of-arrays: one contiguous `Vec<u8>` per
 //!   rating dimension ([`ratings::RatingTable`]);
-//! * per attribute-value inverted indexes plus bitset intersection answer
-//!   conjunctive selections ([`index`], [`bitset::BitSet`]);
+//! * per attribute-value postings live in compressed hybrid containers
+//!   (sorted array / packed bitmap / run-length, byte-minimal per value)
+//!   whose kernel-driven intersections answer conjunctive selections
+//!   ([`cindex`], [`bitset::BitSet`]; the flat [`index`] remains the
+//!   build/serialization intermediate);
 //! * rating groups materialize as record-id vectors with a deterministic
 //!   shuffle, providing the without-replacement sample order required by the
 //!   phase-based execution framework ([`group::RatingGroup::phases`]);
@@ -28,6 +31,7 @@
 
 pub mod bitset;
 pub mod cache;
+pub mod cindex;
 pub mod column;
 pub mod csv;
 pub mod database;
@@ -45,8 +49,9 @@ pub mod table;
 pub mod value;
 
 pub use cache::{CacheStats, GroupCache, DEFAULT_CACHE_SHARDS};
+pub use cindex::{CompressedIndex, Container, ContainerStats, MemberSet};
 pub use column::{Column, CsrColumn};
-pub use database::{AttributeSummary, DbStats, SubjectiveDb};
+pub use database::{AttributeSummary, DbStats, GroupRoute, IndexStats, SubjectiveDb};
 pub use distcache::{DistPairKey, DistanceCache};
 pub use error::{StoreError, StoreErrorKind};
 pub use group::{EntityGroup, RatingGroup};

@@ -215,6 +215,36 @@ impl SelectionQuery {
         added
     }
 
+    /// If `child` is a **strict superset** of `self`, returns the added
+    /// predicates (at least one) — the multi-predicate generalization of
+    /// [`single_added_pred`](Self::single_added_pred), used to derive a
+    /// candidate's group from *any* cached ancestor's columns, not just
+    /// the direct parent's. Returns `None` if any of `self`'s predicates
+    /// is missing from `child`, or if the queries are equal.
+    ///
+    /// Both queries are canonical (sorted, deduplicated), so this is a
+    /// single two-pointer merge pass.
+    pub fn added_preds(&self, child: &Self) -> Option<Vec<AttrValue>> {
+        if child.preds.len() <= self.preds.len() {
+            return None;
+        }
+        let mut added = Vec::with_capacity(child.preds.len() - self.preds.len());
+        let mut mine = self.preds.iter().peekable();
+        for p in &child.preds {
+            match mine.peek() {
+                Some(&m) if m == p => {
+                    mine.next();
+                }
+                _ => added.push(*p),
+            }
+        }
+        // Every ancestor predicate must have been matched in order.
+        if mine.next().is_some() {
+            return None;
+        }
+        Some(added)
+    }
+
     /// Size of the symmetric difference of the two predicate sets — the
     /// paper's measure of how far a candidate operation strays from the
     /// current query ("differ in at most 2 attribute-value pairs").
@@ -328,6 +358,30 @@ mod tests {
         let c = a.with_added(p(Entity::Item, 3, 0));
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert_ne!(SelectionQuery::all().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn added_preds_detects_any_superset() {
+        let ancestor = SelectionQuery::from_preds(vec![p(Entity::Item, 0, 0)]);
+        let a = p(Entity::Reviewer, 1, 5);
+        let b = p(Entity::Item, 2, 3);
+        let child = ancestor.with_added(a).with_added(b);
+        assert_eq!(ancestor.added_preds(&child), Some(vec![a, b]));
+        assert_eq!(
+            SelectionQuery::all().added_preds(&child),
+            Some(child.preds().to_vec()),
+            "from the empty query every predicate is an addition"
+        );
+        // Not supersets: equality, removal, change.
+        assert_eq!(ancestor.added_preds(&ancestor), None);
+        assert_eq!(child.added_preds(&ancestor), None);
+        let changed = ancestor
+            .with_changed(Entity::Item, AttrId(0), ValueId(3))
+            .unwrap();
+        assert_eq!(ancestor.added_preds(&changed), None);
+        // Agreement with the single-pred special case.
+        let one = ancestor.with_added(a);
+        assert_eq!(ancestor.added_preds(&one), Some(vec![a]));
     }
 
     #[test]

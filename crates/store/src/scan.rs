@@ -25,9 +25,8 @@ use std::ops::Range;
 
 use subdex_stats::kernels;
 
-use crate::bitset::BitSet;
+use crate::cindex::CompressedIndex;
 use crate::group::RatingGroup;
-use crate::index::InvertedIndex;
 use crate::predicate::AttrValue;
 use crate::ratings::{DimId, RatingTable, RecordId};
 use crate::schema::Entity;
@@ -70,49 +69,61 @@ impl GroupColumns {
     }
 
     /// Derives the gather columns of the refinement `query ∪ {pred}` from
-    /// this (the parent query's) columns: one linear pass testing each
-    /// record's `entity`-side row against `pred`'s posting-list bitset,
-    /// copying the record id and both entity-row columns of every match.
+    /// this (the parent query's) columns — the single-predicate wrapper
+    /// over [`derive_refinement_multi`](Self::derive_refinement_multi).
     /// No adjacency walk, no re-gather.
+    ///
+    /// `entity` selects which row column is probed and must match
+    /// `pred.entity`; `index` must be the compressed index of that
+    /// entity's table.
+    pub fn derive_refinement(
+        &self,
+        entity: Entity,
+        pred: &AttrValue,
+        index: &CompressedIndex,
+    ) -> GroupColumns {
+        debug_assert_eq!(entity, pred.entity, "probe side must match the predicate");
+        let words = index
+            .intersect(&[(pred.attr, pred.value)])
+            .into_words(index.rows());
+        match entity {
+            Entity::Reviewer => self.derive_refinement_multi(words.as_deref(), None),
+            Entity::Item => self.derive_refinement_multi(None, words.as_deref()),
+        }
+    }
+
+    /// Derives the gather columns of a refinement that adds **any number
+    /// of predicates on either side** from this (an ancestor query's)
+    /// columns: one linear pass probing each record's reviewer row against
+    /// `reviewer_words` and its item row against `item_words` (a `None`
+    /// side is unconstrained), then three exact-size gathers through the
+    /// surviving positions. The word masks are the added predicates'
+    /// container intersection (`CompressedIndex::intersect` +
+    /// `MemberSet::into_words`).
     ///
     /// Because the canonical walk order is ascending record id — a pure
     /// function of the query, preserved by subset filtering — the result is
     /// byte-identical to a full `collect_group_columns` on the refined
     /// query, so derived columns are safe to insert into the shared group
-    /// cache.
-    ///
-    /// `entity` selects which row column is probed and must match
-    /// `pred.entity`; `index` must be the inverted index of that entity's
-    /// table.
-    pub fn derive_refinement(
+    /// cache. The probe kernel compacts positions branchlessly
+    /// (near-50%-selectivity predicates would stall a branchy loop), and
+    /// the gather kernel sizes each column exactly (`reserve_exact`) — the
+    /// cache's byte budget relies on capacities not being padded.
+    pub fn derive_refinement_multi(
         &self,
-        entity: Entity,
-        pred: &AttrValue,
-        index: &InvertedIndex,
+        reviewer_words: Option<&[u64]>,
+        item_words: Option<&[u64]>,
     ) -> GroupColumns {
-        debug_assert_eq!(entity, pred.entity, "probe side must match the predicate");
-        let members = BitSet::from_ids(index.rows(), index.postings(pred.attr, pred.value));
-        let rows = match entity {
-            Entity::Reviewer => &self.reviewer_rows,
-            Entity::Item => &self.item_rows,
-        };
-        // Branchless index compaction, then three exact-size gathers.
-        // Every row writes its position at the output cursor
-        // unconditionally and the cursor advances only on a match:
-        // predicate selectivity near 50% would make a branchy
-        // `if matched { push }` loop stall on mispredictions, which
-        // dominates the scan cost on large parents. Gathering through the
-        // compacted positions afterwards touches only matching rows; the
-        // gather kernel sizes each column exactly (`reserve_exact`) — the
-        // cache's byte budget relies on capacities not being padded.
-        let mut idx = vec![0u32; rows.len()];
-        let mut out = 0usize;
-        for (i, &row) in rows.iter().enumerate() {
-            idx[out] = i as u32;
-            out += usize::from(members.contains(row));
-        }
-        idx.truncate(out);
         let path = kernels::active();
+        let mut idx = Vec::new();
+        kernels::filter_rows(
+            path,
+            &self.reviewer_rows,
+            &self.item_rows,
+            reviewer_words,
+            item_words,
+            &mut idx,
+        );
         let mut records = Vec::new();
         let mut reviewer_rows = Vec::new();
         let mut item_rows = Vec::new();
